@@ -1,0 +1,21 @@
+"""Ablation (DESIGN.md): InnerScalar partition-count selection (Sec. 8.1).
+
+Not a paper figure; isolates one of the three optimizations.  Expected:
+sizing InnerScalar bags to the tag cardinality beats the engine-default
+partition count, most visibly at few inner computations where thousands
+of near-empty tasks would otherwise be scheduled.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_ablation_partition_counts(figure_benchmark):
+    sweep = figure_benchmark(figures.ablation_partition_counts, SCALE)
+    for x in sweep.x_values():
+        auto = sweep.seconds("auto (Sec. 8.1)", x)
+        default = sweep.seconds("engine default", x)
+        assert auto < default

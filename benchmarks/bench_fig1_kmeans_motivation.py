@@ -1,0 +1,25 @@
+"""Fig. 1: K-means runtimes vs. the number of initial configurations.
+
+Expected shape (paper Sec. 1): the ideal line is flat; Matryoshka hugs
+it; inner-parallel grows with the configuration count (job-launch
+overhead); outer-parallel starts orders of magnitude slow (parallelism
+capped by the configuration count) and only approaches the ideal at many
+configurations; the workarounds cross between 16 and 64.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig1_kmeans_motivation(figure_benchmark):
+    sweep = figure_benchmark(figures.fig1_kmeans_motivation, SCALE)
+    xs = sweep.x_values()
+    assert sweep.speedup(
+        figures.OUTER, figures.IDEAL, xs[0]
+    ) > 30, "outer-parallel must be orders slower at one configuration"
+    assert sweep.speedup(
+        figures.INNER, figures.MATRYOSHKA, xs[-1]
+    ) > 5, "inner-parallel must fall behind at many configurations"

@@ -1,0 +1,35 @@
+"""Fig. 3: weak scaling of the three iterative tasks.
+
+Constant total input; the number of inner computations varies inversely
+with their size.  Expected: Matryoshka near-constant; inner-parallel
+degrades linearly in the group count; outer-parallel OOMs at few groups
+and only becomes competitive at many groups.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig3a_kmeans(figure_benchmark):
+    sweep = figure_benchmark(figures.fig3_weak_scaling_kmeans, SCALE)
+    xs = sweep.x_values()
+    times = [sweep.seconds(figures.MATRYOSHKA, x) for x in xs]
+    assert max(times) / min(times) < 2.0
+
+
+def test_fig3b_pagerank(figure_benchmark):
+    sweep = figure_benchmark(figures.fig3_weak_scaling_pagerank, SCALE)
+    xs = sweep.x_values()
+    assert sweep.result_for(figures.OUTER, xs[0]).status == "oom"
+    assert sweep.speedup(figures.INNER, figures.MATRYOSHKA, xs[-1]) > 10
+
+
+def test_fig3c_avg_distances(figure_benchmark):
+    sweep = figure_benchmark(
+        figures.fig3_weak_scaling_avg_distances, SCALE
+    )
+    for x in sweep.x_values():
+        assert sweep.speedup(figures.INNER, figures.MATRYOSHKA, x) > 2

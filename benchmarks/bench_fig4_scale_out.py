@@ -1,0 +1,32 @@
+"""Fig. 4: scale-out over machine counts at 64 inner computations.
+
+Expected: Matryoshka scales close to linearly with machines; the
+workarounds stay flat (outer-parallel cannot use cores beyond the group
+count; inner-parallel's job overhead even grows with more partitions).
+"""
+
+import pytest
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.mark.parametrize("task", ["pagerank", "kmeans", "bounce_rate"])
+def test_fig4_scale_out(figure_benchmark, task):
+    sweep = figure_benchmark(figures.fig4_scale_out, SCALE, task)
+    machines = sweep.x_values()
+    times = [sweep.seconds(figures.MATRYOSHKA, m) for m in machines]
+    assert all(a > b for a, b in zip(times, times[1:])), (
+        "Matryoshka must scale down with machines"
+    )
+    # Fixed driver-side overheads (job launches, task scheduling) bound
+    # the speedup at this quick scale; require a solid fraction of it.
+    assert times[0] / times[-1] > 1.8
+    inner_first = sweep.seconds(figures.INNER, machines[0])
+    inner_last = sweep.seconds(figures.INNER, machines[-1])
+    assert inner_last > 0.7 * inner_first, (
+        "inner-parallel must not benefit much from machines"
+    )

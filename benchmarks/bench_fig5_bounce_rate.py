@@ -1,0 +1,31 @@
+"""Fig. 5: Bounce Rate (no control flow), weak scaling and scale-out.
+
+Expected (paper Sec. 9.4): DIQL and outer-parallel OOM at every point at
+the 48 GB input; Matryoshka is near-constant (it pays some memory
+pressure when processing the whole input at once); inner-parallel is
+marginally faster at few groups and up to ~5x slower at many.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig5_weak_scaling(figure_benchmark):
+    sweep = figure_benchmark(
+        figures.fig5_bounce_rate_weak_scaling, SCALE
+    )
+    for x in sweep.x_values():
+        assert sweep.result_for(figures.OUTER, x).status == "oom"
+        assert sweep.result_for(figures.DIQL, x).status == "oom"
+    xs = sweep.x_values()
+    assert sweep.speedup(figures.INNER, figures.MATRYOSHKA, xs[-1]) > 3
+
+
+def test_fig5_scale_out(figure_benchmark):
+    sweep = figure_benchmark(figures.fig4_scale_out, SCALE,
+                             "bounce_rate")
+    machines = sweep.x_values()
+    assert sweep.seconds(figures.MATRYOSHKA, machines[-1]) is not None

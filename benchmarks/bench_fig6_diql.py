@@ -1,0 +1,24 @@
+"""Fig. 6: Matryoshka vs. DIQL at reduced (12 GB) input.
+
+Expected: at a quarter of the input, DIQL completes at larger group
+counts (its materialized groups fit), and Matryoshka is faster at every
+surviving point (paper: up to 6.6x).
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig6_diql_comparison(figure_benchmark):
+    sweep = figure_benchmark(figures.fig6_diql_comparison, SCALE)
+    survived = 0
+    for x in sweep.x_values():
+        diql = sweep.seconds(figures.DIQL, x)
+        if diql is None:
+            continue
+        survived += 1
+        assert sweep.seconds(figures.MATRYOSHKA, x) <= diql * 1.05
+    assert survived >= 1, "DIQL must survive somewhere at 12 GB"

@@ -1,0 +1,29 @@
+"""Fig. 7: data skew (Zipf-distributed group sizes).
+
+Expected (paper Sec. 9.5): outer-parallel always fails with OOM under
+this load; Matryoshka's runtime stays within ~15% of the unskewed run;
+inner-parallel is an order of magnitude slower.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.mark.parametrize("task", ["bounce_rate", "pagerank"])
+def test_fig7_skew(figure_benchmark, task):
+    sweep = figure_benchmark(figures.fig7_skew, SCALE, task)
+    exponents = sweep.x_values()
+    base = sweep.seconds(figures.MATRYOSHKA, exponents[0])
+    for exponent in exponents:
+        assert sweep.seconds(
+            figures.MATRYOSHKA, exponent
+        ) <= base * 1.2
+    if task == "bounce_rate":
+        for exponent in exponents:
+            outer = sweep.result_for(figures.OUTER, exponent)
+            assert outer.status == "oom"

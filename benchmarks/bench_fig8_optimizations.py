@@ -1,0 +1,52 @@
+"""Fig. 8: the lowering-phase optimizer's runtime choices (Sec. 8).
+
+Left: broadcast vs. repartition for InnerBag-InnerScalar joins, grouped
+PageRank at the 160 GB scale.  Expected: repartition fails/collapses at
+few groups; broadcast degrades and finally OOMs at many; the optimizer
+tracks the better strategy everywhere.
+
+Right: the half-lifted mapWithClosure broadcast side, K-means with a
+shared point bag.  Expected: broadcasting the primary input degrades
+badly (parallelism capped at the InnerScalar's partition count plus a
+per-iteration broadcast of the whole dataset); the optimizer always
+matches the best fixed choice.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig8_left_join_strategies(figure_benchmark):
+    sweep = figure_benchmark(figures.fig8_join_strategies, SCALE)
+    for x in sweep.x_values():
+        optimizer = sweep.seconds("optimizer", x)
+        assert optimizer is not None, "the optimizer must never fail"
+        fixed = [
+            sweep.seconds("broadcast", x),
+            sweep.seconds("repartition", x),
+        ]
+        survivors = [t for t in fixed if t is not None]
+        assert optimizer <= min(survivors) * 1.05
+
+
+def test_fig8_right_half_lifted(figure_benchmark):
+    sweep = figure_benchmark(figures.fig8_half_lifted, SCALE)
+    for x in sweep.x_values():
+        optimizer = sweep.seconds("optimizer", x)
+        assert optimizer is not None
+        times = [
+            sweep.seconds("broadcast-scalar", x),
+            sweep.seconds("broadcast-primary", x),
+        ]
+        survivors = [t for t in times if t is not None]
+        assert optimizer <= min(survivors) * 1.05
+    # Somewhere the wrong side must hurt badly (the paper's 4.6x).
+    worst_ratio = max(
+        (sweep.seconds("broadcast-primary", x) or float("inf"))
+        / sweep.seconds("optimizer", x)
+        for x in sweep.x_values()
+    )
+    assert worst_ratio > 2

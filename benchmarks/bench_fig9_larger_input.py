@@ -1,0 +1,27 @@
+"""Fig. 9: 8x larger inputs on the 36-machine cluster (Sec. 9.7).
+
+Expected: same orderings as the smaller experiments -- Matryoshka more
+than an order of magnitude faster than inner-parallel from ~128 inner
+computations (PageRank); outer-parallel OOMs for Bounce Rate at every
+point.
+"""
+
+from repro.bench import figures
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def test_fig9a_pagerank_160gb(figure_benchmark):
+    sweep = figure_benchmark(figures.fig9_larger_pagerank, SCALE)
+    xs = sweep.x_values()
+    assert sweep.speedup(figures.INNER, figures.MATRYOSHKA, xs[-1]) > 10
+
+
+def test_fig9b_bounce_rate_384gb(figure_benchmark):
+    sweep = figure_benchmark(figures.fig9_larger_bounce_rate, SCALE)
+    for x in sweep.x_values():
+        assert sweep.result_for(figures.OUTER, x).status == "oom"
+    xs = sweep.x_values()
+    assert sweep.speedup(figures.INNER, figures.MATRYOSHKA, xs[-1]) > 5

@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's figures: it runs the
+experiment (real execution on the simulated cluster), prints the table of
+simulated runtimes the figure plots, and reports the harness wall time to
+pytest-benchmark.  Experiments are heavy, so each runs exactly once.
+
+Set ``REPRO_BENCH_SCALE=full`` to reproduce the paper's full sweep ranges
+instead of the quick ones.
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@pytest.fixture
+def figure_benchmark(benchmark):
+    """Run a figure experiment once under pytest-benchmark."""
+
+    def run(figure_fn, *args, **kwargs):
+        sweep = benchmark.pedantic(
+            lambda: figure_fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        sweep.print_table()
+        return sweep
+
+    return run

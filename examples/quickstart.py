@@ -1,0 +1,56 @@
+"""Quickstart: per-day bounce rate with nested parallelism.
+
+The running example of the paper (Sec. 2.1, Listings 1-3): a whole-bag
+``bounce_rate`` function applied to every group of a grouped visit log.
+Matryoshka flattens the nested program into a single flat-parallel job
+chain -- no per-group jobs, no materialized groups.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+from repro.data import visits_log
+
+def bounce_rate(group):
+    """Listing 1's UDF: the fraction of single-visit IPs in one group.
+
+    Written once against the bag interface; works on an InnerBag after
+    flattening.
+    """
+    counts_per_ip = group.map(lambda ip: (ip, 1)).reduce_by_key(
+        lambda a, b: a + b
+    )
+    num_bounces = counts_per_ip.filter(lambda kv: kv[1] == 1).count()
+    num_total_visitors = group.distinct().count()
+    return num_bounces / num_total_visitors
+
+def main():
+    # A simulated 25-machine cluster (the paper's evaluation hardware).
+    # Programs execute for real; the trace yields simulated runtimes.
+    ctx = repro.EngineContext(repro.paper_cluster_config())
+
+    records = visits_log(num_days=7, total_visits=2000, seed=42)
+    visits = ctx.bag_of(records)  # Bag[(day, ip)]
+
+    # Listing 2: groupByKeyIntoNestedBag + mapWithLiftedUDF.  No shuffle
+    # happens here -- the nested bag is represented flat.
+    per_day = repro.group_by_key_into_nested_bag(visits)
+    rates = per_day.map_inner(bounce_rate)
+
+    print("Per-day bounce rates (computed by the flattened program):")
+    for day, rate in sorted(rates.to_bag().collect()):
+        print("  %-6s %.3f" % (day, rate))
+
+    print()
+    print("Execution trace:", ctx.trace.summary())
+    print(
+        "Simulated runtime on the 25-machine cluster: %.1f s"
+        % ctx.simulated_seconds()
+    )
+    print(
+        "Jobs launched: %d (constant in the number of days -- that is "
+        "the point)" % ctx.trace.num_jobs
+    )
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro: a reproduction of Matryoshka (SIGMOD 2021).
+
+Matryoshka lets dataflow programs use *nested parallelism* -- parallel
+operations launched from inside other parallel operations -- by flattening
+nested-parallel programs into flat-parallel ones through a two-phase
+process (a compile-time parsing phase and a runtime lowering phase with
+dynamic optimizations).
+
+Top-level convenience re-exports::
+
+    import repro
+
+    ctx = repro.EngineContext()
+    visits = ctx.bag_of(records)                     # Bag[(day, ip)]
+    per_day = repro.group_by_key_into_nested_bag(visits)
+    rates = per_day.map_groups(bounce_rate_udf)      # lifted, flat-parallel
+"""
+
+from .engine import (
+    Bag,
+    ClusterConfig,
+    EngineContext,
+    Weighted,
+    laptop_config,
+    large_cluster_config,
+    paper_cluster_config,
+)
+from .errors import (
+    ExecutionError,
+    FlatteningError,
+    ParsingError,
+    PlanError,
+    ReproError,
+    SimulatedOutOfMemory,
+    UdfError,
+    UnsupportedFeatureError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bag",
+    "ClusterConfig",
+    "EngineContext",
+    "ExecutionError",
+    "FlatteningError",
+    "InnerBag",
+    "InnerScalar",
+    "NestedBag",
+    "ParsingError",
+    "PlanError",
+    "ReproError",
+    "SimulatedOutOfMemory",
+    "UdfError",
+    "UnsupportedFeatureError",
+    "Weighted",
+    "cond",
+    "group_by_key_into_nested_bag",
+    "laptop_config",
+    "large_cluster_config",
+    "lifted",
+    "nested_map",
+    "paper_cluster_config",
+    "while_loop",
+]
+
+
+def __getattr__(name):
+    # Core flattening symbols are imported lazily to keep `import repro`
+    # cheap and to avoid import cycles during package construction.
+    # importlib is used directly: a `from . import core` here would
+    # re-enter this __getattr__ through the import machinery's fromlist
+    # handling and recurse forever.
+    import importlib
+
+    for module_name in ("core", "lang", "engine", "baselines", "tasks",
+                        "data", "bench"):
+        if name == module_name:
+            return importlib.import_module(
+                "." + module_name, __name__
+            )
+    core = importlib.import_module(".core", __name__)
+    if hasattr(core, name):
+        return getattr(core, name)
+    lang = importlib.import_module(".lang", __name__)
+    if hasattr(lang, name):
+        return getattr(lang, name)
+    raise AttributeError("module 'repro' has no attribute %r" % name)

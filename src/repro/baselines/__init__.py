@@ -1,0 +1,19 @@
+"""Baseline systems the paper evaluates against.
+
+* :mod:`outer_parallel` -- parallelize the outer level only.
+* :mod:`inner_parallel` -- parallelize the inner level only (driver loop).
+* :mod:`diql` -- a DIQL-style compile-time comprehension compiler.
+"""
+
+from .diql import DiqlQuery, Monoid
+from .inner_parallel import group_locally, run_inner_parallel
+from .outer_parallel import run_outer_parallel, sequential_udf
+
+__all__ = [
+    "DiqlQuery",
+    "Monoid",
+    "group_locally",
+    "run_inner_parallel",
+    "run_outer_parallel",
+    "sequential_udf",
+]

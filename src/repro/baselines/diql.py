@@ -1,0 +1,179 @@
+"""A DIQL-style comprehension-query baseline (paper Sec. 9, [21]).
+
+DIQL (Fegaras & Noor 2018) compiles an embedded query language of monoid
+comprehensions to Spark at compile time.  The paper compares against it
+and observes two behaviours this re-implementation reproduces:
+
+* **No inner control flow.**  DIQL cannot flatten programs with control
+  flow statements at inner nesting levels, so it is only evaluated on
+  Bounce Rate; we raise :class:`UnsupportedFeatureError` accordingly.
+* **Group-wise holistic aggregation is not flattened.**  For the Bounce
+  Rate program class (a non-homomorphic UDF over each group: it needs a
+  per-group ``distinct`` and a count-of-counts), DIQL "applied the
+  outer-parallel workaround instead, resulting in out-of-memory errors"
+  (Sec. 9.4).  The compiler below flattens simple select/where/map
+  comprehensions and *algebraic* (monoid) group aggregations, but
+  materializes groups for holistic group UDFs -- exactly the observed
+  plan.
+* **No runtime optimization.**  All physical choices are fixed at
+  compile time; there is no equivalent of Matryoshka's lowering phase.
+"""
+
+from ..engine.work import Weighted
+from ..errors import UnsupportedFeatureError
+
+
+class Monoid:
+    """An algebraic aggregation: ``(zero, plus)`` over mapped values.
+
+    DIQL expresses aggregations as monoid homomorphisms; these are the
+    aggregations its compiler *can* flatten into ``reduceByKey``.
+    """
+
+    __slots__ = ("zero", "plus", "mapper")
+
+    def __init__(self, zero, plus, mapper=None):
+        self.zero = zero
+        self.plus = plus
+        self.mapper = mapper if mapper is not None else _identity
+
+    @classmethod
+    def sum(cls, mapper=None):
+        return cls(0, lambda a, b: a + b, mapper)
+
+    @classmethod
+    def count(cls):
+        return cls(0, lambda a, b: a + b, lambda _x: 1)
+
+
+class DiqlQuery:
+    """A fluent monoid-comprehension query over one input bag.
+
+    Example (per-day visit counts -- algebraic, flattens fine)::
+
+        DiqlQuery(visits).group_by(lambda v: v[0]) \\
+                         .reduce(Monoid.count()).compile()
+
+    Example (Bounce Rate -- holistic, falls back to group
+    materialization)::
+
+        DiqlQuery(visits).group_by(lambda v: v[0]) \\
+                         .aggregate_groups(bounce_rate_fn).compile()
+    """
+
+    def __init__(self, bag):
+        self._bag = bag
+        self._clauses = []  # ordered ("where"|"select", fn) pairs
+        self._group_key = None
+        self._monoid = None
+        self._group_udf = None
+        self._has_inner_control_flow = False
+
+    # -- comprehension clauses -------------------------------------------
+
+    def where(self, predicate):
+        self._check_open()
+        self._clauses.append(("where", predicate))
+        return self
+
+    def select(self, mapper):
+        self._check_open()
+        self._clauses.append(("select", mapper))
+        return self
+
+    def group_by(self, key_fn):
+        self._check_open()
+        if self._group_key is not None:
+            raise UnsupportedFeatureError(
+                "DIQL baseline supports a single group_by per query"
+            )
+        self._group_key = key_fn
+        return self
+
+    def reduce(self, monoid):
+        """Algebraic per-group aggregation (flattened to reduceByKey)."""
+        self._require_grouped()
+        self._monoid = monoid
+        return self
+
+    def aggregate_groups(self, group_udf, control_flow=False):
+        """Holistic per-group aggregation (``group_udf(key, values)``).
+
+        ``control_flow=True`` declares that the UDF contains loops or
+        branches, which DIQL rejects.
+        """
+        self._require_grouped()
+        self._group_udf = group_udf
+        self._has_inner_control_flow = control_flow
+        return self
+
+    # -- compilation -------------------------------------------------------
+
+    def explain(self):
+        """The plan DIQL's compile-time translation commits to."""
+        steps = ["scan"]
+        steps.extend(
+            "filter" if kind == "where" else "map"
+            for kind, _fn in self._clauses
+        )
+        if self._group_key is not None:
+            if self._monoid is not None:
+                steps.append("map-side-combine reduceByKey (flattened)")
+            elif self._group_udf is not None:
+                steps.append(
+                    "groupByKey materializing groups (outer-parallel "
+                    "fallback: holistic UDF is not a monoid homomorphism)"
+                )
+            else:
+                steps.append("groupByKey")
+        return " -> ".join(steps)
+
+    def compile(self):
+        """Translate to an engine bag (the compile-time plan; no runtime
+        re-optimization happens afterwards)."""
+        if self._has_inner_control_flow:
+            raise UnsupportedFeatureError(
+                "DIQL does not support control flow statements at inner "
+                "nesting levels (paper Sec. 9.1)"
+            )
+        bag = self._bag
+        for kind, fn in self._clauses:
+            bag = bag.filter(fn) if kind == "where" else bag.map(fn)
+        if self._group_key is None:
+            return bag
+        keyed = bag.key_by(self._group_key)
+        if self._monoid is not None:
+            monoid = self._monoid
+            return keyed.map_values(monoid.mapper).reduce_by_key(
+                monoid.plus
+            )
+        if self._group_udf is not None:
+            udf = self._group_udf
+            grouped = keyed.group_by_key()
+            # The holistic UDF makes (at least) two passes over its group
+            # (aggregation + distinct); charge that work.
+            return grouped.map(
+                lambda kv: Weighted(
+                    (kv[0], udf(kv[0], kv[1])), 2 * len(kv[1])
+                )
+            )
+        return keyed.group_by_key()
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_open(self):
+        if self._monoid is not None or self._group_udf is not None:
+            raise UnsupportedFeatureError(
+                "no clauses may follow the aggregation"
+            )
+
+    def _require_grouped(self):
+        self._check_open()
+        if self._group_key is None:
+            raise UnsupportedFeatureError(
+                "reduce/aggregate_groups requires a group_by"
+            )
+
+
+def _identity(x):
+    return x

@@ -1,0 +1,42 @@
+"""The inner-parallel workaround (paper Sec. 1).
+
+Parallelize at the level of the inner collections only: a loop in the
+driver program iterates over the groups *sequentially* and launches a
+full parallel job chain for each.  Every core can help with every group,
+but the total job-launch overhead scales with the number of groups (times
+the number of iterations for iterative tasks) -- the failure mode the
+cost model's per-job term reproduces.
+
+The per-group inputs are assumed to be pre-partitioned (one dataset per
+group, as a user of this workaround would have them on distributed
+storage); the driver loop does not pay to re-scan the full input per
+group.
+"""
+
+
+def run_inner_parallel(ctx, groups, per_group_fn):
+    """Run a parallel computation per group, one group at a time.
+
+    Args:
+        ctx: The engine context (jobs of all groups accumulate in its
+            trace, sequentially, exactly like a driver loop).
+        groups: ``{key: [values]}`` -- the pre-partitioned inputs.
+        per_group_fn: ``per_group_fn(ctx, values_list) -> result``; it
+            builds bags with ``ctx.bag_of`` and runs parallel operations
+            (each action is a separate job).
+
+    Returns:
+        ``[(key, result), ...]`` in key order.
+    """
+    results = []
+    for key in sorted(groups, key=repr):
+        results.append((key, per_group_fn(ctx, groups[key])))
+    return results
+
+
+def group_locally(records):
+    """Driver-side grouping helper: ``[(k, v), ...] -> {k: [v, ...]}``."""
+    groups = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return groups

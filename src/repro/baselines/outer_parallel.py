@@ -1,0 +1,51 @@
+"""The outer-parallel workaround (paper Sec. 1).
+
+Parallelize at the level of the outer collection only: ``groupBy`` the
+data and process each group *sequentially* inside a single map UDF.  Its
+two failure modes, both reproduced here, are
+
+* parallelism capped at the number of groups -- with fewer groups than
+  cores, cores idle (the cost model's makespan term captures this); and
+* each whole group must be materialized on one executor -- large or
+  skewed groups die with (simulated) OOM.
+"""
+
+from ..engine.work import Weighted
+
+
+def run_outer_parallel(bag, group_udf, num_partitions=None):
+    """Process each group of a keyed bag sequentially.
+
+    Args:
+        bag: A keyed ``Bag[(K, V)]``.
+        group_udf: ``group_udf(key, values_list) -> (result, work)`` where
+            ``work`` is the record-equivalents of sequential CPU work the
+            UDF performed (so the cost model can see inside the black
+            box).
+        num_partitions: Optional partition count for the group shuffle.
+
+    Returns:
+        A ``Bag[(K, result)]``.
+    """
+    grouped = bag.group_by_key(num_partitions)
+
+    def apply(record):
+        key, values = record
+        result, work = group_udf(key, values)
+        return Weighted((key, result), work)
+
+    return grouped.map(apply)
+
+
+def sequential_udf(fn, work_per_item=1):
+    """Wrap a plain ``fn(key, values) -> result`` into a measured UDF.
+
+    Assumes the UDF makes one pass over its group; single-pass analytics
+    (like Bounce Rate) can use this directly, while iterative tasks
+    report their own work.
+    """
+
+    def wrapped(key, values):
+        return fn(key, values), len(values) * work_per_item
+
+    return wrapped

@@ -1,0 +1,13 @@
+"""Benchmark harness and per-figure experiment definitions."""
+
+from . import figures
+from .harness import OOM, RunResult, Sweep, geometric_x_values, run_measured
+
+__all__ = [
+    "OOM",
+    "RunResult",
+    "Sweep",
+    "figures",
+    "geometric_x_values",
+    "run_measured",
+]

@@ -1,0 +1,83 @@
+"""Command-line experiment runner.
+
+Regenerate the paper's figures without pytest::
+
+    python -m repro.bench --list
+    python -m repro.bench fig1 fig5 --scale quick
+    python -m repro.bench all --scale full
+"""
+
+import argparse
+import sys
+import time
+
+from . import figures
+
+#: Short names -> (callable, extra args) for every experiment.
+EXPERIMENTS = {
+    "fig1": (figures.fig1_kmeans_motivation, ()),
+    "fig3a": (figures.fig3_weak_scaling_kmeans, ()),
+    "fig3b": (figures.fig3_weak_scaling_pagerank, ()),
+    "fig3c": (figures.fig3_weak_scaling_avg_distances, ()),
+    "fig4-pagerank": (figures.fig4_scale_out, ("pagerank",)),
+    "fig4-kmeans": (figures.fig4_scale_out, ("kmeans",)),
+    "fig4-bounce": (figures.fig4_scale_out, ("bounce_rate",)),
+    "fig5": (figures.fig5_bounce_rate_weak_scaling, ()),
+    "fig6": (figures.fig6_diql_comparison, ()),
+    "fig7-bounce": (figures.fig7_skew, ("bounce_rate",)),
+    "fig7-pagerank": (figures.fig7_skew, ("pagerank",)),
+    "fig8-left": (figures.fig8_join_strategies, ()),
+    "fig8-right": (figures.fig8_half_lifted, ()),
+    "fig9a": (figures.fig9_larger_pagerank, ()),
+    "fig9b": (figures.fig9_larger_bounce_rate, ()),
+    "ablation-partitions": (figures.ablation_partition_counts, ()),
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment names (see --list), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="sweep width / dataset size (default: quick)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiments:
+        print("Available experiments:")
+        for name, (fn, extra) in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print("  %-20s %s" % (name, doc))
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiments == ["all"] else (
+        args.experiments
+    )
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(
+            "unknown experiments: %s (use --list)" % ", ".join(unknown)
+        )
+    for name in names:
+        fn, extra = EXPERIMENTS[name]
+        started = time.time()
+        sweep = fn(args.scale, *extra)
+        sweep.print_table()
+        print("[%s: %.1fs wall]" % (name, time.time() - started))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Matryoshka's core: two-phase flattening of nested-parallel programs.
+
+* :mod:`primitives` -- InnerScalar / InnerBag / LiftingContext (Sec. 4).
+* :mod:`nestedbag` -- NestedBag and the entry points
+  ``group_by_key_into_nested_bag`` / ``nested_map``.
+* :mod:`control_flow` -- lifted ``while`` and ``if`` (Sec. 6).
+* :mod:`closures` -- mapWithClosure and half-lifted operations (Sec. 5).
+* :mod:`optimizer` -- the lowering phase's runtime decisions (Sec. 8).
+"""
+
+from .closures import (
+    half_lifted_filter_with_closure,
+    half_lifted_map_with_closure,
+    replicate_bag,
+    replicate_scalar,
+)
+from .control_flow import branch_context, cond, while_loop
+from .nestedbag import (
+    NestedBag,
+    group_by_key_into_nested_bag,
+    nested_group_by_key,
+    nested_map,
+)
+from .optimizer import Decision, LoweringConfig, Optimizer
+from .primitives import InnerBag, InnerScalar, LiftingContext
+
+__all__ = [
+    "Decision",
+    "InnerBag",
+    "InnerScalar",
+    "LiftingContext",
+    "LoweringConfig",
+    "NestedBag",
+    "Optimizer",
+    "branch_context",
+    "cond",
+    "group_by_key_into_nested_bag",
+    "nested_group_by_key",
+    "half_lifted_filter_with_closure",
+    "half_lifted_map_with_closure",
+    "nested_map",
+    "replicate_bag",
+    "replicate_scalar",
+    "while_loop",
+]

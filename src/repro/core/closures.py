@@ -1,0 +1,82 @@
+"""Half-lifted operations (paper Sec. 5.2 and 8.3).
+
+A *half-lifted* operation has one input from inside a lifted UDF (an
+InnerScalar or InnerBag) and one plain input from outside (a closure of the
+enclosing driver program).  Replicating the outside input once per tag
+would be correct but potentially enormous; these implementations avoid it.
+
+The flagship case is the half-lifted ``mapWithClosure`` used by K-means
+(Sec. 8.3): the bag of points lives *outside* the lifted UDF, while the
+current means are an InnerScalar *inside* it.  The operation is a cross
+product between the two, implemented by broadcasting one side -- and
+choosing which side to broadcast is a runtime optimizer decision.
+"""
+
+from ..errors import FlatteningError
+from .primitives import InnerBag, InnerScalar, retag
+
+
+def half_lifted_map_with_closure(primary_bag, closure, fn, side=None):
+    """Half-lifted ``mapWithClosure`` (paper Sec. 8.3).
+
+    For every tag ``t`` with closure value ``s`` and every element ``x``
+    of the plain ``primary_bag``, emits ``fn(x, s)`` under tag ``t``.
+
+    Args:
+        primary_bag: A plain engine Bag defined outside the lifted UDF.
+        closure: The InnerScalar captured inside the lifted UDF.
+        fn: ``fn(primary_element, closure_value) -> result``.
+        side: ``None`` lets the optimizer choose which side to broadcast
+            (Sec. 8.3: broadcast the InnerScalar when it has a single
+            partition, else broadcast the estimated-smaller side);
+            ``"scalar"`` or ``"primary"`` forces a side.
+
+    Returns:
+        An InnerBag of the results, in the closure's lifting context.
+    """
+    if not isinstance(closure, InnerScalar):
+        raise FlatteningError(
+            "half_lifted_map_with_closure needs an InnerScalar closure"
+        )
+    optimizer = closure.optimizer
+    if side is None:
+        side = optimizer.cross_broadcast_side(primary_bag, closure)
+    elif side not in ("scalar", "primary"):
+        raise FlatteningError("side must be None, 'scalar', or 'primary'")
+    broadcast_side = "right" if side == "scalar" else "left"
+    # Pairs come out as (primary_element, (tag, scalar_value)).
+    pairs = primary_bag.cross(closure.repr, broadcast_side=broadcast_side)
+    return InnerBag(
+        closure.lctx,
+        pairs.map(
+            lambda pair: retag(pair[1][0], fn(pair[0], pair[1][1]))
+        ),
+    )
+
+
+def half_lifted_filter_with_closure(primary_bag, closure, fn, side=None):
+    """Half-lifted filter: keep ``(tag, x)`` where ``fn(x, s)`` holds."""
+    mapped = half_lifted_map_with_closure(
+        primary_bag, closure, lambda x, s: (x, bool(fn(x, s))), side
+    )
+    kept = mapped.repr.filter(lambda te: te[1][1])
+    return InnerBag(
+        closure.lctx, kept.map(lambda te: (te[0], te[1][0]))
+    )
+
+
+def replicate_bag(plain_bag, lctx):
+    """Fully lift a plain bag into a lifting context by replication.
+
+    This is the naive alternative the paper warns about ("this can make it
+    very large"): every element is copied once per tag.  Provided both for
+    completeness and so tests/benchmarks can demonstrate why half-lifted
+    operations exist.
+    """
+    pairs = plain_bag.cross(lctx.tags, broadcast_side="right")
+    return InnerBag(lctx, pairs.map(lambda pair: (pair[1], pair[0])))
+
+
+def replicate_scalar(value, lctx):
+    """Lift a plain driver-side scalar: the same value under every tag."""
+    return lctx.constant(value)

@@ -1,0 +1,365 @@
+"""Lifted control flow (paper Sec. 6).
+
+The parsing phase turns ``while`` and ``if`` statements into calls to the
+higher-order functions in this module (Sec. 6.1).  When the condition is a
+plain Python value the functions degrade to ordinary control flow, so the
+same UDF source composes at any nesting level; when the condition is an
+:class:`~repro.core.primitives.InnerScalar` of booleans, the lifted
+versions run (Sec. 6.2).
+
+The lifted while loop implements Listing 4: iteration *i* of the lifted
+loop executes iteration *i* of every original loop that is still live.
+Per iteration it
+
+* (P1) joins every loop variable with the lifted exit condition on the
+  tags and discards the parts whose original loops have finished,
+* (P2) saves those discarded parts into result bags, and
+* (P3) exits once no tag remains live.
+"""
+
+import contextlib
+
+from ..errors import FlatteningError
+from .primitives import InnerBag, InnerScalar
+
+_DEFAULT_MAX_ITERATIONS = 10_000
+
+# Stack of lifting contexts for currently-executing cond() branches, so
+# branch bodies can create fresh lifted values with matching tag subsets.
+_BRANCH_STACK = []
+
+
+#: Plain types that are lifted to per-tag constants when they are loop
+#: variables of a lifted loop ("we also turn variables that are passed
+#: between iterations into InnerBags and/or InnerScalars", Sec. 6.2).
+_LIFTABLE_SCALARS = (int, float, bool, str, bytes, tuple, frozenset,
+                     type(None))
+
+
+def while_loop(state, cond_fn, body_fn, max_iterations=None,
+               loop_vars=None):
+    """Run ``body_fn`` while ``cond_fn`` holds (pre-test semantics).
+
+    Args:
+        state: Dict of loop variables.  Every lifted value (InnerScalar /
+            InnerBag) the body uses -- including loop-invariant ones --
+            must be in the state, because live tags shrink as original
+            loops finish and all operands must share one tag set.
+            Plain Python values may be included: those named in
+            ``loop_vars`` are lifted to per-tag constants when the loop is
+            lifted; the rest stay shared across tags.
+        cond_fn: ``state -> bool | InnerScalar[bool]``.
+        body_fn: ``state -> state`` (same keys).
+        max_iterations: Safety bound (default 10000).
+        loop_vars: Names of state entries the body reassigns.  Their
+            values differ per tag once original loops exit at different
+            iterations, so plain scalars among them are lifted at entry.
+            The parsing phase computes this set automatically.
+
+    Returns:
+        The final state.  Lifted variables contain, under each tag, the
+        value they had when *that tag's* loop exited.
+    """
+    limit = max_iterations or _DEFAULT_MAX_ITERATIONS
+    probe = cond_fn(state)
+    if not isinstance(probe, InnerScalar):
+        return _plain_while(state, probe, cond_fn, body_fn, limit)
+    state = _lift_loop_vars(state, probe.lctx, loop_vars)
+    return _lifted_while(state, probe, cond_fn, body_fn, limit)
+
+
+def _lift_loop_vars(state, lctx, loop_vars):
+    if not loop_vars:
+        return state
+    lifted = dict(state)
+    for name in loop_vars:
+        value = lifted.get(name)
+        if isinstance(value, (InnerScalar, InnerBag)):
+            continue
+        if isinstance(value, _LIFTABLE_SCALARS) or value is None:
+            lifted[name] = lctx.constant(value)
+    return lifted
+
+
+def _plain_while(state, probe, cond_fn, body_fn, limit):
+    iterations = 0
+    while probe:
+        iterations += 1
+        if iterations > limit:
+            raise FlatteningError(
+                "while_loop exceeded %d iterations" % limit
+            )
+        state = body_fn(state)
+        probe = cond_fn(state)
+    return state
+
+
+def _lifted_while(state, cond_scalar, cond_fn, body_fn, limit):
+    entry_contexts = {
+        name: value.lctx
+        for name, value in state.items()
+        if isinstance(value, (InnerScalar, InnerBag))
+    }
+    if not entry_contexts:
+        raise FlatteningError(
+            "lifted while loop needs at least one lifted loop variable"
+        )
+    finished_parts = {name: [] for name in entry_contexts}
+    live_state = dict(state)
+    iterations = 0
+    while True:
+        live_state, num_live = _split_on_condition(
+            live_state, cond_scalar, finished_parts
+        )
+        if num_live == 0:
+            break
+        iterations += 1
+        if iterations > limit:
+            raise FlatteningError(
+                "lifted while_loop exceeded %d iterations" % limit
+            )
+        live_state = body_fn(live_state)
+        cond_scalar = _check_condition(cond_fn(live_state))
+    return _assemble_results(state, entry_contexts, finished_parts,
+                             live_state)
+
+
+def _check_condition(cond):
+    if not isinstance(cond, InnerScalar):
+        raise FlatteningError(
+            "loop condition changed from lifted to plain between "
+            "iterations; conditions must stay InnerScalar[bool]"
+        )
+    return cond
+
+
+def _split_on_condition(live_state, cond_scalar, finished_parts):
+    """P1 + P2: discard finished tags, saving their values (Listing 4)."""
+    lctx = cond_scalar.lctx
+    optimizer = lctx.optimizer
+    cond_scalar.repr.cache()
+    live_tags = cond_scalar.repr.filter(_value_true).keys().cache()
+    continuing = {}
+    checkpoint = [live_tags]
+    for name, value in live_state.items():
+        if not isinstance(value, (InnerScalar, InnerBag)):
+            continuing[name] = value
+            continue
+        if value.lctx is not lctx:
+            raise FlatteningError(
+                "loop variable %r is not in the loop condition's lifting "
+                "context; pass every lifted value the body uses through "
+                "the loop state" % name
+            )
+        joined = optimizer.join_with_scalar(value.repr, cond_scalar)
+        live_part = joined.filter(_pair_true).map(_drop_flag).cache()
+        done_part = joined.filter(_pair_false).map(_drop_flag).cache()
+        finished_parts[name].append(done_part)
+        continuing[name] = _Pending(type(value), live_part)
+        checkpoint.append(live_part)
+        checkpoint.append(done_part)
+    # One job materializes every cached per-iteration bag (P3's emptiness
+    # check rides along): the job count per iteration is constant, which
+    # is exactly why Matryoshka beats the inner-parallel workaround.
+    _materialize(checkpoint)
+    num_live = live_tags.count(label="lifted-loop live tags")
+    if num_live == 0:
+        return live_state, 0
+    new_lctx = lctx.derive(live_tags, num_live)
+    rebuilt = {}
+    for name, value in continuing.items():
+        if isinstance(value, _Pending):
+            rebuilt[name] = value.cls(new_lctx, value.bag)
+        else:
+            rebuilt[name] = value
+    return rebuilt, num_live
+
+
+class _Pending:
+    """A filtered loop variable awaiting its next-iteration context."""
+
+    __slots__ = ("cls", "bag")
+
+    def __init__(self, cls, bag):
+        self.cls = cls
+        self.bag = bag
+
+
+def _materialize(bags):
+    union = bags[0]
+    if len(bags) > 1:
+        union = union.union(*bags[1:])
+    union.count(label="lifted-loop checkpoint")
+
+
+def _assemble_results(entry_state, entry_contexts, finished_parts,
+                      final_state):
+    result = {}
+    for name, entry_value in entry_state.items():
+        if name not in entry_contexts:
+            result[name] = final_state.get(name, entry_value)
+            continue
+        parts = finished_parts[name]
+        cls = type(entry_value)
+        first = parts[0]
+        union = first.union(*parts[1:]) if len(parts) > 1 else first
+        union = union.coalesce(
+            max(part.num_partitions for part in parts)
+        )
+        result[name] = cls(entry_contexts[name], union)
+    return result
+
+
+def cond(pred, then_fn, else_fn, state):
+    """Lifted ``if`` statement (paper Sec. 6.2).
+
+    When ``pred`` is a plain value, exactly one branch runs.  When it is
+    an ``InnerScalar[bool]``, *both* branches run, each seeing only the
+    state restricted to the tags for which the predicate had the matching
+    value; the branch results are unioned per variable.
+
+    Args:
+        pred: bool or InnerScalar[bool].
+        then_fn / else_fn: ``state -> state`` (same keys).  ``else_fn``
+            may be ``None`` for an if-without-else (state passes through
+            unchanged for false tags).
+        state: Dict of variables read or assigned by the branches.
+
+    Returns:
+        The merged state.
+    """
+    if not isinstance(pred, InnerScalar):
+        if pred:
+            return then_fn(state)
+        return else_fn(state) if else_fn is not None else state
+    lctx = pred.lctx
+    pred.repr.cache()
+    then_lctx, then_state = _restricted_state(state, pred, True)
+    else_lctx, else_state = _restricted_state(state, pred, False)
+    with _entered_branch(then_lctx):
+        then_out = then_fn(then_state)
+    if else_fn is not None:
+        with _entered_branch(else_lctx):
+            else_out = else_fn(else_state)
+    else:
+        else_out = else_state
+    if set(then_out) != set(else_out):
+        raise FlatteningError(
+            "branches produced different variable sets: %r vs %r"
+            % (sorted(then_out), sorted(else_out))
+        )
+    merged = {}
+    for name in then_out:
+        merged[name] = _merge_branch_values(
+            name, then_out[name], then_lctx, else_out[name], else_lctx,
+            lctx,
+        )
+    return merged
+
+
+@contextlib.contextmanager
+def _entered_branch(lctx):
+    _BRANCH_STACK.append(lctx)
+    try:
+        yield
+    finally:
+        _BRANCH_STACK.pop()
+
+
+def branch_context():
+    """The lifting context of the innermost executing ``cond`` branch.
+
+    Branch functions that create fresh lifted values (constants, new
+    bags) must create them in this context so the merge unions align.
+    """
+    if not _BRANCH_STACK:
+        raise FlatteningError(
+            "branch_context() is only available inside cond branches"
+        )
+    return _BRANCH_STACK[-1]
+
+
+def _restricted_state(state, pred, keep):
+    lctx = pred.lctx
+    optimizer = lctx.optimizer
+    tags = pred.repr.filter(
+        _value_true if keep else _value_false
+    ).keys().cache()
+    # num_tags stays the parent's count: an upper bound is enough for the
+    # optimizer, and avoids an extra count job per branch.
+    branch_lctx = lctx.derive(tags, lctx.num_tags)
+    restricted = {}
+    for name, value in state.items():
+        if not isinstance(value, (InnerScalar, InnerBag)):
+            restricted[name] = value
+            continue
+        if value.lctx is not lctx:
+            raise FlatteningError(
+                "state variable %r is not in the predicate's lifting "
+                "context" % name
+            )
+        joined = optimizer.join_with_scalar(value.repr, pred)
+        wanted = _pair_true if keep else _pair_false
+        bag = joined.filter(wanted).map(_drop_flag)
+        restricted[name] = type(value)(branch_lctx, bag)
+    return branch_lctx, restricted
+
+
+def _merge_branch_values(name, then_value, then_lctx, else_value,
+                         else_lctx, lctx):
+    then_lifted = isinstance(then_value, (InnerScalar, InnerBag))
+    else_lifted = isinstance(else_value, (InnerScalar, InnerBag))
+    if not then_lifted and not else_lifted:
+        if then_value is else_value or then_value == else_value:
+            return then_value
+        # Both branches produced plain values that differ: each branch's
+        # tags take that branch's constant (the per-tag semantics of the
+        # original if statement).
+        then_value = then_lctx.constant(then_value)
+        else_value = else_lctx.constant(else_value)
+        then_lifted = else_lifted = True
+    if not then_lifted:
+        then_value = _lift_constant(then_value, else_value, then_lctx)
+    if not else_lifted:
+        else_value = _lift_constant(else_value, then_value, else_lctx)
+    if type(then_value) is not type(else_value):
+        raise FlatteningError(
+            "variable %r has mismatched lifted types across branches"
+            % name
+        )
+    # Coalesce after the union: merging branches must not grow the
+    # partition count, or a lifted if inside a lifted loop doubles it
+    # every iteration.
+    target = max(
+        then_value.repr.num_partitions, else_value.repr.num_partitions
+    )
+    merged_bag = then_value.repr.union(else_value.repr).coalesce(target)
+    return type(then_value)(lctx, merged_bag)
+
+
+def _lift_constant(value, other, branch_lctx):
+    if isinstance(other, InnerBag):
+        raise FlatteningError(
+            "cannot merge a plain value with an InnerBag branch result"
+        )
+    return branch_lctx.constant(value)
+
+
+def _value_true(tv):
+    return bool(tv[1])
+
+
+def _value_false(tv):
+    return not tv[1]
+
+
+def _pair_true(record):
+    return bool(record[1][1])
+
+
+def _pair_false(record):
+    return not record[1][1]
+
+
+def _drop_flag(record):
+    return (record[0], record[1][0])

@@ -1,0 +1,695 @@
+"""The nesting primitives: InnerScalar, InnerBag, LiftingContext.
+
+These are the primitives the parsing phase introduces (paper Sec. 4).
+Inside a lifted UDF:
+
+* every scalar becomes an :class:`InnerScalar` -- represented by a flat bag
+  of ``(tag, value)`` pairs, one per original UDF invocation (Sec. 4.3);
+* every bag becomes an :class:`InnerBag` -- represented by a flat bag of
+  ``(tag, element)`` pairs holding the elements of *all* the original inner
+  bags (Sec. 4.4).
+
+Tags identify the original UDF invocations.  All InnerScalars in one lifted
+UDF share the same tag set, whose size is known up front -- the
+:class:`LiftingContext` carries it, and the optimizer exploits it
+(Sec. 8.1).
+"""
+
+from ..engine.work import Weighted
+from ..errors import FlatteningError
+from .optimizer import Optimizer
+
+_NO_DEFAULT = object()
+
+
+def retag(tag, result):
+    """Attach a tag to a UDF result, propagating work annotations.
+
+    Lifted elementwise operations forward tags unchanged (Sec. 4.4); when
+    the UDF reports sequential work via
+    :class:`~repro.engine.work.Weighted`, the annotation must survive the
+    tagging so the executor can credit it.
+    """
+    if isinstance(result, Weighted):
+        return Weighted((tag, result.value), result.work)
+    return (tag, result)
+
+
+class LiftingContext:
+    """Metadata for one lifted UDF (paper Sec. 8.1).
+
+    Attributes:
+        engine: The :class:`~repro.engine.context.EngineContext`.
+        tags: A (cached) bag containing every tag exactly once.  Stored
+            once per lifted UDF; operations producing output for empty
+            inner bags (``count``) read it.
+        num_tags: Number of tags == number of original UDF invocations ==
+            the size of every InnerScalar in this context.
+        optimizer: The runtime optimizer making Sec. 8 decisions.
+        parent: Enclosing lifting context for multi-level nesting, or
+            ``None`` at the outermost lifted level.
+        tag_to_parent: Maps one of this context's tags to the enclosing
+            context's tag (composite tags, paper Sec. 7).
+    """
+
+    def __init__(self, engine, tags, num_tags, optimizer=None, parent=None,
+                 tag_to_parent=None):
+        self.engine = engine
+        self.tags = tags.as_meta().cache()
+        self.num_tags = num_tags
+        if optimizer is None:
+            optimizer = Optimizer(engine)
+        self.optimizer = optimizer
+        self.parent = parent
+        self.tag_to_parent = tag_to_parent
+
+    @property
+    def level(self):
+        """Nesting depth: 1 for the outermost lifted UDF."""
+        depth = 1
+        ctx = self.parent
+        while ctx is not None:
+            depth += 1
+            ctx = ctx.parent
+        return depth
+
+    def constant(self, value):
+        """An InnerScalar holding ``value`` for every tag."""
+        return InnerScalar(
+            self, self.tags.map(lambda t: (t, value))
+        )
+
+    def scalars_from_pairs(self, pairs):
+        """An InnerScalar from driver-side ``(tag, value)`` pairs."""
+        bag = self.engine.bag_of(
+            pairs, self.optimizer.scalar_partitions(self.num_tags)
+        )
+        return InnerScalar(self, bag)
+
+    def derive(self, tags, num_tags):
+        """A context over a subset of this context's tags (same level).
+
+        Used by lifted control flow: after some original loops finish, the
+        live tags shrink but remain at the same nesting level.
+        """
+        return LiftingContext(
+            self.engine,
+            tags,
+            num_tags,
+            optimizer=self.optimizer,
+            parent=self.parent,
+            tag_to_parent=self.tag_to_parent,
+        )
+
+    def sub_context(self, tags, num_tags, tag_to_parent):
+        """A context one nesting level deeper (composite tags)."""
+        return LiftingContext(
+            self.engine,
+            tags,
+            num_tags,
+            optimizer=self.optimizer,
+            parent=self,
+            tag_to_parent=tag_to_parent,
+        )
+
+    def __repr__(self):
+        return "LiftingContext(num_tags=%d, level=%d)" % (
+            self.num_tags, self.level,
+        )
+
+
+class _Lifted:
+    """Shared plumbing for InnerScalar and InnerBag."""
+
+    __slots__ = ("lctx", "repr")
+
+    def __init__(self, lctx, repr_bag):
+        self.lctx = lctx
+        self.repr = repr_bag
+
+    @property
+    def engine(self):
+        return self.lctx.engine
+
+    @property
+    def optimizer(self):
+        return self.lctx.optimizer
+
+    def _require_same_context(self, other):
+        if other.lctx is not self.lctx:
+            raise FlatteningError(
+                "operands belong to different lifting contexts; their tag "
+                "sets may differ (did a control-flow construct rebind one "
+                "of them?)"
+            )
+
+    def with_context(self, lctx, repr_bag=None):
+        """Rebind to another lifting context (used by lifted control flow).
+
+        The caller guarantees the new context's tag set matches the
+        representation's tags.
+        """
+        return type(self)(
+            lctx, self.repr if repr_bag is None else repr_bag
+        )
+
+    def cache(self):
+        self.repr.cache()
+        return self
+
+    def collect(self):
+        """Driver-side ``(tag, ...)`` pairs (runs a job)."""
+        return self.repr.collect()
+
+    def to_bag(self):
+        """The flat representation, as a plain engine bag."""
+        return self.repr
+
+    def __repr__(self):
+        return "%s(num_tags=%d, level=%d)" % (
+            type(self).__name__, self.lctx.num_tags, self.lctx.level,
+        )
+
+
+class InnerScalar(_Lifted):
+    """A lifted scalar: one value per original UDF invocation (Sec. 4.3).
+
+    Represented by a flat ``Bag[(T, S)]`` whose tags form a unique key.
+    Arithmetic and comparison operators are overloaded, so UDF code like
+    ``bounce_rate = num_bounces / num_visitors`` stages the corresponding
+    ``binaryScalarOp`` automatically.
+    """
+
+    def __init__(self, lctx, repr_bag):
+        # InnerScalar records are per-tag summaries, not data-scale
+        # records; mark them so the cost model charges them accordingly.
+        super().__init__(lctx, repr_bag.as_meta())
+
+    # -- unaryScalarOp --------------------------------------------------
+
+    def map(self, fn):
+        """``unaryScalarOp``: apply ``fn`` to the value under each tag."""
+        return InnerScalar(
+            self.lctx, self.repr.map(lambda tv: (tv[0], fn(tv[1])))
+        )
+
+    # -- binaryScalarOp -------------------------------------------------
+
+    def binary(self, other, fn):
+        """``binaryScalarOp``: combine with another scalar, tag by tag.
+
+        ``other`` may be an InnerScalar (equi-join on tags, Sec. 4.3) or a
+        plain constant (no join needed).
+        """
+        if isinstance(other, InnerBag):
+            raise FlatteningError(
+                "scalar operation applied to an InnerBag; aggregate it "
+                "first (e.g. .count() or .reduce())"
+            )
+        if not isinstance(other, InnerScalar):
+            constant = other
+            return self.map(lambda v: fn(v, constant))
+        self._require_same_context(other)
+        joined = self.optimizer.join_with_scalar(self.repr, other)
+        return InnerScalar(
+            self.lctx,
+            joined.map(lambda record: (record[0], fn(*record[1]))),
+        )
+
+    # -- operator overloads (the staged scalar algebra) -----------------
+
+    def __add__(self, other):
+        return self.binary(other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return self.binary(other, lambda a, b: b + a)
+
+    def __sub__(self, other):
+        return self.binary(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return self.binary(other, lambda a, b: b - a)
+
+    def __mul__(self, other):
+        return self.binary(other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return self.binary(other, lambda a, b: b * a)
+
+    def __truediv__(self, other):
+        return self.binary(other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other):
+        return self.binary(other, lambda a, b: b / a)
+
+    def __floordiv__(self, other):
+        return self.binary(other, lambda a, b: a // b)
+
+    def __mod__(self, other):
+        return self.binary(other, lambda a, b: a % b)
+
+    def __pow__(self, other):
+        return self.binary(other, lambda a, b: a ** b)
+
+    def __neg__(self):
+        return self.map(lambda a: -a)
+
+    def __abs__(self):
+        return self.map(abs)
+
+    def __lt__(self, other):
+        return self.binary(other, lambda a, b: a < b)
+
+    def __le__(self, other):
+        return self.binary(other, lambda a, b: a <= b)
+
+    def __gt__(self, other):
+        return self.binary(other, lambda a, b: a > b)
+
+    def __ge__(self, other):
+        return self.binary(other, lambda a, b: a >= b)
+
+    def __eq__(self, other):
+        return self.binary(other, lambda a, b: a == b)
+
+    def __ne__(self, other):
+        return self.binary(other, lambda a, b: a != b)
+
+    __hash__ = object.__hash__
+
+    def __and__(self, other):
+        return self.binary(other, lambda a, b: bool(a) and bool(b))
+
+    def __or__(self, other):
+        return self.binary(other, lambda a, b: bool(a) or bool(b))
+
+    def logical_not(self):
+        return self.map(lambda a: not a)
+
+    def __invert__(self):
+        return self.logical_not()
+
+    def __bool__(self):
+        raise FlatteningError(
+            "an InnerScalar has one boolean per tag and cannot collapse to "
+            "a single Python bool; use while_loop/cond for lifted control "
+            "flow"
+        )
+
+    # -- conversions -----------------------------------------------------
+
+    def values(self):
+        """A plain bag of the scalar values (tags dropped)."""
+        return self.repr.values()
+
+    def collect_values(self):
+        return [value for _tag, value in self.collect()]
+
+    def as_dict(self):
+        """Driver-side ``{tag: value}`` (runs a job)."""
+        return dict(self.collect())
+
+
+class InnerBag(_Lifted):
+    """A lifted bag: one inner bag per original UDF invocation (Sec. 4.4).
+
+    Represented by a flat ``Bag[(T, E)]`` holding the elements of all the
+    inner bags, tagged by invocation.  Its operations mirror the Bag API;
+    each is the lifted version of the corresponding flat operation.
+    """
+
+    # -- stateless elementwise operations (tags forwarded, Sec. 4.4) ----
+
+    def map(self, fn):
+        return InnerBag(
+            self.lctx, self.repr.map(lambda te: retag(te[0], fn(te[1])))
+        )
+
+    def filter(self, fn):
+        return InnerBag(
+            self.lctx, self.repr.filter(lambda te: fn(te[1]))
+        )
+
+    def flat_map(self, fn):
+        return InnerBag(
+            self.lctx,
+            self.repr.flat_map(
+                lambda te: [(te[0], item) for item in fn(te[1])]
+            ),
+        )
+
+    def key_by(self, fn):
+        return self.map(lambda x: (fn(x), x))
+
+    def group_by(self, key_fn, num_partitions=None):
+        """Lifted ``groupBy`` with a key UDF (paper Sec. 4.6 split)."""
+        return self.key_by(key_fn).group_by_key(num_partitions)
+
+    def map_values(self, fn):
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def keys(self):
+        return self.map(lambda kv: kv[0])
+
+    def values(self):
+        return self.map(lambda kv: kv[1])
+
+    def sample(self, fraction, seed=0):
+        """Lifted Bernoulli sampling: each inner bag sampled at
+        ``fraction`` (supports the dynamically-varying sample sizes of
+        sampling-based hyperparameter search, paper Sec. 2.3)."""
+        sampled = self.repr.sample(fraction, seed)
+        return InnerBag(self.lctx, sampled)
+
+    def sample_with_closure(self, fraction_scalar, seed=0):
+        """Per-tag sample fractions from an InnerScalar.
+
+        Lets different inner computations draw different sample sizes
+        within one flat program.
+        """
+        from ..engine.partitioner import stable_hash
+
+        modulus = 2 ** 32
+        return self.filter_with_closure(
+            fraction_scalar,
+            lambda x, fraction: (
+                stable_hash((seed, x)) % modulus
+                < int(fraction * modulus)
+            ),
+        )
+
+    # -- operations identical to their unlifted versions (Sec. 4.4) -----
+
+    def distinct(self):
+        """Per-tag distinct == distinct on the (tag, element) pairs."""
+        return InnerBag(self.lctx, self.repr.distinct())
+
+    def union(self, other):
+        self._require_same_context(other)
+        return InnerBag(self.lctx, self.repr.union(other.repr))
+
+    # -- per-key stateful operations: composite (tag, key) keys ---------
+
+    def reduce_by_key(self, fn, num_partitions=None):
+        """Lifted ``reduceByKey``: rekey by ``(tag, key)`` (Sec. 4.4)."""
+        rekeyed = self.repr.map(_to_composite_key)
+        reduced = rekeyed.reduce_by_key(fn, num_partitions)
+        return InnerBag(self.lctx, reduced.map(_from_composite_key))
+
+    def group_by_key(self, num_partitions=None):
+        rekeyed = self.repr.map(_to_composite_key)
+        grouped = rekeyed.group_by_key(num_partitions)
+        return InnerBag(self.lctx, grouped.map(_from_composite_key))
+
+    def aggregate_by_key(self, zero, seq_fn, comb_fn,
+                         num_partitions=None):
+        """Lifted ``aggregateByKey`` via composite ``(tag, key)`` keys."""
+        rekeyed = self.repr.map(_to_composite_key)
+        aggregated = rekeyed.aggregate_by_key(
+            zero, seq_fn, comb_fn, num_partitions
+        )
+        return InnerBag(self.lctx, aggregated.map(_from_composite_key))
+
+    def count_by_key(self, num_partitions=None):
+        """Lifted per-key counts within each inner bag."""
+        rekeyed = self.repr.map(_to_composite_key)
+        counted = rekeyed.count_by_key(num_partitions)
+        return InnerBag(self.lctx, counted.map(_from_composite_key))
+
+    def cogroup(self, other, num_partitions=None):
+        """Lifted cogroup: per tag, per key, both sides' values."""
+        self._require_same_context(other)
+        left = self.repr.map(_to_composite_key)
+        right = other.repr.map(_to_composite_key)
+        cogrouped = left.cogroup(right, num_partitions)
+        return InnerBag(self.lctx, cogrouped.map(_from_composite_key))
+
+    def join(self, other, num_partitions=None):
+        """Lifted equi-join: both sides rekeyed by ``(tag, key)``."""
+        self._require_same_context(other)
+        left = self.repr.map(_to_composite_key)
+        right = other.repr.map(_to_composite_key)
+        joined = left.join(right, num_partitions=num_partitions)
+        return InnerBag(self.lctx, joined.map(_from_composite_key))
+
+    def left_outer_join(self, other, num_partitions=None):
+        self._require_same_context(other)
+        left = self.repr.map(_to_composite_key)
+        right = other.repr.map(_to_composite_key)
+        joined = left.left_outer_join(right, num_partitions)
+        return InnerBag(self.lctx, joined.map(_from_composite_key))
+
+    def subtract_by_key(self, other, num_partitions=None):
+        self._require_same_context(other)
+        left = self.repr.map(_to_composite_key)
+        right = other.repr.map(_to_composite_key)
+        subtracted = left.subtract_by_key(right, num_partitions)
+        return InnerBag(self.lctx, subtracted.map(_from_composite_key))
+
+    # -- aggregations: per-tag state (Sec. 4.4) --------------------------
+
+    def reduce(self, fn, default=_NO_DEFAULT):
+        """Lifted ``reduce``: a reduceByKey keyed by the tag.
+
+        Returns an :class:`InnerScalar`.  Tags whose inner bag is empty
+        have no value unless ``default`` is given (the representation has
+        no element for empty inner bags, Sec. 4.4).
+        """
+        partitions = self.optimizer.scalar_partitions(self.lctx.num_tags)
+        reduced = self.repr.reduce_by_key(fn, partitions)
+        if default is _NO_DEFAULT:
+            return InnerScalar(self.lctx, reduced)
+        return InnerScalar(
+            self.lctx, _fill_missing_tags(self.lctx, reduced, default)
+        )
+
+    def count(self):
+        """Lifted ``count``: 0 for empty inner bags (via the tags bag)."""
+        partitions = self.optimizer.scalar_partitions(self.lctx.num_tags)
+        ones = self.repr.map(lambda te: (te[0], 1))
+        zeros = self.lctx.tags.map(lambda t: (t, 0))
+        counted = ones.union(zeros).reduce_by_key(
+            lambda a, b: a + b, partitions
+        )
+        return InnerScalar(self.lctx, counted)
+
+    def sum(self):
+        partitions = self.optimizer.scalar_partitions(self.lctx.num_tags)
+        zeros = self.lctx.tags.map(lambda t: (t, 0))
+        summed = self.repr.union(zeros).reduce_by_key(
+            lambda a, b: a + b, partitions
+        )
+        return InnerScalar(self.lctx, summed)
+
+    def min(self, key=None, default=_NO_DEFAULT):
+        """Lifted minimum per inner bag -> InnerScalar."""
+        rank = key if key is not None else _identity
+        return self.reduce(
+            lambda a, b: a if rank(a) <= rank(b) else b, default
+        )
+
+    def max(self, key=None, default=_NO_DEFAULT):
+        """Lifted maximum per inner bag -> InnerScalar."""
+        rank = key if key is not None else _identity
+        return self.reduce(
+            lambda a, b: a if rank(a) >= rank(b) else b, default
+        )
+
+    def collect_per_tag(self):
+        """All elements of each inner bag as one tuple-valued InnerScalar.
+
+        Use only when the inner bags are known to be small (for example a
+        K-means centroid set); this is a deliberate scalability boundary.
+        """
+        partitions = self.optimizer.scalar_partitions(self.lctx.num_tags)
+        wrapped = self.repr.map(lambda te: (te[0], (te[1],)))
+        gathered = wrapped.reduce_by_key(lambda a, b: a + b, partitions)
+        return InnerScalar(
+            self.lctx, _fill_missing_tags(self.lctx, gathered, ())
+        )
+
+    def is_empty(self):
+        """Lifted emptiness test -> InnerScalar[bool]."""
+        return self.count().map(lambda n: n == 0)
+
+    # -- closures (Sec. 5.1): unlifted UDF referencing an InnerScalar ---
+
+    def map_with_closure(self, closure, fn):
+        """A map whose UDF captures an InnerScalar (``mapWithClosure``).
+
+        Each element meets the closure value with *its own* tag: the
+        engine-level implementation is a join on the tags whose strategy
+        the optimizer picks at runtime (Sec. 8.2).
+        """
+        if not isinstance(closure, InnerScalar):
+            constant = closure
+            return self.map(lambda x: fn(x, constant))
+        self._require_same_context(closure)
+        joined = self.optimizer.join_with_scalar(self.repr, closure)
+        return InnerBag(
+            self.lctx,
+            joined.map(lambda record: retag(record[0], fn(*record[1]))),
+        )
+
+    def filter_with_closure(self, closure, fn):
+        """A filter whose predicate captures an InnerScalar."""
+        if not isinstance(closure, InnerScalar):
+            constant = closure
+            return self.filter(lambda x: fn(x, constant))
+        self._require_same_context(closure)
+        joined = self.optimizer.join_with_scalar(self.repr, closure)
+        kept = joined.filter(lambda record: fn(*record[1]))
+        return InnerBag(
+            self.lctx, kept.map(lambda record: (record[0], record[1][0]))
+        )
+
+    # -- half-lifted operations (Sec. 5.2): plain bags from outside -----
+
+    def join_with_plain(self, right_bag, num_partitions=None):
+        """Half-lifted equi-join with a plain keyed bag (paper Sec. 5.2).
+
+        ``self`` holds ``(key, value)`` elements; ``right_bag`` is a flat
+        ``Bag[(key, w)]`` defined outside the lifted UDF.  Instead of
+        replicating ``right_bag`` once per tag, the join key is the data
+        key and the tag travels with the left values -- the exact
+        three-line rewrite from the paper.
+        """
+        rekeyed = self.repr.map(
+            lambda record: (record[1][0], (record[0], record[1][1]))
+        )
+        joined = rekeyed.join(right_bag, num_partitions=num_partitions)
+        return InnerBag(
+            self.lctx,
+            joined.map(
+                lambda record: (
+                    record[1][0][0],
+                    (record[0], (record[1][0][1], record[1][1])),
+                )
+            ),
+        )
+
+    # -- multi-level nesting (Sec. 7) ------------------------------------
+
+    def as_sub_level(self):
+        """Open a nesting level below this bag's elements.
+
+        Every element becomes one tag of a deeper lifting context; the tag
+        is the composite ``(outer_tag, element)``.  Returns
+        ``(sub_context, element_scalar)`` where ``element_scalar`` is the
+        InnerScalar holding each element under its composite tag.
+
+        This is what a ``nested_map`` over an inner bag lowers to when the
+        program has three or more levels of parallelism.
+        """
+        tags = self.repr.map(_identity).as_meta().distinct().cache()
+        num_tags = tags.count(label="sub-level tag count")
+        sub = self.lctx.sub_context(
+            tags, num_tags, tag_to_parent=lambda t2: t2[0]
+        )
+        element = InnerScalar(sub, tags.map(lambda t2: (t2, t2[1])))
+        return sub, element
+
+    def join_on_parent(self, outer, self_key, outer_key,
+                       num_partitions=None):
+        """Join a deeper-level bag with a bag from the enclosing level.
+
+        The half-lifted pattern for composite tags: the join key is
+        ``(parent_tag, data_key)``, so the outer bag is *not* replicated
+        per sub-tag.  Returns an InnerBag at ``self``'s level with
+        elements ``(self_element, outer_element)``.
+        """
+        if self.lctx.parent is None:
+            raise FlatteningError(
+                "join_on_parent requires a nested lifting context"
+            )
+        if outer.lctx is not self.lctx.parent:
+            raise FlatteningError(
+                "outer operand must belong to the enclosing context"
+            )
+        to_parent = self.lctx.tag_to_parent
+        left = self.repr.map(
+            lambda te: (
+                (to_parent(te[0]), self_key(te[1])), (te[0], te[1])
+            )
+        )
+        right = outer.repr.map(
+            lambda te: ((te[0], outer_key(te[1])), te[1])
+        )
+        joined = left.join(right, num_partitions=num_partitions)
+        return InnerBag(
+            self.lctx,
+            joined.map(
+                lambda record: (
+                    record[1][0][0],
+                    (record[1][0][1], record[1][1]),
+                )
+            ),
+        )
+
+    def retag_to_parent(self, fn=None):
+        """Drop one nesting level: re-tag elements by the parent tag.
+
+        ``fn(element)`` may transform the element on the way up (defaults
+        to identity).
+        """
+        if self.lctx.parent is None:
+            raise FlatteningError(
+                "retag_to_parent requires a nested lifting context"
+            )
+        to_parent = self.lctx.tag_to_parent
+        transform = fn if fn is not None else _identity
+        return InnerBag(
+            self.lctx.parent,
+            self.repr.map(
+                lambda te: (to_parent(te[0]), transform(te[1]))
+            ),
+        )
+
+    # -- leaving the nested world ----------------------------------------
+
+    def flatten(self):
+        """Remove the nesting structure: a plain bag of all elements.
+
+        This is the ``flatten`` of Sec. 4.6 -- its implementation simply
+        removes the tags.
+        """
+        return self.repr.values()
+
+    def collect_nested(self):
+        """Driver-side ``{tag: [elements]}`` (runs a job; testing aid)."""
+        nested = {}
+        for tag, element in self.repr.collect():
+            nested.setdefault(tag, []).append(element)
+        return nested
+
+
+def _identity(x):
+    return x
+
+
+def _to_composite_key(record):
+    tag, (key, value) = record
+    return ((tag, key), value)
+
+
+def _from_composite_key(record):
+    (tag, key), value = record
+    return (tag, (key, value))
+
+
+def _fill_missing_tags(lctx, keyed_bag, default):
+    """Give every tag a value: missing tags get ``default``.
+
+    Implemented with a cogroup against the per-UDF tags bag (Sec. 4.4:
+    the representation has no element for empty inner bags, so operations
+    with non-trivial defaults consult the stored tag set).
+    """
+    tagged_defaults = lctx.tags.map(lambda t: (t, None))
+    partitions = lctx.optimizer.scalar_partitions(lctx.num_tags)
+    cogrouped = tagged_defaults.cogroup(keyed_bag, partitions)
+    return cogrouped.map(
+        lambda record: (
+            record[0],
+            record[1][1][0] if record[1][1] else default,
+        )
+    )

@@ -1,0 +1,23 @@
+"""Synthetic data generation for tasks and benchmarks."""
+
+from .generators import (
+    clustered_points,
+    component_graph,
+    grouped_edges,
+    grouped_points,
+    initial_centroids,
+    visits_log,
+)
+from .zipf import sample_zipf_keys, zipf_sizes, zipf_weights
+
+__all__ = [
+    "clustered_points",
+    "component_graph",
+    "grouped_edges",
+    "grouped_points",
+    "initial_centroids",
+    "sample_zipf_keys",
+    "visits_log",
+    "zipf_sizes",
+    "zipf_weights",
+]

@@ -1,0 +1,154 @@
+"""Synthetic dataset generators for the paper's four tasks.
+
+All generators are deterministic given a seed and produce laptop-scale
+record counts; the cluster config's ``bytes_per_record`` maps counts onto
+the paper's GB-scale axis (see DESIGN.md, substitution 3).
+"""
+
+import random
+
+from .zipf import zipf_sizes
+
+
+def visits_log(num_days, total_visits, bounce_fraction=0.4, skew=0.0,
+               seed=0):
+    """Page-visit records ``(day, ip)`` for the Bounce Rate task.
+
+    Args:
+        num_days: Number of grouping keys (days).
+        total_visits: Total record count across all days (weak scaling
+            keeps this constant while varying ``num_days``).
+        bounce_fraction: Approximate fraction of single-visit IPs per day.
+        skew: Zipf exponent for day sizes (0 = uniform, Sec. 9.5 uses a
+            positive exponent).
+        seed: RNG seed.
+    """
+    rng = random.Random(seed)
+    sizes = zipf_sizes(num_days, total_visits, skew, seed)
+    records = []
+    for day in range(num_days):
+        remaining = sizes[day]
+        ip_counter = 0
+        while remaining > 0:
+            ip = "d%d-ip%d" % (day, ip_counter)
+            ip_counter += 1
+            if rng.random() < bounce_fraction or remaining == 1:
+                visits = 1
+            else:
+                visits = min(remaining, rng.randint(2, 4))
+            records.extend(("day%d" % day, ip) for _ in range(visits))
+            remaining -= visits
+    rng.shuffle(records)
+    return records
+
+
+def grouped_edges(num_groups, total_edges, vertices_per_group=None,
+                  skew=0.0, seed=0):
+    """Edges ``(group_id, (src, dst))`` for grouped PageRank.
+
+    Each group is an independent random digraph over its own vertex set.
+    Weak scaling varies ``num_groups`` at constant ``total_edges``.
+    """
+    rng = random.Random(seed)
+    sizes = zipf_sizes(num_groups, total_edges, skew, seed)
+    records = []
+    for gid in range(num_groups):
+        edges = sizes[gid]
+        if vertices_per_group is None:
+            # Group size scales with vertex count at constant average
+            # degree (like a partitioned web graph): a bigger partition
+            # is a bigger graph, not a denser one.
+            vertices = max(2, edges // 4)
+        else:
+            vertices = max(2, vertices_per_group)
+        for _ in range(edges):
+            src = rng.randrange(vertices)
+            dst = rng.randrange(vertices)
+            if dst == src:
+                dst = (dst + 1) % vertices
+            records.append(("g%d" % gid, (src, dst)))
+    rng.shuffle(records)
+    return records
+
+
+def component_graph(num_components, vertices_per_component, extra_edges=2,
+                    seed=0):
+    """Undirected edges ``(u, v)`` forming disjoint connected components.
+
+    Vertices are globally-unique ints.  Each component is a random
+    spanning tree plus ``extra_edges`` random extra edges, so connected
+    components are exactly the construction blocks -- the ground truth
+    for the Average Distances task (Sec. 2.2).
+    """
+    rng = random.Random(seed)
+    edges = []
+    next_vertex = 0
+    for _ in range(num_components):
+        vertices = list(
+            range(next_vertex, next_vertex + vertices_per_component)
+        )
+        next_vertex += vertices_per_component
+        shuffled = vertices[:]
+        rng.shuffle(shuffled)
+        for index in range(1, len(shuffled)):
+            parent = shuffled[rng.randrange(index)]
+            edges.append((parent, shuffled[index]))
+        for _ in range(extra_edges):
+            u, v = rng.sample(vertices, 2)
+            edges.append((u, v))
+    rng.shuffle(edges)
+    return edges
+
+
+def clustered_points(num_points, k, dim=2, spread=0.5, extent=10.0,
+                     seed=0):
+    """Points drawn around ``k`` Gaussian cluster centers (for K-means)."""
+    rng = random.Random(seed)
+    centers = [
+        tuple(rng.uniform(-extent, extent) for _ in range(dim))
+        for _ in range(k)
+    ]
+    points = []
+    for _ in range(num_points):
+        center = centers[rng.randrange(k)]
+        points.append(
+            tuple(c + rng.gauss(0.0, spread) for c in center)
+        )
+    return points
+
+
+def initial_centroids(k, num_configs, dim=2, extent=10.0, seed=0):
+    """Random centroid configurations for hyperparameter search.
+
+    Returns ``[(config_id, (centroid, ...)), ...]`` with ``k`` centroids
+    per configuration.
+    """
+    rng = random.Random(seed)
+    configs = []
+    for config_id in range(num_configs):
+        centroids = tuple(
+            tuple(rng.uniform(-extent, extent) for _ in range(dim))
+            for _ in range(k)
+        )
+        configs.append(("cfg%d" % config_id, centroids))
+    return configs
+
+
+def grouped_points(num_configs, total_points, k, dim=2, seed=0):
+    """Per-configuration point samples ``(config_id, point)``.
+
+    Used by the weak-scaling K-means experiments (Fig. 1 / Fig. 3a): the
+    per-configuration sample size varies inversely with the number of
+    configurations, keeping total work constant.
+    """
+    sizes = zipf_sizes(num_configs, total_points, 0.0, seed)
+    records = []
+    for index in range(num_configs):
+        points = clustered_points(
+            sizes[index], k, dim=dim, seed=seed + index + 1
+        )
+        config_id = "cfg%d" % index
+        records.extend((config_id, point) for point in points)
+    rng = random.Random(seed)
+    rng.shuffle(records)
+    return records

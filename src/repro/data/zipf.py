@@ -1,0 +1,40 @@
+"""Zipf-distributed key sampling (for the data-skew experiments, Sec. 9.5).
+
+The paper creates skewed inputs by drawing grouping keys from a Zipf
+instead of a uniform distribution, yielding a few large groups and many
+small groups.
+"""
+
+import random
+
+
+def zipf_weights(num_keys, exponent):
+    """Unnormalized Zipf weights ``1 / rank^exponent`` for ranks 1..n."""
+    if num_keys < 1:
+        raise ValueError("num_keys must be >= 1")
+    if exponent < 0:
+        raise ValueError("exponent must be >= 0")
+    return [1.0 / (rank ** exponent) for rank in range(1, num_keys + 1)]
+
+
+def zipf_sizes(num_keys, total, exponent, seed=0):
+    """Split ``total`` items over ``num_keys`` keys, Zipf-proportionally.
+
+    With ``exponent == 0`` the split is uniform.  Sizes always sum to
+    ``total``; remainders are distributed deterministically.
+    """
+    weights = zipf_weights(num_keys, exponent)
+    weight_sum = sum(weights)
+    sizes = [int(total * w / weight_sum) for w in weights]
+    shortfall = total - sum(sizes)
+    rng = random.Random(seed)
+    for _ in range(shortfall):
+        sizes[rng.randrange(num_keys)] += 1
+    return sizes
+
+
+def sample_zipf_keys(num_keys, count, exponent, seed=0):
+    """Draw ``count`` keys from ``0..num_keys-1`` Zipf-proportionally."""
+    weights = zipf_weights(num_keys, exponent)
+    rng = random.Random(seed)
+    return rng.choices(range(num_keys), weights=weights, k=count)

@@ -1,0 +1,50 @@
+"""A flat-parallel dataflow engine (the Spark-analog substrate).
+
+Public surface:
+
+* :class:`~repro.engine.context.EngineContext` -- create bags, run jobs,
+  read simulated runtimes.
+* :class:`~repro.engine.bag.Bag` -- the distributed collection.
+* :class:`~repro.engine.config.ClusterConfig` and the preset factories.
+* :class:`~repro.engine.work.Weighted` -- report UDF-internal work.
+"""
+
+from .bag import Bag, JoinHint
+from .broadcast import Broadcast
+from .config import (
+    GB,
+    MB,
+    ClusterConfig,
+    laptop_config,
+    large_cluster_config,
+    paper_cluster_config,
+)
+from .context import EngineContext
+from .costmodel import CostBreakdown, CostModel
+from .metrics import ExecutionTrace, JobMetrics, StageMetrics
+from .partitioner import HashPartitioner, stable_hash
+from .sizing import estimate_record_size, estimate_size
+from .work import Weighted
+
+__all__ = [
+    "Bag",
+    "Broadcast",
+    "ClusterConfig",
+    "CostBreakdown",
+    "CostModel",
+    "EngineContext",
+    "ExecutionTrace",
+    "GB",
+    "HashPartitioner",
+    "JobMetrics",
+    "JoinHint",
+    "MB",
+    "StageMetrics",
+    "Weighted",
+    "estimate_record_size",
+    "estimate_size",
+    "laptop_config",
+    "large_cluster_config",
+    "paper_cluster_config",
+    "stable_hash",
+]

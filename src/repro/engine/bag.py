@@ -1,0 +1,432 @@
+"""The Bag: the engine's flat, distributed collection abstraction.
+
+A ``Bag`` is the analog of a Spark RDD / Flink DataSet / Emma ``Bag``: an
+immutable, partitioned, *unordered* collection with lazy, lineage-based
+evaluation.  Transformations build plan nodes; actions (``collect``,
+``count``, ``reduce`` ...) submit a job to the engine.
+
+Keyed operators (``reduce_by_key``, ``join``, ``group_by_key`` ...) expect
+elements to be ``(key, value)`` tuples, as in Spark's pair RDDs.
+"""
+
+from dataclasses import dataclass
+
+from ..errors import PlanError
+from . import plan as p
+
+
+@dataclass(frozen=True)
+class JoinHint:
+    """Optimizer hints for ``Bag.join(strategy="auto")``.
+
+    The paper suggests (Sec. 8.2) that instead of choosing join
+    algorithms itself, Matryoshka could hand its extra knowledge --
+    InnerScalar sizes known *before* they are computed, and the
+    uniqueness of the tag key -- to the engine's optimizer as hints.
+    This is that interface.
+
+    Attributes:
+        left_records / right_records: Known record counts of the inputs
+            (at the records' own scale).
+        unique_key: The join key is unique on the hinted side(s), so
+            output cardinality is bounded by the larger input.
+    """
+
+    left_records: int = None
+    right_records: int = None
+    unique_key: bool = False
+
+
+class Bag:
+    """A lazy, partitioned collection bound to an
+    :class:`~repro.engine.context.EngineContext`."""
+
+    __slots__ = ("context", "node", "num_partitions")
+
+    def __init__(self, context, node, num_partitions):
+        self.context = context
+        self.node = node
+        self.num_partitions = num_partitions
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def _derive(self, node, num_partitions=None):
+        if num_partitions is None:
+            num_partitions = self.num_partitions
+        if node.children:
+            node.meta = all(child.meta for child in node.children)
+        return Bag(self.context, node, num_partitions)
+
+    def _default_partitions(self, num_partitions):
+        if num_partitions is not None:
+            if num_partitions < 1:
+                raise PlanError("num_partitions must be >= 1")
+            return num_partitions
+        return self.context.config.default_parallelism
+
+    def _same_context(self, other):
+        if other.context is not self.context:
+            raise PlanError("cannot combine bags from different contexts")
+
+    # ------------------------------------------------------------------
+    # Narrow transformations
+    # ------------------------------------------------------------------
+
+    def map(self, fn):
+        """Apply ``fn`` to every element."""
+        return self._derive(p.Map(self.node, fn))
+
+    def filter(self, fn):
+        """Keep the elements for which ``fn`` is truthy."""
+        return self._derive(p.Filter(self.node, fn))
+
+    def flat_map(self, fn):
+        """Apply ``fn`` (returning an iterable) and flatten the results."""
+        return self._derive(p.FlatMap(self.node, fn))
+
+    def map_partitions(self, fn):
+        """Apply ``fn(items, partition_index)`` to each whole partition."""
+        return self._derive(p.MapPartitions(self.node, fn))
+
+    def map_values(self, fn):
+        """Apply ``fn`` to the value of each ``(key, value)`` pair."""
+        return self.map(lambda kv: (kv[0], fn(kv[1])))
+
+    def key_by(self, fn):
+        """Turn each element ``x`` into ``(fn(x), x)``."""
+        return self.map(lambda x: (fn(x), x))
+
+    def keys(self):
+        return self.map(lambda kv: kv[0])
+
+    def values(self):
+        return self.map(lambda kv: kv[1])
+
+    def swap(self):
+        """Swap keys and values."""
+        return self.map(lambda kv: (kv[1], kv[0]))
+
+    def zip_with_unique_id(self):
+        """Pair every element with a unique integer: ``(element, id)``."""
+        return self._derive(p.ZipWithUniqueId(self.node))
+
+    def sample(self, fraction, seed=0):
+        """A reproducible Bernoulli sample of the bag.
+
+        Each element is kept independently with probability
+        ``fraction``; the decision depends only on the element's
+        identity and the seed, so repeated evaluations (lineage
+        recomputation) sample consistently.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise PlanError("sample fraction must be in [0, 1]")
+        if fraction == 1.0:
+            return self
+        from .partitioner import stable_hash
+
+        threshold = int(fraction * (2 ** 32))
+
+        def keep(item):
+            return stable_hash((seed, item)) % (2 ** 32) < threshold
+
+        return self.filter(keep)
+
+    def coalesce(self, num_partitions):
+        """Reduce the partition count without a shuffle (narrow)."""
+        if num_partitions >= self.num_partitions:
+            return self
+        node = p.Coalesce(self.node, num_partitions)
+        node.meta = self.node.meta
+        return Bag(self.context, node, num_partitions)
+
+    def union(self, *others):
+        """Bag union (duplicates preserved)."""
+        for other in others:
+            self._same_context(other)
+        inputs = p.flatten_union_inputs(
+            [self.node] + [other.node for other in others]
+        )
+        total = self.num_partitions + sum(o.num_partitions for o in others)
+        return self._derive(p.Union(inputs), num_partitions=total)
+
+    # ------------------------------------------------------------------
+    # Wide (shuffling) transformations
+    # ------------------------------------------------------------------
+
+    def reduce_by_key(self, fn, num_partitions=None):
+        """Combine values sharing a key with the associative ``fn``."""
+        n = self._default_partitions(num_partitions)
+        return self._derive(p.ReduceByKey(self.node, fn, n), n)
+
+    def group_by_key(self, num_partitions=None):
+        """Shuffle into ``(key, [values])`` groups.
+
+        Each group is materialized as one in-memory list, so a group larger
+        than executor memory raises a simulated OOM -- by design: this is
+        the nested collection the outer-parallel workaround has to build.
+        """
+        n = self._default_partitions(num_partitions)
+        return self._derive(p.GroupByKey(self.node, n), n)
+
+    def group_by(self, key_fn, num_partitions=None):
+        """``group_by_key`` with a key extractor (paper Sec. 4.6 split)."""
+        return self.key_by(key_fn).group_by_key(num_partitions)
+
+    def aggregate_by_key(self, zero, seq_fn, comb_fn,
+                         num_partitions=None):
+        """Spark's ``aggregateByKey``: fold values into per-key
+        accumulators of a different type.
+
+        Args:
+            zero: Initial accumulator (must be immutable or cheap to
+                rebuild; it is used by value).
+            seq_fn: ``(accumulator, value) -> accumulator``.
+            comb_fn: ``(accumulator, accumulator) -> accumulator``.
+        """
+        marked = self.map_values(lambda v: ("v", v))
+
+        def merge(a, b):
+            a_acc = a[1] if a[0] == "a" else seq_fn(zero, a[1])
+            if b[0] == "a":
+                return ("a", comb_fn(a_acc, b[1]))
+            return ("a", seq_fn(a_acc, b[1]))
+
+        reduced = marked.reduce_by_key(merge, num_partitions)
+        return reduced.map_values(
+            lambda tagged: tagged[1] if tagged[0] == "a" else seq_fn(
+                zero, tagged[1]
+            )
+        )
+
+    def count_by_key(self, num_partitions=None):
+        """Per-key record counts: ``Bag[(key, int)]``."""
+        ones = self.map(lambda kv: (kv[0], 1))
+        return ones.reduce_by_key(lambda a, b: a + b, num_partitions)
+
+    def cogroup(self, other, num_partitions=None):
+        """Shuffle both bags by key into ``(k, ([lvals], [rvals]))``."""
+        self._same_context(other)
+        n = self._default_partitions(num_partitions)
+        return self._derive(p.CoGroup(self.node, other.node, n), n)
+
+    def join(self, other, strategy="repartition", num_partitions=None,
+             hints=None):
+        """Equi-join two keyed bags into ``(k, (v, w))`` pairs.
+
+        Args:
+            strategy: ``"repartition"`` shuffles both sides;
+                ``"broadcast"`` ships the *other* bag to every executor
+                (fails with simulated OOM when it does not fit);
+                ``"auto"`` lets the engine's optimizer decide from known
+                sizes (driver-provided data) and :class:`JoinHint`s --
+                a side below the config's broadcast threshold is
+                broadcast, with unknown-size sides treated as large.
+            hints: Optional :class:`JoinHint` for ``"auto"``.
+        """
+        self._same_context(other)
+        if strategy == "auto":
+            strategy = self._choose_join_strategy(other, hints)
+        if strategy == "broadcast":
+            return self._derive(p.BroadcastJoin(self.node, other.node))
+        if strategy != "repartition":
+            raise PlanError("unknown join strategy: %r" % (strategy,))
+        cogrouped = self.cogroup(other, num_partitions)
+        return cogrouped.flat_map(_join_pairs)
+
+    def _choose_join_strategy(self, other, hints):
+        """The engine optimizer's broadcast decision (Catalyst-style)."""
+        right_records = hints.right_records if hints else None
+        if right_records is None:
+            right_records = _known_count(other.node)
+        if right_records is None:
+            return "repartition"
+        rate = (
+            self.context.config.result_record_bytes
+            if other.is_meta
+            else self.context.config.bytes_per_record
+        )
+        estimated = right_records * rate
+        threshold = self.context.config.auto_broadcast_threshold_bytes
+        if estimated <= threshold:
+            return "broadcast"
+        return "repartition"
+
+    def left_outer_join(self, other, num_partitions=None):
+        """Join keeping left records without a match: ``(k, (v, None))``."""
+        self._same_context(other)
+        cogrouped = self.cogroup(other, num_partitions)
+        return cogrouped.flat_map(_left_outer_pairs)
+
+    def subtract_by_key(self, other, num_partitions=None):
+        """Keep left pairs whose key does not occur in ``other``."""
+        self._same_context(other)
+        cogrouped = self.cogroup(other, num_partitions)
+        return cogrouped.flat_map(_subtract_pairs)
+
+    def distinct(self, num_partitions=None):
+        """Remove duplicate elements."""
+        marked = self.map(lambda x: (x, None))
+        reduced = marked.reduce_by_key(lambda a, _b: a, num_partitions)
+        return reduced.keys()
+
+    def cross(self, other, broadcast_side="right"):
+        """Cross product, broadcasting one side (paper Sec. 8.3)."""
+        self._same_context(other)
+        node = p.CrossBroadcast(self.node, other.node, broadcast_side)
+        if broadcast_side == "right":
+            n = self.num_partitions
+        else:
+            n = other.num_partitions
+        return self._derive(node, n)
+
+    # ------------------------------------------------------------------
+    # Persistence / labeling
+    # ------------------------------------------------------------------
+
+    def cache(self):
+        """Materialize this bag on first use and reuse it afterwards."""
+        self.node.cached = True
+        return self
+
+    def uncache(self):
+        self.node.cached = False
+        self.node.materialized = None
+        return self
+
+    def as_meta(self):
+        """Mark this bag's records as meta-scale for cost accounting.
+
+        Meta records (per-group scalars, tags, trained models) are
+        summary-sized in the real system regardless of the input record
+        scale; marking them prevents the simulation from charging them as
+        if each stood for gigabytes of data.
+        """
+        self.node.meta = True
+        return self
+
+    @property
+    def is_meta(self):
+        return self.node.meta
+
+    def with_label(self, label):
+        """Attach a label shown by ``explain()`` and in job traces."""
+        self.node.label = label
+        return self
+
+    def explain(self):
+        """Textual rendering of this bag's plan tree."""
+        return self.node.explain()
+
+    # ------------------------------------------------------------------
+    # Actions (each runs one job)
+    # ------------------------------------------------------------------
+
+    def collect(self, label=""):
+        """Materialize all elements to the driver as a list."""
+        return self.context.executor.collect(self.node, label)
+
+    def collect_as_map(self, label=""):
+        """Collect a keyed bag into a ``dict`` (last write wins)."""
+        return dict(self.collect(label))
+
+    def count(self, label=""):
+        """Number of elements."""
+        return self.context.executor.count(self.node, label)
+
+    def save(self, label=""):
+        """Write to distributed storage (no driver round-trip).
+
+        This is the paper's *output operation*; returns the record count
+        written.
+        """
+        return self.context.executor.save(self.node, label)
+
+    def is_empty(self, label=""):
+        return self.count(label) == 0
+
+    def reduce(self, fn, label=""):
+        """Reduce all elements with ``fn`` (errors on an empty bag)."""
+        return self.context.executor.reduce(self.node, fn, label)
+
+    def fold(self, zero, fn, label=""):
+        """Fold all elements starting from ``zero``."""
+        return self.context.executor.fold(self.node, zero, fn, label)
+
+    def sum(self, label=""):
+        return self.fold(0, lambda acc, x: acc + x, label)
+
+    def take(self, n, label=""):
+        """Up to ``n`` elements (collects; fine at this scale)."""
+        return self.collect(label)[:n]
+
+    def top(self, n, key=None, label=""):
+        """The ``n`` largest elements, descending.
+
+        Computed with per-partition heaps followed by a driver merge
+        (Spark's ``top``), so only ``n`` records per partition move.
+        """
+        import heapq
+
+        def partials(items, _index):
+            return heapq.nlargest(n, items, key=key)
+
+        candidates = self.map_partitions(partials).collect(label)
+        return heapq.nlargest(n, candidates, key=key)
+
+    def min(self, key=None, label=""):
+        return self.reduce(
+            lambda a, b: a if (key or _identity)(a) <= (
+                key or _identity
+            )(b) else b,
+            label,
+        )
+
+    def max(self, key=None, label=""):
+        return self.reduce(
+            lambda a, b: a if (key or _identity)(a) >= (
+                key or _identity
+            )(b) else b,
+            label,
+        )
+
+
+def _identity(x):
+    return x
+
+
+def _known_count(node):
+    """Record count of a plan node when statically known, else None.
+
+    Driver-provided data has an exact count; size-preserving narrow
+    chains propagate it.
+    """
+    while True:
+        if isinstance(node, p.Parallelize):
+            return len(node.data)
+        if isinstance(node, (p.Map, p.ZipWithUniqueId)):
+            node = node.child
+            continue
+        return None
+
+
+def _join_pairs(record):
+    _key, (left_values, right_values) = record
+    return [
+        (_key, (v, w)) for v in left_values for w in right_values
+    ]
+
+
+def _left_outer_pairs(record):
+    key, (left_values, right_values) = record
+    if not right_values:
+        return [(key, (v, None)) for v in left_values]
+    return [(key, (v, w)) for v in left_values for w in right_values]
+
+
+def _subtract_pairs(record):
+    key, (left_values, right_values) = record
+    if right_values:
+        return []
+    return [(key, v) for v in left_values]

@@ -1,0 +1,40 @@
+"""Driver-to-executor broadcast variables.
+
+Mirrors Spark broadcasts: the driver ships a read-only value to every
+executor.  The engine charges the broadcast volume to the current job and
+raises a simulated OOM when the value cannot fit in executor memory, which
+is how the paper's broadcast joins fail for large InnerScalars (Sec. 9.6).
+"""
+
+from ..errors import SimulatedOutOfMemory
+
+
+class Broadcast:
+    """A handle to a broadcast value.
+
+    Attributes:
+        value: The broadcast payload, readable from any UDF.
+    """
+
+    __slots__ = ("value", "num_records")
+
+    def __init__(self, value, num_records):
+        self.value = value
+        self.num_records = num_records
+
+    def __repr__(self):
+        return "Broadcast(records=%d)" % self.num_records
+
+
+def check_broadcast_fits(num_records, config, what="broadcasting dataset"):
+    """Raise :class:`SimulatedOutOfMemory` if the payload exceeds memory.
+
+    The payload must fit both in the driver and within a single executor's
+    working-set budget.
+    """
+    needed = config.materialized_bytes(num_records)
+    limit = min(
+        config.executor_memory_limit_bytes, config.driver_memory_bytes
+    )
+    if needed > limit:
+        raise SimulatedOutOfMemory(what, needed, limit)

@@ -1,0 +1,132 @@
+"""The engine context: entry point for creating bags and running jobs.
+
+An :class:`EngineContext` is the analog of a ``SparkContext``: it owns the
+cluster configuration, the executor, the execution trace, and the cost
+model that converts the trace into simulated seconds.
+"""
+
+from .bag import Bag
+from .broadcast import Broadcast, check_broadcast_fits
+from .config import ClusterConfig, laptop_config
+from .costmodel import CostModel
+from .executor import Executor
+from .metrics import ExecutionTrace
+from .plan import Parallelize
+
+
+class EngineContext:
+    """Owns one simulated cluster and everything that runs on it.
+
+    Args:
+        config: The simulated cluster; defaults to a small laptop-friendly
+            configuration suitable for tests.
+    """
+
+    def __init__(self, config=None):
+        self.config = config if config is not None else laptop_config()
+        if not isinstance(self.config, ClusterConfig):
+            raise TypeError("config must be a ClusterConfig")
+        self.trace = ExecutionTrace()
+        self.executor = Executor(self.config, self.trace)
+        self.cost_model = CostModel(self.config)
+
+    # ------------------------------------------------------------------
+    # Bag creation
+    # ------------------------------------------------------------------
+
+    def bag_of(self, data, num_partitions=None):
+        """Create a bag from driver-side data."""
+        data = list(data)
+        if num_partitions is None:
+            num_partitions = min(
+                self.config.default_parallelism, max(1, len(data))
+            )
+        return Bag(self, Parallelize(data, num_partitions), num_partitions)
+
+    def empty_bag(self):
+        return self.bag_of([], num_partitions=1)
+
+    def range_bag(self, n, num_partitions=None):
+        """A bag of the integers ``0 .. n-1``."""
+        return self.bag_of(range(n), num_partitions)
+
+    # ------------------------------------------------------------------
+    # Broadcast
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value, num_records=None):
+        """Ship a read-only value to every executor.
+
+        Args:
+            value: The payload.
+            num_records: How many paper-scale records the payload
+                represents (defaults to ``len(value)`` for sized
+                collections, else 1).
+        """
+        if num_records is None:
+            try:
+                num_records = len(value)
+            except TypeError:
+                num_records = 1
+        check_broadcast_fits(num_records, self.config)
+        if self.trace.jobs:
+            self.trace.jobs[-1].broadcast_records += num_records
+        return Broadcast(value, num_records)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def simulated_seconds(self):
+        """Simulated wall-clock seconds for everything run so far."""
+        return self.cost_model.simulated_seconds(self.trace)
+
+    def cost_breakdown(self):
+        return self.cost_model.trace_cost(self.trace)
+
+    def reset_trace(self):
+        """Start a fresh measurement window (keeps caches)."""
+        self.trace.reset()
+
+    def measure(self):
+        """Context manager measuring the simulated time of a block::
+
+            with ctx.measure() as measurement:
+                program(ctx)
+            print(measurement.seconds)
+
+        The surrounding trace is preserved: jobs run inside the block
+        are appended as usual, and the measurement reports only their
+        cost.
+        """
+        return _Measurement(self)
+
+    def __repr__(self):
+        return (
+            "EngineContext(machines=%d, cores=%d, %s)"
+            % (
+                self.config.machines,
+                self.config.total_cores,
+                self.trace.summary(),
+            )
+        )
+
+
+class _Measurement:
+    """Simulated seconds of the jobs run within a ``with`` block."""
+
+    def __init__(self, ctx):
+        self._ctx = ctx
+        self._start_job = None
+        self.seconds = None
+
+    def __enter__(self):
+        self._start_job = self._ctx.trace.num_jobs
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb):
+        cost = 0.0
+        for job in self._ctx.trace.jobs[self._start_job:]:
+            cost += self._ctx.cost_model.job_cost(job).total_s
+        self.seconds = cost
+        return False

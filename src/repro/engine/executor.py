@@ -1,0 +1,550 @@
+"""Plan evaluation: turns a lineage DAG into data, recording metrics.
+
+The executor evaluates plans recursively.  Narrow operators fuse into the
+stage of their input (their per-task record counts are credited to that
+stage); wide operators perform a hash shuffle and open a new stage.  The
+recorded :class:`~repro.engine.metrics.JobMetrics` mirror what the Spark UI
+would show for the same program, which is what the cost model needs.
+
+Everything actually executes -- results are real, only the clock is
+simulated.
+"""
+
+import sys
+
+from ..errors import PlanError, SimulatedOutOfMemory, UdfError
+from . import plan as p
+from .partitioner import build_balanced_assignment
+from .work import unwrap
+
+_MIN_RECURSION_LIMIT = 20000
+
+
+def _origin(node):
+    name = node.name
+    if node.label:
+        name += "[%s]" % node.label
+    return name
+
+
+class _Result:
+    """Partitions of an evaluated node plus the stage that produced them."""
+
+    __slots__ = ("partitions", "stage")
+
+    def __init__(self, partitions, stage):
+        self.partitions = partitions
+        self.stage = stage
+
+
+class Executor:
+    """Evaluates plan nodes for one :class:`EngineContext`."""
+
+    def __init__(self, config, trace):
+        self.config = config
+        self.trace = trace
+        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
+            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
+
+    # ------------------------------------------------------------------
+    # Job entry points (actions)
+    # ------------------------------------------------------------------
+
+    def collect(self, node, label=""):
+        """Run a job and return all elements as a list."""
+        job = self.trace.new_job("collect", label)
+        partitions = self._run(node, job)
+        result = [item for part in partitions for item in part]
+        self._check_driver_memory(len(result))
+        job.collected_records += len(result)
+        return result
+
+    def count(self, node, label=""):
+        job = self.trace.new_job("count", label)
+        partitions = self._run(node, job)
+        job.collected_records += len(partitions)
+        return sum(len(part) for part in partitions)
+
+    def save(self, node, label=""):
+        """Write a bag to distributed storage (the paper's output op).
+
+        The data never passes through the driver; the job is charged a
+        parallel disk write.  Returns the number of records written.
+        """
+        job = self.trace.new_job("save", label)
+        partitions = self._run(node, job)
+        written = sum(len(part) for part in partitions)
+        if node.meta:
+            job.saved_meta_records += written
+        else:
+            job.saved_records += written
+        return written
+
+    def reduce(self, node, fn, label=""):
+        job = self.trace.new_job("reduce", label)
+        partitions = self._run(node, job)
+        partials = []
+        for part in partitions:
+            iterator = iter(part)
+            try:
+                acc = next(iterator)
+            except StopIteration:
+                continue
+            for item in iterator:
+                acc = fn(acc, item)
+            partials.append(acc)
+        job.collected_records += len(partials)
+        if not partials:
+            raise PlanError("reduce of an empty bag")
+        acc = partials[0]
+        for item in partials[1:]:
+            acc = fn(acc, item)
+        return acc
+
+    def fold(self, node, zero, fn, label=""):
+        job = self.trace.new_job("fold", label)
+        partitions = self._run(node, job)
+        acc = zero
+        for part in partitions:
+            for item in part:
+                acc = fn(acc, item)
+        job.collected_records += len(partitions)
+        return acc
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def _run(self, node, job):
+        memo = {}
+        return self._eval(node, job, memo).partitions
+
+    def _eval(self, node, job, memo):
+        key = id(node)
+        if key in memo:
+            return memo[key]
+        if node.materialized is not None:
+            stage = job.new_stage("cached", meta=node.meta, origin=_origin(node))
+            for _ in node.materialized:
+                stage.task_records.append(0)
+            result = _Result(node.materialized, stage)
+            memo[key] = result
+            return result
+        result = self._eval_fresh(node, job, memo)
+        if node.cached:
+            node.materialized = result.partitions
+        memo[key] = result
+        return result
+
+    def _eval_fresh(self, node, job, memo):
+        if isinstance(node, p.Parallelize):
+            return self._eval_parallelize(node, job)
+        if isinstance(node, p.Map):
+            return self._eval_elementwise(node, job, memo, self._map_part)
+        if isinstance(node, p.Filter):
+            return self._eval_elementwise(node, job, memo, self._filter_part)
+        if isinstance(node, p.FlatMap):
+            return self._eval_elementwise(node, job, memo, self._flatmap_part)
+        if isinstance(node, p.MapPartitions):
+            return self._eval_map_partitions(node, job, memo)
+        if isinstance(node, p.ZipWithUniqueId):
+            return self._eval_zip_with_unique_id(node, job, memo)
+        if isinstance(node, p.Union):
+            return self._eval_union(node, job, memo)
+        if isinstance(node, p.Coalesce):
+            return self._eval_coalesce(node, job, memo)
+        if isinstance(node, p.ReduceByKey):
+            return self._eval_reduce_by_key(node, job, memo)
+        if isinstance(node, p.GroupByKey):
+            return self._eval_group_by_key(node, job, memo)
+        if isinstance(node, p.CoGroup):
+            return self._eval_cogroup(node, job, memo)
+        if isinstance(node, p.BroadcastJoin):
+            return self._eval_broadcast_join(node, job, memo)
+        if isinstance(node, p.CrossBroadcast):
+            return self._eval_cross_broadcast(node, job, memo)
+        raise PlanError("unknown plan node type: %s" % node.name)
+
+    def _eval_parallelize(self, node, job):
+        partitions = node.build_partitions()
+        stage = job.new_stage("input", meta=node.meta, origin=_origin(node))
+        for part in partitions:
+            stage.task_records.append(len(part))
+        return _Result(partitions, stage)
+
+    # -- narrow elementwise operators ----------------------------------
+
+    def _eval_elementwise(self, node, job, memo, apply_part):
+        child = self._eval(node.child, job, memo)
+        factor = self.config.sequential_work_factor
+        out = []
+        for index, part in enumerate(child.partitions):
+            child.stage.add_task_records(index, len(part))
+            work = [0]
+            out.append(apply_part(node, part, work))
+            if work[0]:
+                # UDF-internal sequential work runs record-at-a-time and
+                # is charged at the configured slowdown over the bulk rate.
+                child.stage.add_task_records(index, int(work[0] * factor))
+        return _Result(out, child.stage)
+
+    def _map_part(self, node, part, work):
+        out = []
+        for item in part:
+            out.append(unwrap(self._call(node, node.fn, item), work))
+        return out
+
+    def _filter_part(self, node, part, work):
+        out = []
+        for item in part:
+            if unwrap(self._call(node, node.fn, item), work):
+                out.append(item)
+        return out
+
+    def _flatmap_part(self, node, part, work):
+        out = []
+        for item in part:
+            produced = unwrap(self._call(node, node.fn, item), work)
+            out.extend(produced)
+        return out
+
+    def _eval_map_partitions(self, node, job, memo):
+        child = self._eval(node.child, job, memo)
+        out = []
+        for index, part in enumerate(child.partitions):
+            child.stage.add_task_records(index, len(part))
+            produced = list(self._call(node, node.fn, part, index))
+            out.append(produced)
+        return _Result(out, child.stage)
+
+    def _eval_zip_with_unique_id(self, node, job, memo):
+        child = self._eval(node.child, job, memo)
+        n = max(1, len(child.partitions))
+        out = []
+        for index, part in enumerate(child.partitions):
+            child.stage.add_task_records(index, len(part))
+            out.append(
+                [(item, index + i * n) for i, item in enumerate(part)]
+            )
+        return _Result(out, child.stage)
+
+    def _eval_union(self, node, job, memo):
+        partition_lists = []
+        for child in node.children:
+            partition_lists.append(self._eval(child, job, memo).partitions)
+        partitions = p.chain_partitions(partition_lists)
+        stage = job.new_stage("union", meta=node.meta, origin=_origin(node))
+        for _ in partitions:
+            stage.task_records.append(0)
+        return _Result(partitions, stage)
+
+    def _eval_coalesce(self, node, job, memo):
+        child = self._eval(node.child, job, memo)
+        n = min(node.num_partitions, max(1, len(child.partitions)))
+        out = [[] for _ in range(n)]
+        for index, part in enumerate(child.partitions):
+            out[index % n].extend(part)
+        stage = job.new_stage(
+            "union", meta=node.meta, origin=_origin(node)
+        )
+        for part in out:
+            stage.task_records.append(0)
+        return _Result(out, stage)
+
+    # -- wide (shuffling) operators ------------------------------------
+
+    def _shuffle(self, result, num_partitions, job, meta=False,
+                 origin="", assignment=None):
+        """Shuffle keyed partitions; returns (buckets, reduce_stage).
+
+        Keys are spread over reduce buckets with a balanced assignment
+        (see :func:`build_balanced_assignment`); joins pass a shared
+        ``assignment`` so both sides co-partition.
+        """
+        if assignment is None:
+            assignment = self._key_assignment(
+                result.partitions, num_partitions
+            )
+        buckets = [[] for _ in range(num_partitions)]
+        moved = 0
+        for index, part in enumerate(result.partitions):
+            result.stage.add_task_records(index, len(part))
+            moved += len(part)
+            for record in part:
+                self._require_keyed(record)
+                buckets[assignment[record[0]]].append(record)
+        stage = job.new_stage("shuffle", meta=meta, origin=origin)
+        stage.shuffle_read_records = moved
+        for bucket in buckets:
+            stage.task_records.append(len(bucket))
+        return buckets, stage
+
+    def _key_assignment(self, partition_lists, num_partitions):
+        counts = {}
+        for part in partition_lists:
+            for record in part:
+                self._require_keyed(record)
+                key = record[0]
+                counts[key] = counts.get(key, 0) + 1
+        return build_balanced_assignment(counts, num_partitions)
+
+    def _eval_reduce_by_key(self, node, job, memo):
+        child = self._eval(node.child, job, memo)
+        # Map-side combine: reduce within each map partition first, so the
+        # shuffle only moves one record per (partition, key) pair.
+        combined = _Result(
+            [
+                self._combine_partition(node, part)
+                for part in child.partitions
+            ],
+            child.stage,
+        )
+        buckets, stage = self._shuffle(
+            combined, node.num_partitions, job, meta=node.meta,
+            origin=_origin(node),
+        )
+        out = []
+        for bucket in buckets:
+            out.append(self._combine_partition(node, bucket))
+        self._account_spill(stage)
+        return _Result(out, stage)
+
+    def _combine_partition(self, node, records):
+        acc = {}
+        for record in records:
+            self._require_keyed(record)
+            key, value = record
+            if key in acc:
+                acc[key] = self._call(node, node.fn, acc[key], value)
+            else:
+                acc[key] = value
+        return list(acc.items())
+
+    def _eval_group_by_key(self, node, job, memo):
+        child = self._eval(node.child, job, memo)
+        buckets, stage = self._shuffle(
+            child, node.num_partitions, job, meta=node.meta,
+            origin=_origin(node),
+        )
+        out = []
+        limit = self._task_limit(buckets)
+        rate = self._stage_rate(stage)
+        for bucket in buckets:
+            groups = {}
+            for key, value in bucket:
+                groups.setdefault(key, []).append(value)
+            for key, values in groups.items():
+                needed = self.config.materialized_bytes(len(values), rate)
+                if needed > limit:
+                    raise SimulatedOutOfMemory(
+                        "materializing group %r" % (key,), needed, limit
+                    )
+            out.append(list(groups.items()))
+        self._account_spill(stage)
+        return _Result(out, stage)
+
+    def _task_limit(self, buckets):
+        """Per-task memory budget given how many tasks run concurrently."""
+        nonempty = sum(1 for bucket in buckets if bucket)
+        per_machine = -(-max(1, nonempty) // self.config.machines)
+        return self.config.task_memory_limit_bytes(per_machine)
+
+    def _eval_cogroup(self, node, job, memo):
+        left = self._eval(node.left, job, memo)
+        right = self._eval(node.right, job, memo)
+        # Both sides co-partition: one key assignment over both inputs.
+        counts = {}
+        for result in (left, right):
+            for part in result.partitions:
+                for record in part:
+                    self._require_keyed(record)
+                    counts[record[0]] = counts.get(record[0], 0) + 1
+        assignment = build_balanced_assignment(
+            counts, node.num_partitions
+        )
+        left_buckets, stage = self._shuffle(
+            left, node.num_partitions, job, meta=node.meta,
+            origin=_origin(node), assignment=assignment,
+        )
+        right_buckets, right_stage = self._shuffle(
+            right, node.num_partitions, job, meta=node.meta,
+            assignment=assignment,
+        )
+        out = []
+        limit = self._task_limit(left_buckets)
+        for bucket_index in range(node.num_partitions):
+            groups = {}
+            for key, value in left_buckets[bucket_index]:
+                groups.setdefault(key, ([], []))[0].append(value)
+            for key, value in right_buckets[bucket_index]:
+                groups.setdefault(key, ([], []))[1].append(value)
+            for key, (lvals, rvals) in groups.items():
+                needed = self.config.materialized_bytes(
+                    len(lvals) + len(rvals), self._stage_rate(stage)
+                )
+                if needed > limit:
+                    raise SimulatedOutOfMemory(
+                        "cogrouping key %r" % (key,), needed, limit
+                    )
+            out.append(list(groups.items()))
+        # The reduce side reads both shuffles; fold the right-side counts
+        # into the stage that emits the cogrouped output.
+        for index, count in enumerate(right_stage.task_records):
+            stage.add_task_records(index, count)
+        stage.shuffle_read_records += right_stage.shuffle_read_records
+        self._account_spill(stage)
+        return _Result(out, stage)
+
+    # -- broadcast operators (narrow) ----------------------------------
+
+    def _eval_broadcast_join(self, node, job, memo):
+        right = self._eval(node.right, job, memo)
+        table = {}
+        count = 0
+        for index, part in enumerate(right.partitions):
+            right.stage.add_task_records(index, len(part))
+            for record in part:
+                self._require_keyed(record)
+                key, value = record
+                table.setdefault(key, []).append(value)
+                count += 1
+        self._check_broadcast(
+            count, "broadcast join build side", meta=node.right.meta
+        )
+        if node.right.meta:
+            job.broadcast_meta_records += count
+        else:
+            job.broadcast_records += count
+        left = self._eval(node.left, job, memo)
+        stage = self._scale_corrected(left.stage, node, job)
+        out = []
+        for index, part in enumerate(left.partitions):
+            produced = []
+            for record in part:
+                self._require_keyed(record)
+                key, value = record
+                for other in table.get(key, ()):
+                    produced.append((key, (value, other)))
+            stage.add_task_records(index, len(part) + len(produced))
+            out.append(produced)
+        return _Result(out, stage)
+
+    def _eval_cross_broadcast(self, node, job, memo):
+        if node.broadcast_side == "right":
+            stream_node, small_node = node.left, node.right
+        else:
+            stream_node, small_node = node.right, node.left
+        small = self._eval(small_node, job, memo)
+        payload = [item for part in small.partitions for item in part]
+        for index, part in enumerate(small.partitions):
+            small.stage.add_task_records(index, len(part))
+        self._check_broadcast(
+            len(payload), "cross-product broadcast side",
+            meta=small_node.meta,
+        )
+        if small_node.meta:
+            job.broadcast_meta_records += len(payload)
+        else:
+            job.broadcast_records += len(payload)
+        stream = self._eval(stream_node, job, memo)
+        stage = self._scale_corrected(stream.stage, node, job)
+        out = []
+        for index, part in enumerate(stream.partitions):
+            produced = []
+            for item in part:
+                for other in payload:
+                    if node.broadcast_side == "right":
+                        produced.append((item, other))
+                    else:
+                        produced.append((other, item))
+            stage.add_task_records(index, len(produced))
+            out.append(produced)
+        return _Result(out, stage)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _call(self, node, fn, *args):
+        try:
+            return fn(*args)
+        except (SimulatedOutOfMemory, UdfError):
+            raise
+        except Exception as exc:
+            raise UdfError(node.name, exc) from exc
+
+    def _require_keyed(self, record):
+        if not isinstance(record, tuple) or len(record) != 2:
+            raise PlanError(
+                "keyed operator expects (key, value) records, got %r"
+                % (record,)
+            )
+
+    def _account_spill(self, stage):
+        cfg = self.config
+        rate = self._stage_rate(stage)
+        # Per-task spill: a reduce task whose working set exceeds its
+        # memory share sorts/aggregates on disk.
+        nonempty = sum(1 for records in stage.task_records if records)
+        per_machine = -(-max(1, nonempty) // cfg.machines)
+        task_limit = cfg.task_memory_limit_bytes(per_machine)
+        for records in stage.task_records:
+            if cfg.materialized_bytes(records, rate) > task_limit:
+                stage.spilled_records += records
+        # Cluster-level spill: processing the entire input at once can
+        # exceed aggregate memory, in which case the excess goes through
+        # disk (this is the memory pressure the paper observes for
+        # Matryoshka's Bounce Rate at full input size, Sec. 9.4).
+        cluster_limit = cfg.executor_memory_limit_bytes * cfg.machines
+        total = cfg.materialized_bytes(stage.total_records, rate)
+        excess = total - cluster_limit
+        if excess > 0:
+            per_record = rate * cfg.memory_overhead_factor
+            stage.spilled_records += int(excess / per_record)
+
+    def _scale_corrected(self, stage, node, job):
+        """Stage to credit a join/cross output to.
+
+        A cross product whose stream side is meta-scale but whose output
+        pairs carry data-scale payloads (or vice versa) must not inherit
+        the stream stage's record scale; open a narrow continuation stage
+        at the node's own scale.
+        """
+        if stage.meta == node.meta:
+            return stage
+        corrected = job.new_stage(
+            "union", meta=node.meta, origin=_origin(node)
+        )
+        for _ in stage.task_records:
+            corrected.task_records.append(0)
+        return corrected
+
+    def _stage_rate(self, stage):
+        if stage.meta:
+            return self.config.result_record_bytes
+        return self.config.bytes_per_record
+
+    def _check_broadcast(self, num_records, what, meta=False):
+        # A broadcast lives deserialized on every executor (shared across
+        # that machine's tasks) and must also pass through the driver.
+        rate = (
+            self.config.result_record_bytes
+            if meta
+            else self.config.bytes_per_record
+        )
+        needed = self.config.materialized_bytes(num_records, rate)
+        limit = min(
+            self.config.executor_memory_limit_bytes,
+            self.config.driver_memory_bytes,
+        )
+        if needed > limit:
+            raise SimulatedOutOfMemory(what, needed, limit)
+
+    def _check_driver_memory(self, num_records):
+        needed = int(num_records * self.config.result_record_bytes)
+        if needed > self.config.driver_memory_bytes:
+            raise SimulatedOutOfMemory(
+                "collecting result to the driver",
+                needed,
+                self.config.driver_memory_bytes,
+            )

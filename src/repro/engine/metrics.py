@@ -1,0 +1,165 @@
+"""Execution metrics: the trace the cost model consumes.
+
+The engine records, for every job it runs, the same quantities a Spark UI
+would show: stages, per-task input record counts, shuffle read volumes,
+spill volumes, and broadcast sizes.  The cost model (``costmodel.py``) turns
+this trace into simulated wall-clock seconds for a given
+:class:`~repro.engine.config.ClusterConfig`.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StageMetrics:
+    """Metrics for one stage (a fused pipeline over one set of partitions).
+
+    Attributes:
+        stage_id: Stage number within the trace.
+        kind: ``"input"``, ``"shuffle"``, or ``"result"`` -- how the stage's
+            input partitions were obtained.
+        task_records: Per-task record counts, *including* extra work that
+            UDFs reported (see :mod:`repro.engine.work`).  Task ``i``
+            corresponds to partition ``i`` of the stage input.
+        shuffle_read_records: Records read over the network to form the
+            stage input (0 for input/result stages).
+        spilled_records: Records spilled to disk during the shuffle because
+            the in-memory working set was too large.
+    """
+
+    stage_id: int
+    kind: str = "input"
+    task_records: list = field(default_factory=list)
+    shuffle_read_records: int = 0
+    spilled_records: int = 0
+    #: Meta-scale stages carry per-tag summary records, charged at the
+    #: config's result_record_bytes instead of bytes_per_record.
+    meta: bool = False
+    #: Name (and label, if set) of the plan node that opened this stage.
+    origin: str = ""
+
+
+    @property
+    def num_tasks(self):
+        return len(self.task_records)
+
+    @property
+    def total_records(self):
+        return sum(self.task_records)
+
+    def add_task_records(self, partition_index, count):
+        """Credit ``count`` processed records to the given task."""
+        while len(self.task_records) <= partition_index:
+            self.task_records.append(0)
+        self.task_records[partition_index] += count
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for one job (one action: collect, count, reduce, ...)."""
+
+    job_id: int
+    action: str = ""
+    stages: list = field(default_factory=list)
+    broadcast_records: int = 0
+    broadcast_meta_records: int = 0
+    collected_records: int = 0
+    saved_records: int = 0
+    saved_meta_records: int = 0
+    label: str = ""
+
+    def new_stage(self, kind, meta=False, origin=""):
+        stage = StageMetrics(
+            stage_id=len(self.stages), kind=kind, meta=meta,
+            origin=origin,
+        )
+        self.stages.append(stage)
+        return stage
+
+    @property
+    def total_records(self):
+        return sum(stage.total_records for stage in self.stages)
+
+    @property
+    def total_shuffle_records(self):
+        return sum(stage.shuffle_read_records for stage in self.stages)
+
+
+@dataclass
+class ExecutionTrace:
+    """All jobs run against one :class:`~repro.engine.context.EngineContext`.
+
+    The trace is append-only; ``reset()`` starts a fresh measurement window
+    (used by the benchmark harness between systems).
+    """
+
+    jobs: list = field(default_factory=list)
+
+    def new_job(self, action, label=""):
+        job = JobMetrics(job_id=len(self.jobs), action=action, label=label)
+        self.jobs.append(job)
+        return job
+
+    def reset(self):
+        self.jobs.clear()
+
+    @property
+    def num_jobs(self):
+        return len(self.jobs)
+
+    @property
+    def num_stages(self):
+        return sum(len(job.stages) for job in self.jobs)
+
+    @property
+    def num_tasks(self):
+        return sum(
+            stage.num_tasks for job in self.jobs for stage in job.stages
+        )
+
+    @property
+    def total_records(self):
+        return sum(job.total_records for job in self.jobs)
+
+    def summary(self):
+        """Human-readable one-line summary of the trace."""
+        return (
+            "jobs=%d stages=%d tasks=%d records=%d"
+            % (self.num_jobs, self.num_stages, self.num_tasks,
+               self.total_records)
+        )
+
+    def describe(self, max_jobs=None):
+        """A multi-line per-job rendering of the trace (a mini Spark UI).
+
+        Args:
+            max_jobs: Show only the last ``max_jobs`` jobs.
+        """
+        jobs = self.jobs if max_jobs is None else self.jobs[-max_jobs:]
+        lines = [self.summary()]
+        for job in jobs:
+            label = " [%s]" % job.label if job.label else ""
+            lines.append(
+                "job %d: %s%s -- %d stages, %d records"
+                % (job.job_id, job.action, label, len(job.stages),
+                   job.total_records)
+            )
+            for stage in job.stages:
+                origin = " <- %s" % stage.origin if stage.origin else ""
+                scale = " meta" if stage.meta else ""
+                extras = []
+                if stage.shuffle_read_records:
+                    extras.append(
+                        "shuffle=%d" % stage.shuffle_read_records
+                    )
+                if stage.spilled_records:
+                    extras.append("spill=%d" % stage.spilled_records)
+                lines.append(
+                    "  stage %d (%s%s): tasks=%d records=%d %s%s"
+                    % (
+                        stage.stage_id, stage.kind, scale,
+                        stage.num_tasks, stage.total_records,
+                        " ".join(extras), origin,
+                    )
+                )
+        return "\n".join(lines)

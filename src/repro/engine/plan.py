@@ -1,0 +1,251 @@
+"""Logical plan nodes (the lineage DAG behind every Bag).
+
+A :class:`~repro.engine.bag.Bag` is a thin, immutable handle around one of
+these nodes.  Plans are lazy; the :mod:`executor <repro.engine.executor>`
+evaluates them when an action runs.
+
+Narrow nodes (Map, Filter, FlatMap, MapPartitions, ZipWithUniqueId,
+BroadcastJoin, CrossBroadcast) transform partitions in place and fuse into
+the stage of their input.  Wide nodes (ReduceByKey, GroupByKey, CoGroup)
+require a shuffle and start a new stage.
+"""
+
+import itertools
+
+
+class PlanNode:
+    """Base class for all plan nodes."""
+
+    #: Subclasses list their child nodes here.
+    children = ()
+
+    def __init__(self):
+        self.cached = False
+        self.materialized = None
+        # A short human-readable label, settable via Bag.with_label().
+        self.label = ""
+        # Record scale for cost accounting: False = data-scale records
+        # (each stands for ``bytes_per_record`` of the paper's dataset),
+        # True = meta-scale records (per-tag scalars, counts, trained
+        # models -- charged at ``result_record_bytes``).  Set by
+        # Bag._derive from the children; InnerScalar marks its
+        # representation explicitly.
+        self.meta = False
+
+    @property
+    def name(self):
+        return type(self).__name__
+
+    def explain(self, indent=0):
+        """Multi-line textual rendering of the plan tree."""
+        pad = "  " * indent
+        line = pad + self.name
+        if self.label:
+            line += " [%s]" % self.label
+        if self.cached:
+            line += " (cached)"
+        lines = [line]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class Parallelize(PlanNode):
+    """A dataset provided by the driver, split into partitions."""
+
+    def __init__(self, data, num_partitions):
+        super().__init__()
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.data = list(data)
+        self.num_partitions = num_partitions
+
+    def build_partitions(self):
+        """Split the driver-side data into ``num_partitions`` slices."""
+        n = self.num_partitions
+        partitions = [[] for _ in range(n)]
+        for index, item in enumerate(self.data):
+            partitions[index % n].append(item)
+        return partitions
+
+
+class UnaryNode(PlanNode):
+    """A node with exactly one child."""
+
+    def __init__(self, child):
+        super().__init__()
+        self.child = child
+
+    @property
+    def children(self):
+        return (self.child,)
+
+
+class Map(UnaryNode):
+    def __init__(self, child, fn):
+        super().__init__(child)
+        self.fn = fn
+
+
+class Filter(UnaryNode):
+    def __init__(self, child, fn):
+        super().__init__(child)
+        self.fn = fn
+
+
+class FlatMap(UnaryNode):
+    def __init__(self, child, fn):
+        super().__init__(child)
+        self.fn = fn
+
+
+class MapPartitions(UnaryNode):
+    """Applies ``fn(items, partition_index)`` to each whole partition."""
+
+    def __init__(self, child, fn):
+        super().__init__(child)
+        self.fn = fn
+
+
+class ZipWithUniqueId(UnaryNode):
+    """Pairs each element with a cluster-unique integer id.
+
+    Produces ``(element, id)`` pairs, with Spark's id scheme:
+    ``id = partition_index + i * num_partitions``.
+    """
+
+
+class Coalesce(UnaryNode):
+    """Merge partitions down to ``num_partitions`` without a shuffle.
+
+    Spark's narrow ``coalesce``: needed wherever unions would otherwise
+    accumulate partitions (e.g. a lifted if merging branch results every
+    loop iteration would double them each time).
+    """
+
+    def __init__(self, child, num_partitions):
+        super().__init__(child)
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.num_partitions = num_partitions
+
+
+class Union(PlanNode):
+    """Concatenation of the partitions of all children (narrow)."""
+
+    def __init__(self, inputs):
+        super().__init__()
+        if not inputs:
+            raise ValueError("union of zero inputs")
+        self._inputs = tuple(inputs)
+
+    @property
+    def children(self):
+        return self._inputs
+
+
+class ReduceByKey(UnaryNode):
+    """Shuffle by key with map-side combining, then per-key reduction."""
+
+    def __init__(self, child, fn, num_partitions):
+        super().__init__(child)
+        self.fn = fn
+        self.num_partitions = num_partitions
+
+
+class GroupByKey(UnaryNode):
+    """Shuffle by key, materializing each group as a list.
+
+    Materializing a group that exceeds executor memory raises
+    :class:`~repro.errors.SimulatedOutOfMemory` -- this is the failure mode
+    of the outer-parallel workaround in the paper's experiments.
+    """
+
+    def __init__(self, child, num_partitions):
+        super().__init__(child)
+        self.num_partitions = num_partitions
+
+
+class CoGroup(PlanNode):
+    """Shuffle both inputs by key; emit ``(k, (left_values, right_values))``.
+
+    Joins, left-outer joins, and subtract-by-key derive from this node at
+    the Bag level.
+    """
+
+    def __init__(self, left, right, num_partitions):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.num_partitions = num_partitions
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+
+class BroadcastJoin(PlanNode):
+    """Narrow equi-join: the right side is broadcast to every executor."""
+
+    def __init__(self, left, right):
+        super().__init__()
+        self.left = left
+        self.right = right
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+
+class CrossBroadcast(PlanNode):
+    """Cross product implemented by broadcasting one side.
+
+    ``broadcast_side`` is ``"right"`` (default) or ``"left"``.  The
+    broadcast side is collected to the driver and shipped to every
+    executor; the other side streams through unchanged partitions.
+    """
+
+    def __init__(self, left, right, broadcast_side="right"):
+        super().__init__()
+        if broadcast_side not in ("left", "right"):
+            raise ValueError("broadcast_side must be 'left' or 'right'")
+        self.left = left
+        self.right = right
+        self.broadcast_side = broadcast_side
+
+    @property
+    def children(self):
+        return (self.left, self.right)
+
+
+def iter_nodes(root):
+    """Yield every node in the plan reachable from ``root`` (pre-order)."""
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(node.children)
+
+
+def count_nodes(root):
+    return sum(1 for _ in iter_nodes(root))
+
+
+def flatten_union_inputs(inputs):
+    """Collapse nested unions into a single input list."""
+    flat = []
+    for node in inputs:
+        if isinstance(node, Union) and not node.cached:
+            flat.extend(node.children)
+        else:
+            flat.append(node)
+    return flat
+
+
+def chain_partitions(partition_lists):
+    """Concatenate per-child partition lists (for Union)."""
+    return list(itertools.chain.from_iterable(partition_lists))

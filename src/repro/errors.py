@@ -1,0 +1,63 @@
+"""Exception hierarchy shared across the repro packages."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PlanError(ReproError):
+    """A logical plan was constructed or used incorrectly."""
+
+
+class ExecutionError(ReproError):
+    """A job failed while executing on the engine."""
+
+
+class UdfError(ExecutionError):
+    """A user-defined function raised an exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, operator, original):
+        super().__init__(
+            "UDF raised %s in operator %r: %s"
+            % (type(original).__name__, operator, original)
+        )
+        self.operator = operator
+        self.original = original
+
+
+class SimulatedOutOfMemory(ExecutionError):
+    """An executor's working set exceeded the configured memory.
+
+    Raised by the engine wherever real Spark would die with an
+    ``OutOfMemoryError``: materializing a group that does not fit on one
+    executor, broadcasting a dataset larger than executor memory, or
+    collecting an oversized result to the driver.
+    """
+
+    def __init__(self, what, needed_bytes, limit_bytes):
+        super().__init__(
+            "simulated OOM while %s: needs %d bytes but executor limit is %d"
+            % (what, needed_bytes, limit_bytes)
+        )
+        self.what = what
+        self.needed_bytes = needed_bytes
+        self.limit_bytes = limit_bytes
+
+
+class FlatteningError(ReproError):
+    """The flattening machinery was used in an unsupported way."""
+
+
+class ParsingError(ReproError):
+    """The parsing phase (AST rewriter) could not translate a UDF."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A baseline system does not support the requested feature.
+
+    Used by the DIQL baseline, which (like the original prototype) rejects
+    control flow statements at inner nesting levels.
+    """

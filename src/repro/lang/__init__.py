@@ -1,0 +1,19 @@
+"""The language frontend: Matryoshka's parsing phase for Python UDFs.
+
+* :mod:`ast_parser` -- the ``@nested_udf`` decorator performing
+  source-to-source rewriting of control flow and closures.
+* :mod:`staged` -- the staged helpers the rewriter targets.
+"""
+
+from .ast_parser import lifted, nested_udf, parse_udf
+from .staged import staged_and, staged_not, staged_or, staged_select
+
+__all__ = [
+    "lifted",
+    "nested_udf",
+    "parse_udf",
+    "staged_and",
+    "staged_not",
+    "staged_or",
+    "staged_select",
+]

@@ -1,0 +1,74 @@
+"""Staged scalar/control-flow helpers (the parsing phase's target form).
+
+The paper's parsing phase rewrites control flow into higher-order function
+calls (Sec. 6.1) and scalar operations into explicit staged operations
+(Sec. 4.3).  In this Python reproduction, most scalar staging comes for
+free from operator overloading on
+:class:`~repro.core.primitives.InnerScalar`; the helpers here cover the
+constructs Python does not let us overload: ``and`` / ``or`` / ``not`` and
+the conditional expression.
+
+Every helper degrades to ordinary Python semantics (including
+short-circuiting) when its operands are plain values, so rewritten UDFs
+behave identically when called with unlifted arguments.
+"""
+
+from ..core.primitives import InnerScalar
+
+
+def staged_and(left, right_thunk):
+    """``left and right`` with lifted support.
+
+    ``right_thunk`` is a zero-argument callable so plain evaluation keeps
+    Python's short-circuit behaviour; lifted evaluation necessarily
+    computes both sides (Sec. 6.2: a lifted branch runs for all tags).
+    """
+    if isinstance(left, InnerScalar):
+        return left & right_thunk()
+    if not left:
+        return left
+    return right_thunk()
+
+
+def staged_or(left, right_thunk):
+    """``left or right`` with lifted support."""
+    if isinstance(left, InnerScalar):
+        return left | right_thunk()
+    if left:
+        return left
+    return right_thunk()
+
+
+def staged_not(value):
+    """``not value`` with lifted support."""
+    if isinstance(value, InnerScalar):
+        return value.logical_not()
+    return not value
+
+
+def staged_select(pred, then_thunk, else_thunk):
+    """``a if pred else b`` with lifted support.
+
+    Plain predicates evaluate one side only.  Lifted predicates evaluate
+    both thunks and select per tag.
+    """
+    if not isinstance(pred, InnerScalar):
+        return then_thunk() if pred else else_thunk()
+    then_value = then_thunk()
+    else_value = else_thunk()
+    paired = _pair_with(pred, then_value)
+    return _pick(paired, else_value)
+
+
+def _pair_with(pred, then_value):
+    if isinstance(then_value, InnerScalar):
+        return pred.binary(then_value, lambda c, a: (c, a))
+    return pred.map(lambda c, a=then_value: (c, a))
+
+
+def _pick(paired, else_value):
+    if isinstance(else_value, InnerScalar):
+        return paired.binary(
+            else_value, lambda ca, b: ca[1] if ca[0] else b
+        )
+    return paired.map(lambda ca, b=else_value: ca[1] if ca[0] else b)

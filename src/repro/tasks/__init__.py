@@ -1,0 +1,16 @@
+"""The paper's four evaluation tasks, in every system variant.
+
+Each module provides a sequential reference, the Matryoshka (nested)
+formulation, and the inner-/outer-parallel workaround implementations.
+"""
+
+from . import avg_distances, bounce_rate, graphs, kmeans, matrix, pagerank
+
+__all__ = [
+    "avg_distances",
+    "bounce_rate",
+    "graphs",
+    "kmeans",
+    "matrix",
+    "pagerank",
+]

@@ -1,0 +1,210 @@
+"""Average Distances (paper Sec. 2.2): three levels of parallelism.
+
+The task: compute, for every connected component of a graph, the average
+hop distance between all ordered vertex pairs.  The nested formulation is
+the paper's one-liner ``connectedComps(g).map(avgDistances)``:
+
+* level 1 -- the components (a NestedBag after grouping by component);
+* level 2 -- the BFS sources inside one component (a sub-level whose
+  composite tags are ``(component, source)``);
+* level 3 -- the data-parallel BFS frontier expansion per source.
+
+Matryoshka parallelizes all three levels; outer-parallel only the first;
+inner-parallel only the third (paper Sec. 9.2).
+"""
+
+from ..baselines.outer_parallel import run_outer_parallel
+from ..core.control_flow import while_loop
+from ..core.nestedbag import group_by_key_into_nested_bag
+from ..core.primitives import InnerBag
+from .graphs import (
+    adjacency_of,
+    bfs_distances_reference,
+    connected_components,
+    connected_components_reference,
+    undirect,
+)
+
+_BFS_LIMIT = 10_000
+
+
+def _average(total, pairs):
+    return total / pairs if pairs else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference (also the outer-parallel per-component UDF)
+# ---------------------------------------------------------------------------
+
+
+def avg_distances_reference(edges):
+    """Ground truth ``{component_id: average_distance}`` plus work.
+
+    Returns ``(averages, work)`` where work counts edge traversals.
+    """
+    labels = connected_components_reference(edges)
+    component_edges = {}
+    for u, v in edges:
+        component_edges.setdefault(labels[u], []).append((u, v))
+    averages = {}
+    work = 0
+    for component, comp_edges in component_edges.items():
+        average, component_work = component_avg_distance(comp_edges)
+        averages[component] = average
+        work += component_work
+    return averages, work
+
+
+def component_avg_distance(edges):
+    """Average all-pairs distance of one connected component.
+
+    Returns ``(average, work)``.
+    """
+    adjacency = adjacency_of(edges)
+    vertices = sorted(adjacency)
+    total = 0.0
+    work = 0
+    for source in vertices:
+        distances = bfs_distances_reference(adjacency, source)
+        total += sum(distances.values())
+        work += sum(len(nbrs) for nbrs in adjacency.values())
+    pairs = len(vertices) * (len(vertices) - 1)
+    return _average(total, pairs), work
+
+
+# ---------------------------------------------------------------------------
+# Matryoshka: all three levels lifted
+# ---------------------------------------------------------------------------
+
+
+def avg_distances_nested(ctx, edges, lowering=None):
+    """The composed nested program: CC, then lifted per-component BFS.
+
+    Args:
+        ctx: Engine context.
+        edges: Driver-side undirected edge list ``[(u, v), ...]``.
+        lowering: Optional LoweringConfig.
+
+    Returns:
+        ``Bag[(component_id, average_distance)]``.
+    """
+    edges_bag = ctx.bag_of(edges)
+    labels = connected_components(ctx, edges_bag)
+    both_ways = undirect(edges_bag)
+    # Tag each directed edge with its component: (comp, (u, v)).
+    component_edges = both_ways.join(labels).map(
+        lambda kv: (kv[1][1], (kv[0], kv[1][0]))
+    )
+    nested = group_by_key_into_nested_bag(component_edges, lowering)
+    comp_edges = nested.inner
+    vertices = comp_edges.map(lambda e: e[0]).distinct()
+
+    # Level 2: every (component, source) pair becomes a composite tag.
+    sub, source = vertices.as_sub_level()
+    seed = InnerBag(
+        sub, source.repr.map(lambda tv: (tv[0], (tv[1], 0)))
+    )
+
+    def bfs_body(state):
+        # Expand the frontier against the level-1 edges without
+        # replicating them per source (half-lifted join on the parent
+        # tag; Sec. 5.2 / Sec. 7).
+        candidates = state["frontier"].join_on_parent(
+            comp_edges,
+            self_key=lambda vd: vd[0],
+            outer_key=lambda edge: edge[0],
+        ).map(lambda pair: (pair[1][1], pair[0][1] + 1))
+        best = candidates.reduce_by_key(min)
+        discovered = best.subtract_by_key(state["visited"])
+        return {
+            "frontier": discovered,
+            "visited": state["visited"].union(discovered),
+        }
+
+    state = while_loop(
+        {"frontier": seed, "visited": seed},
+        cond_fn=lambda s: s["frontier"].count() > 0,
+        body_fn=bfs_body,
+        max_iterations=_BFS_LIMIT,
+    )
+
+    # Back to level 1: sum distances per component, divide by the pair
+    # count.
+    distance_sums = state["visited"].retag_to_parent(
+        lambda vd: vd[1]
+    ).sum()
+    vertex_counts = vertices.count()
+    averages = distance_sums.binary(
+        vertex_counts,
+        lambda total, n: _average(total, n * (n - 1)),
+    )
+    return averages.to_bag()
+
+
+# ---------------------------------------------------------------------------
+# Workarounds
+# ---------------------------------------------------------------------------
+
+
+def avg_distances_outer(ctx, edges):
+    """Outer-parallel: components in parallel, everything inside one
+    component sequential (levels 2 and 3 unparallelized)."""
+    edges_bag = ctx.bag_of(edges)
+    labels = connected_components(ctx, edges_bag)
+    component_edges = edges_bag.join(labels).map(
+        lambda kv: (kv[1][1], (kv[0], kv[1][0]))
+    )
+    return run_outer_parallel(component_edges, _outer_udf)
+
+
+def _outer_udf(_component, comp_edges):
+    return component_avg_distance(comp_edges)
+
+
+def avg_distances_inner(ctx, edges):
+    """Inner-parallel: only level 3 (one BFS wavefront) parallel.
+
+    The driver loops over components *and* sources, launching a parallel
+    BFS job chain for each -- the job count explodes multiplicatively,
+    which is the paper's point about three-level tasks.
+    """
+    labels = connected_components_reference(edges)
+    component_edges = {}
+    for u, v in edges:
+        component_edges.setdefault(labels[u], []).append((u, v))
+    results = []
+    for component in sorted(component_edges):
+        comp_edges = component_edges[component]
+        adjacency_bag = ctx.bag_of(
+            [
+                pair
+                for u, v in comp_edges
+                for pair in ((u, v), (v, u))
+            ]
+        ).distinct().cache()
+        vertices = sorted({v for edge in comp_edges for v in edge})
+        total = 0.0
+        for source in vertices:
+            total += _parallel_bfs_distance_sum(
+                ctx, adjacency_bag, source
+            )
+        pairs = len(vertices) * (len(vertices) - 1)
+        results.append((component, _average(total, pairs)))
+    return results
+
+
+def _parallel_bfs_distance_sum(ctx, adjacency_bag, source):
+    visited = ctx.bag_of([(source, 0)]).cache()
+    frontier = visited
+    while True:
+        candidates = frontier.join(adjacency_bag).map(
+            lambda kv: (kv[1][1], kv[1][0] + 1)
+        )
+        discovered = candidates.reduce_by_key(min).subtract_by_key(
+            visited
+        ).cache()
+        if discovered.count(label="bfs frontier") == 0:
+            break
+        visited = visited.union(discovered).cache()
+        frontier = discovered
+    return visited.values().sum(label="bfs distance sum")

@@ -1,0 +1,143 @@
+"""Bounce Rate (paper Sec. 2.1 and Listings 1-3).
+
+The bounce rate of one day is the fraction of that day's visitors who
+visited exactly one page.  The nested formulation groups the visit log by
+day and applies a whole-bag ``bounce_rate`` function to every group.
+
+Variants provided:
+
+* :func:`bounce_rate_reference` -- driver-side ground truth.
+* :func:`bounce_rate_nested` -- Matryoshka (Listing 1 -> flattened).
+* :func:`bounce_rate_flat` -- the hand-flattened program of Listing 3
+  (what Matryoshka's output is equivalent to; used to validate it).
+* :func:`bounce_rate_outer` / :func:`bounce_rate_inner` -- the two
+  workarounds.
+* :func:`bounce_rate_diql` -- the DIQL baseline's plan.
+"""
+
+from ..baselines.diql import DiqlQuery
+from ..baselines.inner_parallel import run_inner_parallel
+from ..baselines.outer_parallel import run_outer_parallel
+from ..core.nestedbag import group_by_key_into_nested_bag
+
+
+def bounce_rate_reference(records):
+    """Ground truth ``{day: bounce_rate}`` computed on the driver."""
+    per_day_counts = {}
+    for day, ip in records:
+        day_counts = per_day_counts.setdefault(day, {})
+        day_counts[ip] = day_counts.get(ip, 0) + 1
+    return {
+        day: sum(1 for count in counts.values() if count == 1)
+        / len(counts)
+        for day, counts in per_day_counts.items()
+    }
+
+
+def bounce_rate_group_udf(group):
+    """Listing 1's UDF, written against the Bag/InnerBag interface.
+
+    Works both on a plain sequential implementation offering the same
+    methods and -- after flattening -- on an InnerBag, which is exactly
+    the compositionality the paper is after.
+    """
+    counts_per_ip = group.map(lambda ip: (ip, 1)).reduce_by_key(
+        lambda a, b: a + b
+    )
+    num_bounces = counts_per_ip.filter(lambda kv: kv[1] == 1).count()
+    num_total_visitors = group.distinct().count()
+    return num_bounces / num_total_visitors
+
+
+def bounce_rate_nested(visits_bag, lowering=None):
+    """Matryoshka: group into a NestedBag and lift the UDF (Listing 2).
+
+    Returns a flat ``Bag[(day, rate)]``.
+    """
+    per_day = group_by_key_into_nested_bag(visits_bag, lowering)
+    rates = per_day.map_inner(bounce_rate_group_udf)
+    return rates.to_bag()
+
+
+def bounce_rate_flat(visits_bag):
+    """The manually flattened program (Listing 3), for validation.
+
+    One correction over the listing as printed: a day where *no* IP
+    bounced has no record in ``num_bounces_per_day``, so the inner join
+    of Listing 3 would silently drop it.  This is precisely the
+    empty-inner-bag subtlety of Sec. 4.4 (a lifted ``count`` must
+    produce 0), which Matryoshka's tags bag handles automatically; the
+    hand-flattened program needs an outer join and a zero default.
+    """
+    counts_per_ip_per_day = visits_bag.map(
+        lambda record: (record, 1)
+    ).reduce_by_key(lambda a, b: a + b)
+    num_bounces_per_day = (
+        counts_per_ip_per_day.filter(lambda kv: kv[1] == 1)
+        .map(lambda kv: (kv[0][0], 1))
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    num_total_visitors_per_day = (
+        visits_bag.distinct()
+        .map(lambda record: (record[0], 1))
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    joined = num_total_visitors_per_day.left_outer_join(
+        num_bounces_per_day
+    )
+    return joined.map(
+        lambda kv: (kv[0], (kv[1][1] or 0) / kv[1][0])
+    )
+
+
+def _sequential_bounce_rate(_day, ips):
+    counts = {}
+    for ip in ips:
+        counts[ip] = counts.get(ip, 0) + 1
+    bounces = sum(1 for count in counts.values() if count == 1)
+    # Two passes over the group: counting and the distinct count.
+    return bounces / len(counts), 2 * len(ips)
+
+
+def bounce_rate_outer(visits_bag):
+    """Outer-parallel workaround: sequential UDF per materialized group."""
+    return run_outer_parallel(visits_bag, _sequential_bounce_rate)
+
+
+def _parallel_bounce_rate(ctx, ips):
+    bag = ctx.bag_of(ips)
+    counts_per_ip = bag.map(lambda ip: (ip, 1)).reduce_by_key(
+        lambda a, b: a + b
+    )
+    num_bounces = counts_per_ip.filter(lambda kv: kv[1] == 1).count()
+    num_total = bag.distinct().count()
+    return num_bounces / num_total
+
+
+def bounce_rate_inner(ctx, groups):
+    """Inner-parallel workaround: one parallel job chain per day.
+
+    Args:
+        ctx: Engine context.
+        groups: ``{day: [ips]}`` pre-partitioned input.
+    """
+    return run_inner_parallel(ctx, groups, _parallel_bounce_rate)
+
+
+def bounce_rate_diql(visits_bag):
+    """The DIQL baseline's compiled plan for this query.
+
+    The per-group bounce-rate UDF is holistic (it needs a per-group
+    distinct and a count-of-counts), so DIQL's compiler materializes the
+    groups -- the plan the paper observed running out of memory.
+    """
+    query = (
+        DiqlQuery(visits_bag)
+        .group_by(lambda record: record[0])
+        .aggregate_groups(
+            lambda day, records: _sequential_bounce_rate(
+                day, [ip for _day, ip in records]
+            )[0]
+        )
+    )
+    return query.compile()

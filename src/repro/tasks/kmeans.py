@@ -1,0 +1,322 @@
+"""K-means with hyperparameter optimization (paper Sec. 2.3, Fig. 1).
+
+The nested-parallel task: try many initial centroid configurations, each
+of which runs an iterative Lloyd's K-means.  Two nested formulations
+appear in the paper and both are implemented:
+
+* :func:`kmeans_nested_grouped` -- each configuration trains on its own
+  sample of the data (``(config_id, point)`` records grouped into a
+  NestedBag); this is the weak-scaling setup of Fig. 1 / Fig. 3a where
+  per-configuration work varies inversely with the configuration count.
+* :func:`kmeans_nested_shared` -- all configurations train on one shared
+  point bag that lives *outside* the lifted UDF; the per-iteration
+  assignment step is the half-lifted ``mapWithClosure`` cross product of
+  Sec. 8.3 (current means = InnerScalar closure, points = primary input).
+
+Plus the sequential reference, the flat per-configuration parallel
+implementation (for the inner-parallel workaround), and the two
+workaround runners.
+"""
+
+import math
+
+from ..baselines.outer_parallel import run_outer_parallel
+from ..engine.work import Weighted
+from ..core.closures import half_lifted_map_with_closure
+from ..core.control_flow import while_loop
+from ..core.nestedbag import group_by_key_into_nested_bag, nested_map
+from ..core.primitives import InnerScalar
+
+DEFAULT_TOLERANCE = 1e-3
+DEFAULT_MAX_ITERATIONS = 12
+
+
+def squared_distance(a, b):
+    return sum((x - y) ** 2 for x, y in zip(a, b))
+
+
+def nearest_index(point, centroids):
+    best, best_dist = 0, float("inf")
+    for index, centroid in enumerate(centroids):
+        dist = squared_distance(point, centroid)
+        if dist < best_dist:
+            best, best_dist = index, dist
+    return best
+
+
+def centroid_shift(old, new):
+    """Total movement between two centroid tuples."""
+    return sum(
+        math.sqrt(squared_distance(a, b)) for a, b in zip(old, new)
+    )
+
+
+def _means_from_sums(old_centroids, sums):
+    """New centroid tuple from ``{cluster_index: (sum_vector, count)}``.
+
+    Empty clusters keep their previous centroid (standard Lloyd's
+    convention).
+    """
+    new = list(old_centroids)
+    for index, (vector_sum, count) in sums.items():
+        new[index] = tuple(value / count for value in vector_sum)
+    return tuple(new)
+
+
+def _add_assignment(a, b):
+    (sum_a, count_a), (sum_b, count_b) = a, b
+    return (
+        tuple(x + y for x, y in zip(sum_a, sum_b)),
+        count_a + count_b,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference (also the outer-parallel per-group UDF)
+# ---------------------------------------------------------------------------
+
+
+def kmeans_reference(points, centroids, max_iterations=None,
+                     tolerance=DEFAULT_TOLERANCE):
+    """Sequential Lloyd's K-means.
+
+    Returns ``(centroids, iterations, work)`` where ``work`` counts
+    point-assignment record-equivalents for the cost model.
+    """
+    limit = max_iterations or DEFAULT_MAX_ITERATIONS
+    work = 0
+    iterations = 0
+    current = tuple(tuple(c) for c in centroids)
+    while iterations < limit:
+        sums = {}
+        for point in points:
+            index = nearest_index(point, current)
+            entry = sums.get(index)
+            if entry is None:
+                sums[index] = (point, 1)
+            else:
+                sums[index] = _add_assignment(entry, (point, 1))
+        work += len(points) * len(current)
+        new = _means_from_sums(current, sums)
+        iterations += 1
+        shift = centroid_shift(current, new)
+        current = new
+        if tolerance is not None and shift <= tolerance:
+            break
+    return current, iterations, work
+
+
+# ---------------------------------------------------------------------------
+# Flat parallel K-means (one configuration) -- the inner-parallel unit
+# ---------------------------------------------------------------------------
+
+
+def kmeans_parallel(ctx, points, centroids, max_iterations=None,
+                    tolerance=DEFAULT_TOLERANCE):
+    """Data-parallel K-means for one configuration (driver-side loop).
+
+    Each iteration broadcasts the means, assigns points with a map,
+    reduces per cluster, and collects the new means -- one job per
+    iteration, exactly the Spark pattern whose job-launch overhead the
+    inner-parallel workaround multiplies by the configuration count.
+    """
+    limit = max_iterations or DEFAULT_MAX_ITERATIONS
+    bag = ctx.bag_of(points).cache()
+    current = tuple(tuple(c) for c in centroids)
+    for _ in range(limit):
+        means = ctx.broadcast(current, num_records=len(current))
+        sums = (
+            bag.map(
+                lambda p, m=means: Weighted(
+                    (nearest_index(p, m.value), (p, 1)), len(m.value)
+                )
+            )
+            .reduce_by_key(_add_assignment)
+            .collect(label="kmeans iteration")
+        )
+        new = _means_from_sums(current, dict(sums))
+        shift = centroid_shift(current, new)
+        current = new
+        if tolerance is not None and shift <= tolerance:
+            break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Matryoshka: grouped points (weak scaling / Fig. 1 / Fig. 3a)
+# ---------------------------------------------------------------------------
+
+
+def kmeans_nested_grouped(grouped_points_bag, configs, lowering=None,
+                          max_iterations=None,
+                          tolerance=DEFAULT_TOLERANCE):
+    """Nested K-means over per-configuration samples.
+
+    Args:
+        grouped_points_bag: ``Bag[(config_id, point)]``.
+        configs: ``[(config_id, centroid_tuple), ...]`` -- the
+            hyperparameter settings; config ids must match the grouping
+            keys.
+        lowering: Optional LoweringConfig for the optimizer.
+
+    Returns:
+        ``Bag[(config_id, centroid_tuple)]`` of the trained models.
+    """
+    limit = max_iterations or DEFAULT_MAX_ITERATIONS
+    nested = group_by_key_into_nested_bag(grouped_points_bag, lowering)
+    lctx = nested.lctx
+    points = nested.inner
+    config_map = dict(configs)
+    means = InnerScalar(
+        lctx, lctx.tags.map(lambda tag: (tag, config_map[tag]))
+    )
+
+    def body(state):
+        assigned = state["points"].map_with_closure(
+            state["means"],
+            # Work annotation: one distance evaluation per centroid.
+            lambda point, m: Weighted(
+                (nearest_index(point, m), (point, 1)), len(m)
+            ),
+        )
+        sums = assigned.reduce_by_key(_add_assignment)
+        gathered = sums.collect_per_tag()
+        new_means = state["means"].binary(
+            gathered, lambda m, kv: _means_from_sums(m, dict(kv))
+        )
+        if tolerance is None:
+            shift = state["shift"]
+        else:
+            shift = state["means"].binary(new_means, centroid_shift)
+        return {
+            "points": state["points"],
+            "means": new_means,
+            "shift": shift,
+            "it": state["it"] + 1,
+        }
+
+    state = while_loop(
+        {
+            "points": points,
+            "means": means,
+            "shift": lctx.constant(float("inf")),
+            "it": lctx.constant(0),
+        },
+        cond_fn=_kmeans_condition(limit, tolerance),
+        body_fn=body,
+    )
+    return state["means"].to_bag()
+
+
+def _kmeans_condition(limit, tolerance):
+    if tolerance is None:
+        return lambda state: state["it"] < limit
+    return lambda state: (
+        (state["shift"] > tolerance) & (state["it"] < limit)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Matryoshka: shared points (half-lifted mapWithClosure / Fig. 8 right)
+# ---------------------------------------------------------------------------
+
+
+def kmeans_nested_shared(ctx, points, configs, lowering=None,
+                         max_iterations=None,
+                         tolerance=DEFAULT_TOLERANCE, cross_side=None):
+    """Nested K-means where all configurations share one point bag.
+
+    The point bag is a closure of the lifted UDF (it does not change
+    between K-means runs), so the assignment step is the half-lifted
+    ``mapWithClosure`` of Sec. 8.3: a cross product between the points
+    and the per-configuration means, with the broadcast side chosen at
+    runtime (or forced via ``cross_side``).
+
+    Returns ``Bag[(tag, (config_id, centroids))]``.
+    """
+    limit = max_iterations or DEFAULT_MAX_ITERATIONS
+    points_bag = ctx.bag_of(points).cache()
+    configs_bag = ctx.bag_of(configs)
+
+    def train(config_scalar):
+        means = config_scalar.map(lambda cfg: cfg[1])
+
+        def body(state):
+            # The means InnerScalar only holds live tags, so the cross
+            # product shrinks as configurations converge.
+            assigned = half_lifted_map_with_closure(
+                points_bag,
+                state["means"],
+                lambda point, m: Weighted(
+                    (nearest_index(point, m), (point, 1)), len(m)
+                ),
+                side=cross_side,
+            )
+            sums = assigned.reduce_by_key(_add_assignment)
+            gathered = sums.collect_per_tag()
+            new_means = state["means"].binary(
+                gathered, lambda m, kv: _means_from_sums(m, dict(kv))
+            )
+            if tolerance is None:
+                shift = state["shift"]
+            else:
+                shift = state["means"].binary(new_means, centroid_shift)
+            return {
+                "means": new_means,
+                "shift": shift,
+                "it": state["it"] + 1,
+            }
+
+        lctx = config_scalar.lctx
+        state = while_loop(
+            {
+                "means": means,
+                "shift": lctx.constant(float("inf")),
+                "it": lctx.constant(0),
+            },
+            cond_fn=_kmeans_condition(limit, tolerance),
+            body_fn=body,
+        )
+        return config_scalar.binary(
+            state["means"], lambda cfg, m: (cfg[0], m)
+        )
+
+    result = nested_map(configs_bag, train, lowering)
+    return result.to_bag()
+
+
+# ---------------------------------------------------------------------------
+# Workarounds
+# ---------------------------------------------------------------------------
+
+
+def kmeans_outer(grouped_points_bag, configs, max_iterations=None,
+                 tolerance=DEFAULT_TOLERANCE):
+    """Outer-parallel: one sequential K-means per materialized group."""
+    config_map = dict(configs)
+
+    def udf(config_id, points):
+        centroids, _iters, work = kmeans_reference(
+            points, config_map[config_id], max_iterations, tolerance
+        )
+        return centroids, work
+
+    return run_outer_parallel(grouped_points_bag, udf)
+
+
+def kmeans_inner(ctx, groups, configs, max_iterations=None,
+                 tolerance=DEFAULT_TOLERANCE):
+    """Inner-parallel: a full parallel K-means job chain per config."""
+    config_map = dict(configs)
+    results = []
+    for key in sorted(groups, key=repr):
+        results.append(
+            (
+                key,
+                kmeans_parallel(
+                    ctx, groups[key], config_map[key], max_iterations,
+                    tolerance,
+                ),
+            )
+        )
+    return results

@@ -1,0 +1,88 @@
+"""The DIQL-style comprehension-compiler baseline."""
+
+import pytest
+
+from repro.baselines.diql import DiqlQuery, Monoid
+from repro.errors import UnsupportedFeatureError
+
+
+class TestSimpleComprehensions:
+    def test_select_where(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of(range(10)))
+            .where(lambda x: x % 2 == 0)
+            .select(lambda x: x * 10)
+        )
+        assert sorted(query.compile().collect()) == [0, 20, 40, 60, 80]
+
+    def test_stacked_clauses(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of(range(20)))
+            .where(lambda x: x > 5)
+            .select(lambda x: x - 5)
+            .where(lambda x: x % 3 == 0)
+        )
+        assert sorted(query.compile().collect()) == [3, 6, 9, 12]
+
+
+class TestAlgebraicAggregation:
+    def test_monoid_count_flattens_to_reduce(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of("aabbbc"))
+            .group_by(lambda ch: ch)
+            .reduce(Monoid.count())
+        )
+        assert query.compile().collect_as_map() == {
+            "a": 2, "b": 3, "c": 1,
+        }
+        assert "reduceByKey (flattened)" in query.explain()
+
+    def test_monoid_sum_with_mapper(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of([("a", 2), ("a", 3), ("b", 10)]))
+            .group_by(lambda kv: kv[0])
+            .reduce(Monoid.sum(lambda kv: kv[1]))
+        )
+        assert query.compile().collect_as_map() == {"a": 5, "b": 10}
+
+
+class TestHolisticAggregation:
+    def test_falls_back_to_group_materialization(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of([("a", 1), ("a", 5), ("b", 2)]))
+            .group_by(lambda kv: kv[0])
+            .aggregate_groups(
+                lambda _k, records: max(v for _key, v in records)
+            )
+        )
+        assert "outer-parallel fallback" in query.explain()
+        assert query.compile().collect_as_map() == {"a": 5, "b": 2}
+
+
+class TestRejections:
+    def test_inner_control_flow_rejected(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of([("a", 1)]))
+            .group_by(lambda kv: kv[0])
+            .aggregate_groups(lambda _k, r: r, control_flow=True)
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            query.compile()
+
+    def test_aggregation_requires_group_by(self, ctx):
+        with pytest.raises(UnsupportedFeatureError):
+            DiqlQuery(ctx.bag_of([1])).reduce(Monoid.count())
+
+    def test_clauses_after_aggregation_rejected(self, ctx):
+        query = (
+            DiqlQuery(ctx.bag_of([("a", 1)]))
+            .group_by(lambda kv: kv[0])
+            .reduce(Monoid.count())
+        )
+        with pytest.raises(UnsupportedFeatureError):
+            query.where(lambda x: True)
+
+    def test_double_group_by_rejected(self, ctx):
+        query = DiqlQuery(ctx.bag_of([1])).group_by(lambda x: x)
+        with pytest.raises(UnsupportedFeatureError):
+            query.group_by(lambda x: x)

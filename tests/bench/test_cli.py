@@ -1,0 +1,35 @@
+"""The `python -m repro.bench` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "fig8-left" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_runs_an_experiment(self, capsys):
+        assert main(["fig7-bounce", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "data skew" in out
+        assert "matryoshka" in out
+
+    def test_registry_covers_every_paper_figure(self):
+        names = set(EXPERIMENTS)
+        for expected in (
+            "fig1", "fig3a", "fig3b", "fig3c", "fig5", "fig6",
+            "fig8-left", "fig8-right", "fig9a", "fig9b",
+        ):
+            assert expected in names

@@ -1,0 +1,159 @@
+"""Figure experiments: structural smoke tests and shape assertions.
+
+These run the ``quick`` variants and assert the *qualitative* properties
+EXPERIMENTS.md records: who wins, who fails, and how curves move.  They
+are the regression net for the reproduction itself.
+"""
+
+import pytest
+
+from repro.bench import figures
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figures.fig1_kmeans_motivation("quick")
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figures.fig5_bounce_rate_weak_scaling("quick")
+
+
+class TestFig1Shape:
+    def test_ideal_is_constant(self, fig1):
+        xs = fig1.x_values()
+        times = [fig1.seconds(figures.IDEAL, x) for x in xs]
+        assert max(times) / min(times) < 1.05
+
+    def test_matryoshka_tracks_ideal(self, fig1):
+        for x in fig1.x_values():
+            ratio = (
+                fig1.seconds(figures.MATRYOSHKA, x)
+                / fig1.seconds(figures.IDEAL, x)
+            )
+            assert ratio < 2.0
+
+    def test_inner_parallel_grows_with_configs(self, fig1):
+        xs = fig1.x_values()
+        first = fig1.seconds(figures.INNER, xs[0])
+        last = fig1.seconds(figures.INNER, xs[-1])
+        assert last > 5 * first
+
+    def test_outer_parallel_shrinks_with_configs(self, fig1):
+        xs = fig1.x_values()
+        first = fig1.seconds(figures.OUTER, xs[0])
+        last = fig1.seconds(figures.OUTER, xs[-1])
+        assert first > 5 * last
+
+    def test_outer_is_orders_slower_at_one_config(self, fig1):
+        assert fig1.speedup(figures.OUTER, figures.IDEAL, 1) > 30
+
+    def test_matryoshka_beats_both_at_the_crossover(self, fig1):
+        """The paper's 'gray area': even the better workaround stays
+        well above Matryoshka in the middle of the sweep."""
+        xs = fig1.x_values()
+        mid = xs[len(xs) // 2]
+        best_workaround = min(
+            fig1.seconds(figures.INNER, mid),
+            fig1.seconds(figures.OUTER, mid),
+        )
+        assert best_workaround > 1.5 * fig1.seconds(
+            figures.MATRYOSHKA, mid
+        )
+
+
+class TestFig5Shape:
+    def test_outer_and_diql_oom_everywhere(self, fig5):
+        for x in fig5.x_values():
+            assert fig5.result_for(figures.OUTER, x).status == "oom"
+            assert fig5.result_for(figures.DIQL, x).status == "oom"
+
+    def test_matryoshka_nearly_constant(self, fig5):
+        times = [
+            fig5.seconds(figures.MATRYOSHKA, x)
+            for x in fig5.x_values()
+        ]
+        assert max(times) / min(times) < 1.3
+
+    def test_matryoshka_wins_at_many_groups(self, fig5):
+        x = fig5.x_values()[-1]
+        assert fig5.speedup(figures.INNER, figures.MATRYOSHKA, x) > 3
+
+    def test_inner_competitive_at_few_groups(self, fig5):
+        """Sec. 9.4: inner-parallel is slightly *faster* at 4-32 groups
+        because Matryoshka pays memory pressure on the full input."""
+        x = fig5.x_values()[0]
+        ratio = fig5.speedup(figures.INNER, figures.MATRYOSHKA, x)
+        assert ratio < 1.5
+
+
+class TestFig6Shape:
+    def test_matryoshka_never_loses_to_diql(self):
+        sweep = figures.fig6_diql_comparison("quick")
+        for x in sweep.x_values():
+            diql = sweep.seconds(figures.DIQL, x)
+            ours = sweep.seconds(figures.MATRYOSHKA, x)
+            assert ours is not None
+            if diql is not None:
+                assert ours <= diql * 1.05
+
+
+class TestFig7Shape:
+    def test_skew_barely_affects_matryoshka(self):
+        sweep = figures.fig7_skew("quick")
+        xs = sweep.x_values()
+        base = sweep.seconds(figures.MATRYOSHKA, xs[0])
+        skewed = sweep.seconds(figures.MATRYOSHKA, xs[-1])
+        assert skewed <= base * 1.15
+
+    def test_outer_parallel_fails_under_this_load(self):
+        sweep = figures.fig7_skew("quick")
+        for x in sweep.x_values():
+            assert sweep.result_for(figures.OUTER, x).status == "oom"
+
+
+class TestFig8Shape:
+    def test_optimizer_always_tracks_best_join_strategy(self):
+        sweep = figures.fig8_join_strategies("quick")
+        for x in sweep.x_values():
+            fixed = [
+                sweep.seconds("broadcast", x),
+                sweep.seconds("repartition", x),
+            ]
+            survivors = [t for t in fixed if t is not None]
+            optimizer = sweep.seconds("optimizer", x)
+            assert optimizer is not None
+            assert optimizer <= min(survivors) * 1.05
+
+    def test_each_fixed_strategy_fails_somewhere(self):
+        sweep = figures.fig8_join_strategies("quick")
+        assert any(
+            sweep.result_for("broadcast", x).status == "oom"
+            for x in sweep.x_values()
+        )
+        assert any(
+            sweep.result_for("repartition", x).status == "oom"
+            for x in sweep.x_values()
+        )
+
+    def test_half_lifted_optimizer_is_optimal(self):
+        sweep = figures.fig8_half_lifted("quick")
+        for x in sweep.x_values():
+            times = [
+                sweep.seconds("broadcast-scalar", x),
+                sweep.seconds("broadcast-primary", x),
+            ]
+            survivors = [t for t in times if t is not None]
+            assert sweep.seconds("optimizer", x) <= min(
+                survivors
+            ) * 1.05
+
+
+class TestAblationShape:
+    def test_partition_sizing_helps(self):
+        sweep = figures.ablation_partition_counts("quick")
+        for x in sweep.x_values():
+            assert sweep.seconds("auto (Sec. 8.1)", x) < sweep.seconds(
+                "engine default", x
+            )

@@ -1,0 +1,98 @@
+"""The benchmark harness: measured runs, OOM handling, tables."""
+
+import pytest
+
+from repro.bench.harness import (
+    OOM,
+    RunResult,
+    Sweep,
+    geometric_x_values,
+    run_measured,
+)
+from repro.engine import ClusterConfig, laptop_config
+from repro.errors import SimulatedOutOfMemory
+
+
+class TestRunMeasured:
+    def test_successful_run_records_seconds(self, config):
+        result = run_measured(
+            config, "sys", 1, lambda ctx: ctx.bag_of([1]).count()
+        )
+        assert result.status == "ok"
+        assert result.seconds > 0
+        assert result.jobs == 1
+
+    def test_oom_is_caught(self):
+        config = ClusterConfig(
+            machines=1,
+            cores_per_machine=1,
+            memory_per_machine_bytes=1_000,
+            bytes_per_record=100.0,
+            memory_safety_fraction=1.0,
+            memory_overhead_factor=1.0,
+        )
+
+        def blow_up(ctx):
+            ctx.bag_of(
+                [("k", i) for i in range(100)]
+            ).group_by_key().collect()
+
+        result = run_measured(config, "sys", 1, blow_up)
+        assert result.status == "oom"
+        assert result.cell() == OOM
+
+    def test_fresh_context_per_run(self, config):
+        a = run_measured(
+            config, "s", 1, lambda ctx: ctx.bag_of([1]).count()
+        )
+        b = run_measured(
+            config, "s", 1, lambda ctx: ctx.bag_of([1]).count()
+        )
+        assert a.seconds == pytest.approx(b.seconds)
+
+
+class TestSweep:
+    def make_sweep(self):
+        sweep = Sweep(title="T", x_label="x", systems=["a", "b"])
+        sweep.add(RunResult(system="a", x=1, seconds=2.0))
+        sweep.add(RunResult(system="b", x=1, seconds=8.0))
+        sweep.add(RunResult(system="a", x=2, status="oom"))
+        return sweep
+
+    def test_lookup(self):
+        sweep = self.make_sweep()
+        assert sweep.seconds("a", 1) == 2.0
+        assert sweep.seconds("a", 2) is None
+        assert sweep.seconds("missing", 1) is None
+
+    def test_speedup(self):
+        sweep = self.make_sweep()
+        assert sweep.speedup("b", "a", 1) == pytest.approx(4.0)
+        assert sweep.speedup("b", "a", 2) is None
+
+    def test_x_values_in_insert_order(self):
+        assert self.make_sweep().x_values() == [1, 2]
+
+    def test_table_contains_everything(self):
+        table = self.make_sweep().to_table()
+        assert "T" in table
+        assert "OOM" in table
+        assert "2.0 s" in table
+        assert "8.0 s" in table
+        assert "-" in table  # missing b@2 cell
+
+    def test_run_executes_and_collects(self):
+        sweep = Sweep(title="T", x_label="x", systems=["a"])
+        result = sweep.run(
+            laptop_config(), "a", 1,
+            lambda ctx: ctx.bag_of([1]).count(),
+        )
+        assert result in sweep.results
+
+
+class TestGeometricValues:
+    def test_powers_of_two(self):
+        assert geometric_x_values(1, 16) == [1, 2, 4, 8, 16]
+
+    def test_custom_factor(self):
+        assert geometric_x_values(1, 100, factor=10) == [1, 10, 100]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.engine import ClusterConfig, EngineContext, laptop_config
+
+
+@pytest.fixture
+def config():
+    """A small, OOM-proof cluster config."""
+    return laptop_config()
+
+@pytest.fixture
+def ctx(config):
+    """A fresh engine context per test."""
+    return EngineContext(config)
+
+
+@pytest.fixture
+def tight_memory_config():
+    """A config whose memory limits are easy to hit on purpose."""
+    return ClusterConfig(
+        machines=2,
+        cores_per_machine=2,
+        memory_per_machine_bytes=10_000,
+        bytes_per_record=100.0,
+        memory_overhead_factor=1.0,
+        driver_memory_bytes=50_000,
+        parallelism_factor=2,
+    )
+
+
+@pytest.fixture
+def tight_ctx(tight_memory_config):
+    return EngineContext(tight_memory_config)

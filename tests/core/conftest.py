@@ -1,0 +1,22 @@
+"""Fixtures for the core (flattening) tests."""
+
+import pytest
+
+from repro.core.nestedbag import group_by_key_into_nested_bag
+
+
+@pytest.fixture
+def nested(ctx):
+    """A NestedBag of two groups: fruit {1,2,3} and animal {10, 20}."""
+    bag = ctx.bag_of(
+        [
+            ("fruit", 1), ("fruit", 2), ("fruit", 3),
+            ("animal", 10), ("animal", 20),
+        ]
+    )
+    return group_by_key_into_nested_bag(bag)
+
+
+@pytest.fixture
+def lctx(nested):
+    return nested.lctx

@@ -1,0 +1,143 @@
+"""Closure handling: mapWithClosure and half-lifted ops (paper Sec. 5)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.closures import (
+    half_lifted_filter_with_closure,
+    half_lifted_map_with_closure,
+    replicate_bag,
+    replicate_scalar,
+)
+from repro.core.primitives import InnerScalar
+from repro.errors import FlatteningError
+
+
+class TestMapWithClosure:
+    """Sec. 5.1: an unlifted UDF referring to an InnerScalar."""
+
+    def test_each_tag_meets_its_own_closure_value(self, nested):
+        init = nested.inner.count().map(lambda n: 1.0 / n)
+        weighted = nested.inner.map_with_closure(
+            init, lambda x, w: (x, w)
+        )
+        groups = weighted.collect_nested()
+        assert all(w == pytest.approx(1 / 3) for _x, w in groups["fruit"])
+        assert all(
+            w == pytest.approx(1 / 2) for _x, w in groups["animal"]
+        )
+
+    def test_plain_constant_closure(self, nested):
+        shifted = nested.inner.map_with_closure(
+            5, lambda x, c: x + c
+        )
+        assert sorted(shifted.collect_nested()["fruit"]) == [6, 7, 8]
+
+    def test_filter_with_closure(self, nested):
+        threshold = nested.inner.sum().map(lambda s: s / 10)
+        kept = nested.inner.filter_with_closure(
+            threshold, lambda x, t: x > t
+        )
+        groups = kept.collect_nested()
+        # fruit: threshold 0.6 keeps all; animal: threshold 3 keeps all.
+        assert sorted(groups["fruit"]) == [1, 2, 3]
+        assert sorted(groups["animal"]) == [10, 20]
+
+    def test_cross_context_closure_rejected(self, ctx, nested):
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        other = group_by_key_into_nested_bag(ctx.bag_of([("z", 1)]))
+        with pytest.raises(FlatteningError):
+            nested.inner.map_with_closure(
+                other.lctx.constant(1), lambda x, c: x
+            )
+
+
+class TestHalfLiftedMapWithClosure:
+    """Sec. 5.2 / 8.3: the InnerScalar closure crossed with a plain bag."""
+
+    def test_cross_product_semantics(self, ctx, lctx):
+        points = ctx.bag_of([1, 2])
+        offsets = lctx.scalars_from_pairs(
+            [("fruit", 10), ("animal", 100)]
+        )
+        out = half_lifted_map_with_closure(
+            points, offsets, lambda p, s: p + s
+        )
+        groups = out.collect_nested()
+        assert sorted(groups["fruit"]) == [11, 12]
+        assert sorted(groups["animal"]) == [101, 102]
+
+    def test_forced_sides_agree(self, ctx, lctx):
+        points = ctx.bag_of([1, 2, 3])
+        offsets = lctx.constant(5)
+        results = {
+            side: Counter(
+                half_lifted_map_with_closure(
+                    points, offsets, lambda p, s: p * s, side=side
+                ).repr.collect()
+            )
+            for side in ("scalar", "primary")
+        }
+        assert results["scalar"] == results["primary"]
+
+    def test_rejects_plain_closure(self, ctx):
+        with pytest.raises(FlatteningError):
+            half_lifted_map_with_closure(
+                ctx.bag_of([1]), 7, lambda p, s: p
+            )
+
+    def test_rejects_bad_side(self, ctx, lctx):
+        with pytest.raises(FlatteningError):
+            half_lifted_map_with_closure(
+                ctx.bag_of([1]), lctx.constant(1), lambda p, s: p,
+                side="both",
+            )
+
+    def test_half_lifted_filter(self, ctx, lctx):
+        points = ctx.bag_of([1, 2, 3, 4])
+        threshold = lctx.scalars_from_pairs(
+            [("fruit", 2), ("animal", 3)]
+        )
+        kept = half_lifted_filter_with_closure(
+            points, threshold, lambda p, t: p > t
+        )
+        groups = kept.collect_nested()
+        assert sorted(groups["fruit"]) == [3, 4]
+        assert sorted(groups["animal"]) == [4]
+
+
+class TestHalfLiftedJoin:
+    def test_join_with_plain_matches_replication(self, ctx, nested):
+        """The half-lifted join (Sec. 5.2's three-liner) must produce the
+        same result as naively replicating the outside bag per tag."""
+        keyed = nested.inner.map(lambda x: (x % 2, x))
+        plain = ctx.bag_of([(0, "even"), (1, "odd")])
+        half_lifted = keyed.join_with_plain(plain)
+        replicated = replicate_bag(plain, nested.lctx)
+        naive = keyed.join(replicated)
+        assert Counter(half_lifted.repr.collect()) == Counter(
+            naive.repr.collect()
+        )
+
+    def test_join_with_plain_shape(self, nested, ctx):
+        keyed = nested.inner.map(lambda x: (x % 2, x))
+        plain = ctx.bag_of([(1, "odd")])
+        got = keyed.join_with_plain(plain).collect_nested()
+        assert sorted(got["fruit"]) == [
+            (1, (1, "odd")), (1, (3, "odd")),
+        ]
+
+
+class TestReplication:
+    def test_replicate_bag_copies_per_tag(self, ctx, lctx):
+        replicated = replicate_bag(ctx.bag_of(["x", "y"]), lctx)
+        nested_view = replicated.collect_nested()
+        assert sorted(nested_view["fruit"]) == ["x", "y"]
+        assert sorted(nested_view["animal"]) == ["x", "y"]
+
+    def test_replicate_scalar(self, lctx):
+        scalar = replicate_scalar(42, lctx)
+        assert isinstance(scalar, InnerScalar)
+        assert scalar.as_dict() == {"fruit": 42, "animal": 42}

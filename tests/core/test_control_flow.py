@@ -1,0 +1,267 @@
+"""Lifted while loops and if statements (paper Sec. 6, Listing 4)."""
+
+import pytest
+
+from repro.core.control_flow import cond, while_loop
+from repro.core.nestedbag import nested_map
+from repro.core.primitives import InnerBag, InnerScalar
+from repro.errors import FlatteningError
+
+
+class TestPlainWhile:
+    def test_runs_like_python(self):
+        state = while_loop(
+            {"x": 0},
+            cond_fn=lambda s: s["x"] < 5,
+            body_fn=lambda s: {"x": s["x"] + 2},
+        )
+        assert state["x"] == 6
+
+    def test_zero_iterations(self):
+        state = while_loop(
+            {"x": 10},
+            cond_fn=lambda s: s["x"] < 5,
+            body_fn=lambda s: {"x": s["x"] + 1},
+        )
+        assert state["x"] == 10
+
+    def test_iteration_bound_enforced(self):
+        with pytest.raises(FlatteningError):
+            while_loop(
+                {"x": 0},
+                cond_fn=lambda _s: True,
+                body_fn=lambda s: s,
+                max_iterations=3,
+            )
+
+
+class TestLiftedWhile:
+    def test_different_tags_exit_at_different_iterations(self, ctx):
+        def udf(x):
+            state = while_loop(
+                {"x": x, "steps": x.map(lambda _v: 0)},
+                cond_fn=lambda s: s["x"] < 10,
+                body_fn=lambda s: {
+                    "x": s["x"] + 3, "steps": s["steps"] + 1,
+                },
+            )
+            return state["x"], state["steps"]
+
+        x, steps = nested_map(ctx.bag_of([0, 4, 9, 20]), udf)
+        assert sorted(x.collect_values()) == [10, 12, 12, 20]
+        assert sorted(steps.collect_values()) == [0, 1, 2, 4]
+
+    def test_matches_per_tag_sequential_loops(self, ctx):
+        seeds = [1, 7, 13, 2, 2]
+
+        def sequential(value):
+            while value % 5 != 0:
+                value += 3
+            return value
+
+        result = nested_map(
+            ctx.bag_of(seeds),
+            lambda x: while_loop(
+                {"x": x},
+                cond_fn=lambda s: s["x"].map(lambda v: v % 5 != 0),
+                body_fn=lambda s: {"x": s["x"] + 3},
+            )["x"],
+        )
+        assert sorted(result.collect_values()) == sorted(
+            sequential(v) for v in seeds
+        )
+
+    def test_inner_bag_loop_variable(self, nested):
+        """InnerBags passed through the loop are filtered per tag (P1)
+        and their finished parts are saved (P2)."""
+        state = while_loop(
+            {
+                "bag": nested.inner,
+                "n": nested.inner.count(),
+            },
+            cond_fn=lambda s: s["n"] > 2,
+            body_fn=lambda s: {
+                "bag": s["bag"].filter(lambda x: x > 1),
+                "n": s["bag"].filter(lambda x: x > 1).count(),
+            },
+        )
+        # fruit shrinks 3 -> 2 and exits; animal (2) exits immediately.
+        assert sorted(state["bag"].collect_nested()["fruit"]) == [2, 3]
+        assert sorted(state["bag"].collect_nested()["animal"]) == [
+            10, 20,
+        ]
+
+    def test_plain_loop_vars_lifted_on_request(self, ctx):
+        def udf(x):
+            state = while_loop(
+                {"x": x, "count": 0},
+                cond_fn=lambda s: s["x"] < 3,
+                body_fn=lambda s: {
+                    "x": s["x"] + 1, "count": s["count"] + 1,
+                },
+                loop_vars=["x", "count"],
+            )
+            return state["count"]
+
+        counts = nested_map(ctx.bag_of([0, 2, 5]), udf)
+        assert sorted(counts.collect_values()) == [0, 1, 3]
+
+    def test_requires_a_lifted_variable(self, lctx):
+        cond_scalar = lctx.constant(True)
+        with pytest.raises(FlatteningError):
+            while_loop(
+                {"x": 1},
+                cond_fn=lambda _s: cond_scalar,
+                body_fn=lambda s: s,
+            )
+
+    def test_foreign_context_variable_rejected(self, ctx, lctx):
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        other = group_by_key_into_nested_bag(ctx.bag_of([("z", 1)]))
+        with pytest.raises(FlatteningError):
+            while_loop(
+                {"a": lctx.constant(0), "b": other.lctx.constant(0)},
+                cond_fn=lambda s: s["a"] < 1,
+                body_fn=lambda s: {
+                    "a": s["a"] + 1, "b": s["b"],
+                },
+            )
+
+    def test_constant_job_count_per_iteration(self, ctx):
+        """P3's emptiness check plus one checkpoint: the job count per
+        iteration must not depend on the number of tags."""
+        job_counts = []
+        for num_tags in (2, 8):
+            ctx.reset_trace()
+            nested_map(
+                ctx.bag_of(list(range(num_tags))),
+                lambda x: while_loop(
+                    {"x": x},
+                    cond_fn=lambda s: s["x"] < 100,
+                    body_fn=lambda s: {"x": s["x"] + 30},
+                )["x"],
+            ).collect()
+            job_counts.append(ctx.trace.num_jobs)
+        assert job_counts[0] == job_counts[1]
+
+
+class TestPlainCond:
+    def test_true_branch(self):
+        out = cond(
+            True,
+            lambda s: {"y": s["x"] + 1},
+            lambda s: {"y": s["x"] - 1},
+            {"x": 10},
+        )
+        assert out["y"] == 11
+
+    def test_false_branch(self):
+        out = cond(
+            False,
+            lambda s: {"y": s["x"] + 1},
+            lambda s: {"y": s["x"] - 1},
+            {"x": 10},
+        )
+        assert out["y"] == 9
+
+    def test_missing_else_passes_state_through(self):
+        out = cond(False, lambda s: {"x": 0}, None, {"x": 5})
+        assert out["x"] == 5
+
+
+class TestLiftedCond:
+    def test_both_branches_partition_the_tags(self, ctx):
+        def udf(x):
+            out = cond(
+                x % 2 == 0,
+                lambda s: {"y": s["x"] * 10},
+                lambda s: {"y": -s["x"]},
+                {"x": x},
+            )
+            return out["y"]
+
+        y = nested_map(ctx.bag_of([1, 2, 3, 4]), udf)
+        assert sorted(y.collect_values()) == [-3, -1, 20, 40]
+
+    def test_diverging_plain_constants_become_lifted(self, ctx):
+        def udf(x):
+            out = cond(
+                x > 2,
+                lambda _s: {"label": "big"},
+                lambda _s: {"label": "small"},
+                {"x": x},
+            )
+            return out["label"]
+
+        labels = nested_map(ctx.bag_of([1, 5]), udf)
+        assert sorted(labels.collect_values()) == ["big", "small"]
+
+    def test_equal_plain_results_stay_plain(self, ctx):
+        def udf(x):
+            out = cond(
+                x > 2,
+                lambda _s: {"k": 7},
+                lambda _s: {"k": 7},
+                {"x": x},
+            )
+            return x.map(lambda _v, k=out["k"]: k)
+
+        values = nested_map(ctx.bag_of([1, 5]), udf)
+        assert values.collect_values() == [7, 7]
+
+    def test_branch_key_mismatch_rejected(self, lctx):
+        with pytest.raises(FlatteningError):
+            cond(
+                lctx.constant(True),
+                lambda _s: {"a": 1},
+                lambda _s: {"b": 2},
+                {},
+            )
+
+    def test_missing_else_keeps_false_tags_unchanged(self, ctx):
+        def udf(x):
+            out = cond(
+                x > 2,
+                lambda s: {"x": s["x"] * 100},
+                None,
+                {"x": x},
+            )
+            return out["x"]
+
+        values = nested_map(ctx.bag_of([1, 5]), udf)
+        assert sorted(values.collect_values()) == [1, 500]
+
+    def test_inner_bag_state_splits_and_merges(self, nested):
+        big = nested.inner.count() > 2
+        out = cond(
+            big,
+            lambda s: {"bag": s["bag"].map(lambda x: x + 1)},
+            lambda s: {"bag": s["bag"]},
+            {"bag": nested.inner},
+        )
+        groups = out["bag"].collect_nested()
+        assert sorted(groups["fruit"]) == [2, 3, 4]
+        assert sorted(groups["animal"]) == [10, 20]
+
+    def test_nested_cond_inside_cond(self, ctx):
+        def udf(x):
+            def then_branch(s):
+                inner = cond(
+                    s["x"] > 10,
+                    lambda t: {"y": t["x"] * 2},
+                    lambda t: {"y": t["x"] * 3},
+                    {"x": s["x"]},
+                )
+                return {"y": inner["y"]}
+
+            out = cond(
+                x % 2 == 0,
+                then_branch,
+                lambda s: {"y": s["x"]},
+                {"x": x},
+            )
+            return out["y"]
+
+        y = nested_map(ctx.bag_of([3, 4, 20]), udf)
+        assert sorted(y.collect_values()) == [3, 12, 40]

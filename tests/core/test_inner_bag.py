@@ -1,0 +1,175 @@
+"""InnerBag: lifted bag operations (paper Sec. 4.4)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.primitives import InnerBag, InnerScalar
+from repro.errors import FlatteningError
+
+
+class TestStatelessOps:
+    def test_map_forwards_tags(self, nested):
+        doubled = nested.inner.map(lambda x: x * 2)
+        assert doubled.collect_nested() == {
+            "fruit": [2, 4, 6], "animal": [20, 40],
+        }
+
+    def test_filter(self, nested):
+        kept = nested.inner.filter(lambda x: x >= 3)
+        assert kept.collect_nested() == {"fruit": [3], "animal": [10, 20]}
+
+    def test_flat_map(self, nested):
+        repeated = nested.inner.filter(lambda x: x <= 2).flat_map(
+            lambda x: [x] * x
+        )
+        assert Counter(repeated.collect_nested()["fruit"]) == Counter(
+            {1: 1, 2: 2}
+        )
+
+    def test_key_by_and_values(self, nested):
+        keyed = nested.inner.key_by(lambda x: x % 2)
+        assert Counter(keyed.values().collect_nested()["fruit"]) == (
+            Counter([1, 2, 3])
+        )
+
+
+class TestIdenticalOps:
+    def test_distinct_is_per_tag(self, ctx):
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        bag = ctx.bag_of([("a", 1), ("a", 1), ("b", 1), ("b", 2)])
+        nested = group_by_key_into_nested_bag(bag)
+        groups = nested.inner.distinct().collect_nested()
+        assert {k: sorted(v) for k, v in groups.items()} == {
+            "a": [1], "b": [1, 2],
+        }
+
+    def test_union(self, nested):
+        ones = nested.inner.map(lambda _x: 1)
+        both = ones.union(ones)
+        assert Counter(both.collect_nested()["animal"]) == Counter(
+            {1: 4}
+        )
+
+
+class TestPerKeyStatefulOps:
+    def test_reduce_by_key_uses_composite_keys(self, nested):
+        keyed = nested.inner.map(lambda x: (x % 2, x))
+        summed = keyed.reduce_by_key(lambda a, b: a + b)
+        assert dict(summed.collect_nested()["fruit"]) == {0: 2, 1: 4}
+        assert dict(summed.collect_nested()["animal"]) == {0: 30}
+
+    def test_same_key_in_different_tags_kept_apart(self, ctx):
+        """The heart of lifting: identical keys under different tags must
+        not be merged -- this is why keys become (tag, key)."""
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        bag = ctx.bag_of([("g1", ("k", 1)), ("g2", ("k", 100))])
+        nested = group_by_key_into_nested_bag(bag)
+        summed = nested.inner.reduce_by_key(lambda a, b: a + b)
+        assert summed.collect_nested() == {
+            "g1": [("k", 1)], "g2": [("k", 100)],
+        }
+
+    def test_group_by_key(self, nested):
+        keyed = nested.inner.map(lambda x: (x % 2, x))
+        grouped = keyed.group_by_key()
+        fruit = dict(grouped.collect_nested()["fruit"])
+        assert sorted(fruit[1]) == [1, 3]
+
+    def test_join_within_tags_only(self, nested):
+        left = nested.inner.map(lambda x: (x % 2, x))
+        right = nested.inner.map(lambda x: (x % 2, x * 10))
+        joined = left.join(right)
+        animal_pairs = joined.collect_nested()["animal"]
+        # Animal values are 10 and 20, both with key 0: 2x2 pairs.
+        assert len(animal_pairs) == 4
+        fruit_keys = {k for k, _v in joined.collect_nested()["fruit"]}
+        assert fruit_keys == {0, 1}
+
+    def test_subtract_by_key(self, nested):
+        left = nested.inner.map(lambda x: (x, x))
+        right = nested.inner.filter(lambda x: x < 3).map(
+            lambda x: (x, None)
+        )
+        remaining = left.subtract_by_key(right)
+        groups = remaining.collect_nested()
+        assert sorted(groups["fruit"]) == [(3, 3)]
+        assert sorted(groups["animal"]) == [(10, 10), (20, 20)]
+
+    def test_left_outer_join(self, nested):
+        left = nested.inner.map(lambda x: (x, x))
+        right = nested.inner.filter(lambda x: x == 1).map(
+            lambda x: (x, "hit")
+        )
+        joined = left.left_outer_join(right)
+        fruit = dict(joined.collect_nested()["fruit"])
+        assert fruit[1] == (1, "hit")
+        assert fruit[2] == (2, None)
+
+    def test_cross_context_join_rejected(self, ctx, nested):
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        other = group_by_key_into_nested_bag(ctx.bag_of([("x", (1, 1))]))
+        with pytest.raises(FlatteningError):
+            nested.inner.map(lambda x: (x, x)).join(other.inner)
+
+
+class TestAggregations:
+    def test_reduce_returns_inner_scalar(self, nested):
+        total = nested.inner.reduce(lambda a, b: a + b)
+        assert isinstance(total, InnerScalar)
+        assert total.as_dict() == {"fruit": 6, "animal": 30}
+
+    def test_reduce_missing_tags_without_default(self, nested):
+        only_big = nested.inner.filter(lambda x: x > 5)
+        total = only_big.reduce(lambda a, b: a + b)
+        assert total.as_dict() == {"animal": 30}
+
+    def test_reduce_with_default_fills_empty_tags(self, nested):
+        only_big = nested.inner.filter(lambda x: x > 5)
+        total = only_big.reduce(lambda a, b: a + b, default=0)
+        assert total.as_dict() == {"fruit": 0, "animal": 30}
+
+    def test_count_produces_zero_for_empty_bags(self, nested):
+        """Paper Sec. 4.4: count must output 0 for empty inner bags,
+        which requires the stored tags bag."""
+        none_match = nested.inner.filter(lambda x: x > 1000)
+        assert none_match.count().as_dict() == {"fruit": 0, "animal": 0}
+
+    def test_count(self, nested):
+        assert nested.inner.count().as_dict() == {
+            "fruit": 3, "animal": 2,
+        }
+
+    def test_sum(self, nested):
+        assert nested.inner.sum().as_dict() == {"fruit": 6, "animal": 30}
+
+    def test_sum_of_empty_is_zero(self, nested):
+        empty = nested.inner.filter(lambda _x: False)
+        assert empty.sum().as_dict() == {"fruit": 0, "animal": 0}
+
+    def test_collect_per_tag(self, nested):
+        gathered = nested.inner.collect_per_tag()
+        assert sorted(gathered.as_dict()["fruit"]) == [1, 2, 3]
+
+    def test_collect_per_tag_empty_is_empty_tuple(self, nested):
+        empty = nested.inner.filter(lambda _x: False)
+        assert empty.collect_per_tag().as_dict() == {
+            "fruit": (), "animal": (),
+        }
+
+    def test_is_empty(self, nested):
+        empty = nested.inner.filter(lambda _x: False)
+        assert empty.is_empty().as_dict() == {
+            "fruit": True, "animal": True,
+        }
+
+
+class TestFlatten:
+    def test_flatten_drops_tags(self, nested):
+        """Sec. 4.6: flatten's implementation simply removes the tags."""
+        assert sorted(nested.inner.flatten().collect()) == [
+            1, 2, 3, 10, 20,
+        ]

@@ -1,0 +1,145 @@
+"""InnerScalar: lifted scalar values and operations (paper Sec. 4.3)."""
+
+import pytest
+
+from repro.core.primitives import InnerBag, InnerScalar
+from repro.errors import FlatteningError
+
+
+class TestConstruction:
+    def test_constant_has_one_value_per_tag(self, lctx):
+        scalar = lctx.constant(7)
+        assert scalar.as_dict() == {"fruit": 7, "animal": 7}
+
+    def test_from_pairs(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        assert scalar.as_dict() == {"fruit": 1, "animal": 2}
+
+    def test_representation_is_meta_scale(self, lctx):
+        assert lctx.constant(1).repr.is_meta
+
+
+class TestUnaryScalarOp:
+    def test_map(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 2), ("animal", 5)])
+        assert scalar.map(lambda x: x * 10).as_dict() == {
+            "fruit": 20, "animal": 50,
+        }
+
+    def test_negation_operator(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 2), ("animal", -5)])
+        assert (-scalar).as_dict() == {"fruit": -2, "animal": 5}
+
+    def test_abs_operator(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", -2), ("animal", 5)])
+        assert abs(scalar).as_dict() == {"fruit": 2, "animal": 5}
+
+
+class TestBinaryScalarOp:
+    def test_joins_matching_tags(self, lctx):
+        a = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        b = lctx.scalars_from_pairs([("fruit", 10), ("animal", 20)])
+        assert (a + b).as_dict() == {"fruit": 11, "animal": 22}
+
+    def test_constant_operand_needs_no_join(self, lctx):
+        a = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        assert (a + 100).as_dict() == {"fruit": 101, "animal": 102}
+
+    def test_reflected_operand(self, lctx):
+        a = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        assert (100 - a).as_dict() == {"fruit": 99, "animal": 98}
+
+    def test_division_listing_2_line_10(self, lctx):
+        bounces = lctx.scalars_from_pairs([("fruit", 1), ("animal", 3)])
+        totals = lctx.scalars_from_pairs([("fruit", 2), ("animal", 4)])
+        rates = bounces / totals
+        assert rates.as_dict() == {"fruit": 0.5, "animal": 0.75}
+
+    def test_arithmetic_operators(self, lctx):
+        a = lctx.scalars_from_pairs([("fruit", 7), ("animal", 9)])
+        b = lctx.scalars_from_pairs([("fruit", 2), ("animal", 3)])
+        assert (a * b).as_dict() == {"fruit": 14, "animal": 27}
+        assert (a // b).as_dict() == {"fruit": 3, "animal": 3}
+        assert (a % b).as_dict() == {"fruit": 1, "animal": 0}
+        assert (a ** b).as_dict() == {"fruit": 49, "animal": 729}
+
+    def test_comparisons_yield_boolean_scalars(self, lctx):
+        a = lctx.scalars_from_pairs([("fruit", 1), ("animal", 5)])
+        assert (a > 3).as_dict() == {"fruit": False, "animal": True}
+        assert (a <= 1).as_dict() == {"fruit": True, "animal": False}
+        assert (a == 5).as_dict() == {"fruit": False, "animal": True}
+        assert (a != 5).as_dict() == {"fruit": True, "animal": False}
+
+    def test_logical_operators(self, lctx):
+        a = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", False)]
+        )
+        b = lctx.constant(True)
+        assert (a & b).as_dict() == {"fruit": True, "animal": False}
+        assert (a | b).as_dict() == {"fruit": True, "animal": True}
+        assert a.logical_not().as_dict() == {
+            "fruit": False, "animal": True,
+        }
+        assert (~a).as_dict() == {"fruit": False, "animal": True}
+
+    def test_cross_context_operands_rejected(self, ctx, lctx):
+        from repro.core.nestedbag import group_by_key_into_nested_bag
+
+        other = group_by_key_into_nested_bag(ctx.bag_of([("x", 1)]))
+        a = lctx.constant(1)
+        b = other.lctx.constant(2)
+        with pytest.raises(FlatteningError):
+            (a + b).collect()
+
+    def test_inner_bag_operand_rejected(self, nested, lctx):
+        with pytest.raises(FlatteningError):
+            lctx.constant(1).binary(nested.inner, lambda a, b: a)
+
+
+class TestScalarGuards:
+    def test_bool_collapse_raises(self, lctx):
+        scalar = lctx.constant(True)
+        with pytest.raises(FlatteningError):
+            bool(scalar)
+
+    def test_truthiness_in_if_raises(self, lctx):
+        scalar = lctx.constant(1)
+        with pytest.raises(FlatteningError):
+            if scalar:  # noqa: SIM108 -- deliberately wrong usage
+                pass
+
+
+class TestConversions:
+    def test_values_drops_tags(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        assert sorted(scalar.values().collect()) == [1, 2]
+
+    def test_collect_values(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 1), ("animal", 2)])
+        assert sorted(scalar.collect_values()) == [1, 2]
+
+    def test_to_bag_is_the_flat_representation(self, lctx):
+        scalar = lctx.scalars_from_pairs([("fruit", 1)])
+        assert isinstance(scalar.to_bag().collect(), list)
+
+    def test_with_context_rebinds(self, lctx):
+        scalar = lctx.constant(3)
+        derived = lctx.derive(lctx.tags, lctx.num_tags)
+        rebound = scalar.with_context(derived)
+        assert isinstance(rebound, InnerScalar)
+        assert rebound.lctx is derived
+
+
+class TestSizeInvariant:
+    def test_all_inner_scalars_share_tag_cardinality(self, lctx):
+        """Paper Sec. 8.1: every InnerScalar in a lifted UDF has the same
+        size -- one value per tag."""
+        scalars = [
+            lctx.constant(0),
+            lctx.constant(0).map(lambda x: x + 1),
+            lctx.constant(1) + lctx.constant(2),
+        ]
+        for scalar in scalars:
+            pairs = scalar.collect()
+            assert len(pairs) == lctx.num_tags
+            assert len({tag for tag, _v in pairs}) == lctx.num_tags

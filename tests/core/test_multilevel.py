@@ -1,0 +1,125 @@
+"""Multi-level nesting: composite tags (paper Sec. 7)."""
+
+import pytest
+
+from repro.core.nestedbag import group_by_key_into_nested_bag
+from repro.core.primitives import InnerBag
+from repro.errors import FlatteningError
+
+
+@pytest.fixture
+def two_groups(ctx):
+    bag = ctx.bag_of(
+        [("g1", 1), ("g1", 2), ("g2", 10), ("g2", 20), ("g2", 30)]
+    )
+    return group_by_key_into_nested_bag(bag)
+
+
+class TestAsSubLevel:
+    def test_composite_tags(self, two_groups):
+        sub, element = two_groups.inner.as_sub_level()
+        tags = {tag for tag, _v in element.collect()}
+        assert tags == {
+            ("g1", 1), ("g1", 2),
+            ("g2", 10), ("g2", 20), ("g2", 30),
+        }
+
+    def test_element_scalar_holds_the_element(self, two_groups):
+        _sub, element = two_groups.inner.as_sub_level()
+        assert all(
+            tag[1] == value for tag, value in element.collect()
+        )
+
+    def test_levels_and_parents(self, two_groups):
+        sub, _element = two_groups.inner.as_sub_level()
+        assert two_groups.lctx.level == 1
+        assert sub.level == 2
+        assert sub.parent is two_groups.lctx
+
+    def test_num_tags_counts_every_element(self, two_groups):
+        sub, _element = two_groups.inner.as_sub_level()
+        assert sub.num_tags == 5
+
+    def test_tag_to_parent(self, two_groups):
+        sub, _element = two_groups.inner.as_sub_level()
+        assert sub.tag_to_parent(("g1", 2)) == "g1"
+
+
+class TestJoinOnParent:
+    def test_joins_against_the_enclosing_level(self, two_groups):
+        sub, element = two_groups.inner.as_sub_level()
+        # Level-2 bag: each element under its composite tag.
+        level2 = InnerBag(
+            sub, element.repr.map(lambda tv: (tv[0], tv[1]))
+        )
+        # Join each level-2 element with the level-1 elements of its
+        # group that carry the same parity.
+        joined = level2.join_on_parent(
+            two_groups.inner,
+            self_key=lambda x: x % 2,
+            outer_key=lambda y: y % 2,
+        )
+        pairs = joined.collect()
+        # g1 element 1 (odd) matches only 1; g1 element 2 matches only 2.
+        g1 = sorted(v for t, v in pairs if t[0] == "g1")
+        assert g1 == [(1, 1), (2, 2)]
+        # g2 elements are all even: 3 x 3 pairs.
+        g2 = [v for t, v in pairs if t[0] == "g2"]
+        assert len(g2) == 9
+
+    def test_requires_nested_context(self, two_groups):
+        with pytest.raises(FlatteningError):
+            two_groups.inner.join_on_parent(
+                two_groups.inner, lambda x: x, lambda y: y
+            )
+
+    def test_outer_must_be_the_parent_level(self, ctx, two_groups):
+        sub, element = two_groups.inner.as_sub_level()
+        level2 = InnerBag(sub, element.repr)
+        foreign = group_by_key_into_nested_bag(ctx.bag_of([("z", 1)]))
+        with pytest.raises(FlatteningError):
+            level2.join_on_parent(
+                foreign.inner, lambda x: x, lambda y: y
+            )
+
+
+class TestRetagToParent:
+    def test_sums_collapse_one_level(self, two_groups):
+        sub, element = two_groups.inner.as_sub_level()
+        level2 = InnerBag(sub, element.repr)
+        per_group = level2.retag_to_parent().sum()
+        assert per_group.as_dict() == {"g1": 3, "g2": 60}
+
+    def test_transform_on_the_way_up(self, two_groups):
+        sub, element = two_groups.inner.as_sub_level()
+        level2 = InnerBag(sub, element.repr)
+        doubled = level2.retag_to_parent(lambda x: x * 2).sum()
+        assert doubled.as_dict() == {"g1": 6, "g2": 120}
+
+    def test_requires_nested_context(self, two_groups):
+        with pytest.raises(FlatteningError):
+            two_groups.inner.retag_to_parent()
+
+
+class TestThreeLevelPipeline:
+    def test_per_element_sub_computation(self, two_groups):
+        """A miniature Average-Distances shape: for every element of
+        every group, count the group elements not smaller than it, then
+        average those counts per group."""
+        sub, element = two_groups.inner.as_sub_level()
+        level2 = InnerBag(
+            sub, element.repr.map(lambda tv: (tv[0], tv[0][1]))
+        )
+        paired = level2.join_on_parent(
+            two_groups.inner,
+            self_key=lambda _x: None,
+            outer_key=lambda _y: None,
+        )
+        not_smaller = paired.filter(lambda pair: pair[1] >= pair[0])
+        counts = not_smaller.retag_to_parent(lambda _pair: 1).sum()
+        sizes = two_groups.inner.count()
+        average = counts.binary(sizes, lambda c, n: c / n)
+        assert average.as_dict() == {
+            "g1": pytest.approx((2 + 1) / 2),
+            "g2": pytest.approx((3 + 2 + 1) / 3),
+        }

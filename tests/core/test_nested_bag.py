@@ -1,0 +1,132 @@
+"""NestedBag, groupByKeyIntoNestedBag, and nested_map (Sec. 4.5)."""
+
+import pytest
+
+from repro.core.nestedbag import (
+    NestedBag,
+    group_by_key_into_nested_bag,
+    nested_map,
+)
+from repro.core.primitives import InnerBag, InnerScalar
+from repro.errors import FlatteningError
+
+
+class TestGroupByKeyIntoNestedBag:
+    def test_no_shuffle_happens(self, ctx):
+        """The whole point of flattening: the nested bag's inner
+        representation *is* the input bag -- no groups materialize."""
+        bag = ctx.bag_of([("a", 1), ("b", 2)])
+        nested = group_by_key_into_nested_bag(bag)
+        assert nested.inner.repr.node is bag.node
+
+    def test_keys_are_the_tags(self, nested):
+        assert nested.keys.as_dict() == {
+            "fruit": "fruit", "animal": "animal",
+        }
+
+    def test_num_groups(self, nested):
+        assert nested.num_groups == 2
+        assert nested.count() == 2
+
+    def test_collect_nested(self, nested):
+        groups = nested.collect_nested()
+        assert sorted(groups["fruit"]) == [1, 2, 3]
+        assert sorted(groups["animal"]) == [10, 20]
+
+    def test_flatten_roundtrip(self, ctx):
+        records = [("a", 1), ("b", 2), ("a", 3)]
+        nested = group_by_key_into_nested_bag(ctx.bag_of(records))
+        assert sorted(nested.flatten().collect()) == sorted(records)
+
+    def test_component_contexts_must_match(self, nested, ctx):
+        other = group_by_key_into_nested_bag(ctx.bag_of([("x", 1)]))
+        with pytest.raises(FlatteningError):
+            NestedBag(nested.keys, other.inner)
+
+
+class TestMapGroups:
+    def test_udf_called_exactly_once(self, nested):
+        """mapWithLiftedUDF calls its UDF once, not once per group."""
+        calls = []
+
+        def udf(keys, inner):
+            calls.append(1)
+            return inner.count()
+
+        nested.map_groups(udf)
+        assert calls == [1]
+
+    def test_scalar_result(self, nested):
+        sums = nested.map_groups(
+            lambda _keys, inner: inner.sum()
+        )
+        assert sums.as_dict() == {"fruit": 6, "animal": 30}
+
+    def test_bag_result(self, nested):
+        doubled = nested.map_inner(lambda inner: inner.map(
+            lambda x: x * 2
+        ))
+        assert isinstance(doubled, InnerBag)
+
+    def test_tuple_result(self, nested):
+        count, total = nested.map_groups(
+            lambda _keys, inner: (inner.count(), inner.sum())
+        )
+        assert count.as_dict() == {"fruit": 3, "animal": 2}
+        assert total.as_dict() == {"fruit": 6, "animal": 30}
+
+    def test_udf_can_use_the_keys(self, nested):
+        labelled = nested.map_groups(
+            lambda keys, inner: keys.binary(
+                inner.count(), lambda k, n: "%s=%d" % (k, n)
+            )
+        )
+        assert labelled.as_dict() == {
+            "fruit": "fruit=3", "animal": "animal=2",
+        }
+
+
+class TestFilterGroups:
+    def test_keeps_matching_groups_only(self, nested):
+        kept = nested.filter_groups(lambda key: key == "fruit")
+        assert kept.num_groups == 1
+        assert sorted(kept.collect_nested()["fruit"]) == [1, 2, 3]
+
+
+class TestNestedMap:
+    def test_assigns_unique_tags(self, ctx):
+        result = nested_map(
+            ctx.bag_of([10, 20, 30]), lambda x: x * 2
+        )
+        assert sorted(result.collect_values()) == [20, 40, 60]
+
+    def test_udf_runs_once(self, ctx):
+        calls = []
+
+        def udf(x):
+            calls.append(1)
+            return x
+
+        nested_map(ctx.bag_of([1, 2, 3]), udf)
+        assert calls == [1]
+
+    def test_duplicate_elements_get_distinct_tags(self, ctx):
+        result = nested_map(ctx.bag_of([5, 5, 5]), lambda x: x + 1)
+        assert result.collect_values() == [6, 6, 6]
+
+    def test_single_element(self, ctx):
+        result = nested_map(ctx.bag_of([9]), lambda x: x)
+        assert result.collect_values() == [9]
+
+
+class TestTagCountJob:
+    def test_nested_bag_creation_is_constant_jobs(self, ctx):
+        """Job count for building a NestedBag does not depend on the
+        number of groups (the paper's core scaling property)."""
+        jobs = []
+        for groups in (2, 16):
+            ctx.reset_trace()
+            bag = ctx.bag_of([(g, 1) for g in range(groups)])
+            group_by_key_into_nested_bag(bag)
+            jobs.append(ctx.trace.num_jobs)
+        assert jobs[0] == jobs[1]

@@ -1,0 +1,76 @@
+"""Deeper NestedBags from lifted grouping (paper Sec. 7)."""
+
+import pytest
+
+from repro.core import group_by_key_into_nested_bag, nested_group_by_key
+
+
+@pytest.fixture
+def deeper(ctx):
+    bag = ctx.bag_of(
+        [
+            ("g1", ("a", 1)), ("g1", ("a", 2)), ("g1", ("b", 5)),
+            ("g2", ("a", 10)), ("g2", ("c", 20)),
+        ]
+    )
+    nested = group_by_key_into_nested_bag(bag)
+    return nested, nested_group_by_key(nested.inner)
+
+
+class TestStructure:
+    def test_composite_tags(self, deeper):
+        _nested, two = deeper
+        tags = {tag for tag, _k in two.keys.collect()}
+        assert tags == {
+            ("g1", "a"), ("g1", "b"), ("g2", "a"), ("g2", "c"),
+        }
+
+    def test_keys_scalar_holds_grouping_keys(self, deeper):
+        _nested, two = deeper
+        assert all(
+            tag[1] == key for tag, key in two.keys.collect()
+        )
+
+    def test_level_is_two(self, deeper):
+        nested, two = deeper
+        assert two.lctx.level == 2
+        assert two.lctx.parent is nested.lctx
+
+    def test_no_shuffle_into_groups(self, deeper, ctx):
+        """Like the top-level version: the inner representation is a
+        narrow re-keying of the input, not a materialized grouping."""
+        _nested, two = deeper
+        assert "GroupByKey" not in two.inner.repr.explain()
+
+
+class TestLiftedUdfsAtLevelTwo:
+    def test_per_subgroup_aggregation(self, deeper):
+        _nested, two = deeper
+        sums = two.map_inner(lambda inner: inner.sum())
+        assert sums.as_dict() == {
+            ("g1", "a"): 3,
+            ("g1", "b"): 5,
+            ("g2", "a"): 10,
+            ("g2", "c"): 20,
+        }
+
+    def test_results_roll_up_to_level_one(self, deeper):
+        from repro.core.primitives import InnerBag
+
+        nested, two = deeper
+        sums = two.map_inner(lambda inner: inner.sum())
+        rolled = InnerBag(two.lctx, sums.repr).retag_to_parent().sum()
+        assert rolled.as_dict() == {"g1": 8, "g2": 30}
+
+    def test_counts_per_subgroup(self, deeper):
+        _nested, two = deeper
+        counts = two.map_inner(lambda inner: inner.count())
+        assert counts.as_dict()[("g1", "a")] == 2
+
+    def test_flatten_roundtrip(self, deeper):
+        _nested, two = deeper
+        flattened = sorted(two.flatten().collect())
+        assert flattened == [
+            (("g1", "a"), 1), (("g1", "a"), 2), (("g1", "b"), 5),
+            (("g2", "a"), 10), (("g2", "c"), 20),
+        ]

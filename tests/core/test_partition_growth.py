@@ -1,0 +1,63 @@
+"""Regression: partition counts must stay bounded across lifted control
+flow.
+
+A lifted if merges its branch results with a union, which concatenates
+partitions; without the coalesce after the merge, an if inside a lifted
+loop doubled the state's partition count every iteration (exponential
+plan blow-up)."""
+
+from repro.core import cond, nested_map, while_loop
+from repro.engine import EngineContext, laptop_config
+
+
+def collatz(x):
+    def body(state):
+        branched = cond(
+            state["x"] % 2 == 0,
+            lambda s: {"x": s["x"] // 2},
+            lambda s: {"x": s["x"] * 3 + 1},
+            {"x": state["x"]},
+        )
+        return {"x": branched["x"], "steps": state["steps"] + 1}
+
+    return while_loop(
+        {"x": x, "steps": x.map(lambda _v: 0)},
+        cond_fn=lambda s: s["x"] != 1,
+        body_fn=body,
+    )
+
+
+class TestPartitionGrowth:
+    def test_cond_merge_keeps_partition_count(self, ctx):
+        from repro.core import group_by_key_into_nested_bag
+
+        nested = group_by_key_into_nested_bag(
+            ctx.bag_of([("a", 1), ("b", 2)])
+        )
+        scalar = nested.inner.sum()
+        before = scalar.repr.num_partitions
+        merged = cond(
+            scalar > 1,
+            lambda s: {"y": s["y"] * 2},
+            lambda s: {"y": s["y"]},
+            {"y": scalar},
+        )["y"]
+        assert merged.repr.num_partitions <= 2 * before
+
+    def test_deep_lifted_loop_with_branches_stays_fast(self, ctx):
+        """23 iterations with a lifted if each: must be linear, not
+        exponential, in partitions (and therefore in wall time)."""
+        seeds = ctx.bag_of([1, 6, 7, 9, 25])
+        result = nested_map(seeds, collatz)
+        steps = dict(result["steps"].collect())
+        assert max(steps.values()) == 23
+        assert result["x"].repr.num_partitions < 10_000
+
+    def test_loop_result_partitions_bounded(self, ctx):
+        seeds = ctx.bag_of(list(range(1, 8)))
+        result = nested_map(seeds, collatz)
+        # Finished parts accumulate one bag per iteration; the assembly
+        # coalesces them back to a bounded count.
+        assert result["x"].repr.num_partitions <= (
+            2 * ctx.config.default_parallelism
+        )

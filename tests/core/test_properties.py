@@ -1,0 +1,153 @@
+"""Property-based tests of the flattening isomorphism (Theorem 2).
+
+The correctness proof's key step: lifting preserves operations --
+performing an operation per group and then flattening equals flattening
+first and performing the lifted operation.  These properties drive random
+nested datasets through both paths.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.control_flow import while_loop
+from repro.core.nestedbag import group_by_key_into_nested_bag, nested_map
+from repro.engine import EngineContext, laptop_config
+
+group_keys = st.sampled_from(["g0", "g1", "g2", "g3"])
+values = st.integers(min_value=-50, max_value=50)
+nested_datasets = st.lists(
+    st.tuples(group_keys, values), min_size=1, max_size=25
+)
+
+
+def groups_of(records):
+    groups = {}
+    for key, value in records:
+        groups.setdefault(key, []).append(value)
+    return groups
+
+
+def build_nested(records):
+    ctx = EngineContext(laptop_config())
+    return group_by_key_into_nested_bag(ctx.bag_of(records))
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_map_preserves_per_group_semantics(records):
+    nested = build_nested(records)
+    got = nested.inner.map(lambda x: x * 2 + 1).collect_nested()
+    expected = {
+        key: Counter(x * 2 + 1 for x in group)
+        for key, group in groups_of(records).items()
+    }
+    assert {k: Counter(v) for k, v in got.items()} == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_filter_preserves_per_group_semantics(records):
+    nested = build_nested(records)
+    got = nested.inner.filter(lambda x: x > 0).collect_nested()
+    for key, group in groups_of(records).items():
+        # A fully filtered-out group has no representation records at
+        # all -- the Sec. 4.4 property that makes the stored tags bag
+        # necessary for count().
+        assert Counter(got.get(key, [])) == Counter(
+            x for x in group if x > 0
+        )
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_count_equals_per_group_len(records):
+    nested = build_nested(records)
+    got = nested.inner.count().as_dict()
+    assert got == {k: len(v) for k, v in groups_of(records).items()}
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_sum_equals_per_group_sum(records):
+    nested = build_nested(records)
+    assert nested.inner.sum().as_dict() == {
+        k: sum(v) for k, v in groups_of(records).items()
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_distinct_equals_per_group_set(records):
+    nested = build_nested(records)
+    got = nested.inner.distinct().collect_nested()
+    for key, group in groups_of(records).items():
+        assert sorted(got[key]) == sorted(set(group))
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_lifted_reduce_by_key_equals_per_group_reduction(records):
+    nested = build_nested(records)
+    keyed = nested.inner.map(lambda x: (x % 3, x))
+    got = nested.inner.map(lambda x: (x % 3, x)).reduce_by_key(
+        lambda a, b: a + b
+    ).collect_nested()
+    del keyed
+    for key, group in groups_of(records).items():
+        expected = {}
+        for x in group:
+            expected[x % 3] = expected.get(x % 3, 0) + x
+        assert dict(got[key]) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_flatten_is_the_inverse_of_nesting(records):
+    nested = build_nested(records)
+    assert Counter(nested.flatten().collect()) == Counter(records)
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=nested_datasets)
+def test_scalar_pipeline_matches_per_group_computation(records):
+    """A whole mini-UDF (count, sum, arithmetic) via both paths."""
+    nested = build_nested(records)
+    result = nested.map_groups(
+        lambda _keys, inner: (inner.sum() + inner.count() * 10)
+    ).as_dict()
+    for key, group in groups_of(records).items():
+        assert result[key] == sum(group) + len(group) * 10
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seeds=st.lists(
+        st.integers(min_value=0, max_value=30), min_size=1, max_size=8
+    ),
+    step=st.integers(min_value=1, max_value=5),
+    bound=st.integers(min_value=1, max_value=40),
+)
+def test_lifted_while_equals_sequential_loops(seeds, step, bound):
+    """Listing 4's lifted loop vs. running each original loop alone."""
+    ctx = EngineContext(laptop_config())
+
+    def sequential(value):
+        iterations = 0
+        while value < bound:
+            value += step
+            iterations += 1
+        return value, iterations
+
+    def udf(x):
+        state = while_loop(
+            {"x": x, "it": 0},
+            cond_fn=lambda s: s["x"] < bound,
+            body_fn=lambda s: {"x": s["x"] + step, "it": s["it"] + 1},
+            loop_vars=["x", "it"],
+        )
+        return state["x"].binary(state["it"], lambda a, b: (a, b))
+
+    got = nested_map(ctx.bag_of(seeds), udf).collect_values()
+    assert Counter(got) == Counter(sequential(v) for v in seeds)

@@ -1,0 +1,126 @@
+"""Synthetic dataset generators."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data import (
+    clustered_points,
+    component_graph,
+    grouped_edges,
+    grouped_points,
+    initial_centroids,
+    visits_log,
+)
+from repro.tasks.graphs import connected_components_reference
+
+
+class TestVisitsLog:
+    def test_total_count_exact(self):
+        records = visits_log(num_days=5, total_visits=300, seed=1)
+        assert len(records) == 300
+
+    def test_all_days_present(self):
+        records = visits_log(num_days=8, total_visits=400, seed=1)
+        assert {d for d, _ip in records} == {
+            "day%d" % i for i in range(8)
+        }
+
+    def test_deterministic(self):
+        a = visits_log(4, 100, seed=9)
+        b = visits_log(4, 100, seed=9)
+        assert a == b
+
+    def test_seeds_differ(self):
+        assert visits_log(4, 100, seed=1) != visits_log(4, 100, seed=2)
+
+    def test_uniform_sizes_balanced(self):
+        records = visits_log(4, 400, skew=0.0, seed=3)
+        sizes = Counter(d for d, _ip in records)
+        assert max(sizes.values()) - min(sizes.values()) <= 4
+
+    def test_zipf_sizes_skewed(self):
+        records = visits_log(16, 1600, skew=1.2, seed=3)
+        sizes = Counter(d for d, _ip in records)
+        assert max(sizes.values()) > 5 * min(sizes.values())
+
+    def test_bounce_fraction_moves_the_rate(self):
+        low = visits_log(2, 600, bounce_fraction=0.1, seed=5)
+        high = visits_log(2, 600, bounce_fraction=0.9, seed=5)
+
+        def rate(records):
+            counts = Counter(records)
+            return sum(1 for c in counts.values() if c == 1) / len(
+                counts
+            )
+
+        assert rate(high) > rate(low)
+
+    def test_ips_are_day_scoped(self):
+        records = visits_log(3, 90, seed=7)
+        assert all(ip.startswith("d") for _d, ip in records)
+
+
+class TestGroupedEdges:
+    def test_total_edges_exact(self):
+        records = grouped_edges(4, 200, seed=1)
+        assert len(records) == 200
+
+    def test_group_ids_cover_range(self):
+        records = grouped_edges(6, 300, seed=1)
+        assert {g for g, _e in records} == {
+            "g%d" % i for i in range(6)
+        }
+
+    def test_no_self_loops(self):
+        records = grouped_edges(3, 150, seed=2)
+        assert all(src != dst for _g, (src, dst) in records)
+
+    def test_vertex_bound_respected(self):
+        records = grouped_edges(
+            2, 100, vertices_per_group=5, seed=2
+        )
+        for _g, (src, dst) in records:
+            assert 0 <= src < 5 and 0 <= dst < 5
+
+
+class TestComponentGraph:
+    def test_components_are_exactly_as_built(self):
+        edges = component_graph(3, 7, seed=4)
+        labels = connected_components_reference(edges)
+        assert len(set(labels.values())) == 3
+
+    def test_every_vertex_connected(self):
+        edges = component_graph(2, 10, seed=4)
+        labels = connected_components_reference(edges)
+        assert len(labels) == 20
+
+    def test_vertices_globally_unique(self):
+        edges = component_graph(4, 5, seed=4)
+        vertices = {v for edge in edges for v in edge}
+        assert vertices == set(range(20))
+
+
+class TestPoints:
+    def test_counts_and_dims(self):
+        points = clustered_points(120, k=3, dim=4, seed=6)
+        assert len(points) == 120
+        assert all(len(p) == 4 for p in points)
+
+    def test_grouped_points_total(self):
+        records = grouped_points(5, 250, k=3, seed=6)
+        assert len(records) == 250
+        assert {c for c, _p in records} == {
+            "cfg%d" % i for i in range(5)
+        }
+
+    def test_initial_centroids_shape(self):
+        configs = initial_centroids(k=4, num_configs=3, dim=2, seed=6)
+        assert len(configs) == 3
+        for _cid, centroids in configs:
+            assert len(centroids) == 4
+            assert all(len(c) == 2 for c in centroids)
+
+    def test_configs_differ(self):
+        configs = initial_centroids(k=2, num_configs=2, seed=6)
+        assert configs[0][1] != configs[1][1]

@@ -1,0 +1,51 @@
+"""Zipf sampling utilities."""
+
+import pytest
+
+from repro.data import sample_zipf_keys, zipf_sizes, zipf_weights
+
+
+class TestWeights:
+    def test_uniform_at_zero_exponent(self):
+        assert zipf_weights(4, 0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_decreasing(self):
+        weights = zipf_weights(10, 1.5)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestSizes:
+    def test_sizes_sum_exactly(self):
+        for exponent in (0.0, 0.7, 1.3):
+            sizes = zipf_sizes(7, 1000, exponent, seed=1)
+            assert sum(sizes) == 1000
+
+    def test_uniform_split_is_balanced(self):
+        sizes = zipf_sizes(5, 1000, 0.0, seed=1)
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_skewed_split_has_heavy_head(self):
+        sizes = zipf_sizes(20, 2000, 1.5, seed=1)
+        assert sizes[0] > 10 * sizes[-1]
+
+    def test_deterministic(self):
+        assert zipf_sizes(5, 100, 1.0, seed=3) == zipf_sizes(
+            5, 100, 1.0, seed=3
+        )
+
+
+class TestSampling:
+    def test_sample_count(self):
+        keys = sample_zipf_keys(10, 500, 1.0, seed=2)
+        assert len(keys) == 500
+        assert all(0 <= k < 10 for k in keys)
+
+    def test_low_ranks_dominate(self):
+        keys = sample_zipf_keys(10, 5000, 1.5, seed=2)
+        assert keys.count(0) > keys.count(9)

@@ -1,0 +1,75 @@
+"""Actions: collect, count, reduce, fold, sum, save, take."""
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestCollectCount:
+    def test_collect(self, ctx):
+        assert sorted(ctx.bag_of([3, 1, 2]).collect()) == [1, 2, 3]
+
+    def test_collect_as_map(self, ctx):
+        assert ctx.bag_of([("a", 1)]).collect_as_map() == {"a": 1}
+
+    def test_count(self, ctx):
+        assert ctx.bag_of(range(17)).count() == 17
+
+    def test_count_empty(self, ctx):
+        assert ctx.empty_bag().count() == 0
+
+    def test_is_empty(self, ctx):
+        assert ctx.empty_bag().is_empty()
+        assert not ctx.bag_of([1]).is_empty()
+
+    def test_each_action_is_one_job(self, ctx):
+        bag = ctx.bag_of([1, 2, 3])
+        bag.count()
+        bag.collect()
+        bag.sum()
+        assert ctx.trace.num_jobs == 3
+
+
+class TestReduceFold:
+    def test_reduce(self, ctx):
+        assert ctx.bag_of([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_single_element(self, ctx):
+        assert ctx.bag_of([42]).reduce(lambda a, b: a + b) == 42
+
+    def test_reduce_empty_raises(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.empty_bag().reduce(lambda a, b: a + b)
+
+    def test_fold(self, ctx):
+        got = ctx.bag_of([1, 2, 3]).fold(100, lambda acc, x: acc + x)
+        assert got == 106
+
+    def test_fold_empty_returns_zero(self, ctx):
+        assert ctx.empty_bag().fold(7, lambda acc, x: acc + x) == 7
+
+    def test_sum(self, ctx):
+        assert ctx.bag_of(range(5)).sum() == 10
+
+
+class TestSaveTake:
+    def test_save_returns_record_count(self, ctx):
+        assert ctx.bag_of(range(9)).save() == 9
+
+    def test_save_charges_data_volume(self, ctx):
+        ctx.bag_of(range(9)).save()
+        assert ctx.trace.jobs[-1].saved_records == 9
+
+    def test_save_of_meta_bag_charged_as_meta(self, ctx):
+        ctx.bag_of(range(9)).as_meta().save()
+        job = ctx.trace.jobs[-1]
+        assert job.saved_meta_records == 9
+        assert job.saved_records == 0
+
+    def test_take(self, ctx):
+        assert len(ctx.bag_of(range(100)).take(5)) == 5
+
+
+class TestRangeBag:
+    def test_range_bag(self, ctx):
+        assert sorted(ctx.range_bag(4).collect()) == [0, 1, 2, 3]

@@ -1,0 +1,150 @@
+"""aggregate_by_key, count_by_key, top, min/max."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestAggregateByKey:
+    def test_list_accumulator(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("a", 2), ("b", 5)])
+        got = bag.aggregate_by_key(
+            (), lambda acc, v: acc + (v,), lambda x, y: x + y
+        ).map_values(sorted).collect_as_map()
+        assert got == {"a": [1, 2], "b": [5]}
+
+    def test_accumulator_type_differs_from_values(self, ctx):
+        bag = ctx.bag_of([("a", "xx"), ("a", "y"), ("b", "zzz")])
+        lengths = bag.aggregate_by_key(
+            0, lambda acc, s: acc + len(s), lambda x, y: x + y
+        ).collect_as_map()
+        assert lengths == {"a": 3, "b": 3}
+
+    def test_zero_not_duplicated_across_partitions(self, ctx):
+        # With a non-trivial zero, a wrong implementation would add it
+        # once per partition.
+        bag = ctx.bag_of(
+            [("k", 1)] * 12, num_partitions=6
+        )
+        got = bag.aggregate_by_key(
+            100, lambda acc, v: acc + v, lambda x, y: x + y - 100
+        ).collect_as_map()
+        assert got == {"k": 112}
+
+    def test_matches_group_then_fold(self, ctx):
+        records = [(i % 3, i) for i in range(20)]
+        bag = ctx.bag_of(records)
+        aggregated = bag.aggregate_by_key(
+            0, lambda acc, v: acc + v, lambda x, y: x + y
+        ).collect_as_map()
+        expected = {}
+        for key, value in records:
+            expected[key] = expected.get(key, 0) + value
+        assert aggregated == expected
+
+
+class TestCountByKey:
+    def test_counts(self, ctx):
+        bag = ctx.bag_of([("a", "x"), ("a", "y"), ("b", "z")])
+        assert bag.count_by_key().collect_as_map() == {"a": 2, "b": 1}
+
+    def test_empty(self, ctx):
+        assert ctx.empty_bag().count_by_key().collect() == []
+
+
+class TestTop:
+    def test_largest_descending(self, ctx):
+        assert ctx.bag_of([5, 3, 9, 1, 7]).top(3) == [9, 7, 5]
+
+    def test_n_larger_than_bag(self, ctx):
+        assert ctx.bag_of([2, 1]).top(10) == [2, 1]
+
+    def test_with_key(self, ctx):
+        bag = ctx.bag_of(["aa", "b", "cccc"])
+        assert bag.top(2, key=len) == ["cccc", "aa"]
+
+    def test_only_n_per_partition_collected(self, ctx):
+        bag = ctx.bag_of(range(100), num_partitions=4)
+        bag.top(2)
+        assert ctx.trace.jobs[-1].collected_records <= 8
+
+
+class TestMinMax:
+    def test_min_max(self, ctx):
+        bag = ctx.bag_of([5, 3, 9])
+        assert bag.min() == 3
+        assert bag.max() == 9
+
+    def test_with_key(self, ctx):
+        bag = ctx.bag_of([(1, "bbb"), (2, "a")])
+        assert bag.min(key=lambda kv: len(kv[1])) == (2, "a")
+
+    def test_empty_raises(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.empty_bag().min()
+
+
+class TestLiftedAggregations:
+    def test_inner_bag_aggregate_by_key(self, ctx):
+        from repro.core import group_by_key_into_nested_bag
+
+        bag = ctx.bag_of(
+            [("g1", ("a", 1)), ("g1", ("a", 2)), ("g2", ("a", 9))]
+        )
+        nested = group_by_key_into_nested_bag(bag)
+        got = nested.inner.aggregate_by_key(
+            (), lambda acc, v: acc + (v,), lambda x, y: x + y
+        ).collect_nested()
+        assert sorted(got["g1"][0][1]) == [1, 2]
+        assert got["g2"] == [("a", (9,))]
+
+    def test_inner_bag_count_by_key(self, ctx):
+        from repro.core import group_by_key_into_nested_bag
+
+        bag = ctx.bag_of(
+            [("g1", ("a", 0)), ("g1", ("a", 0)), ("g1", ("b", 0)),
+             ("g2", ("a", 0))]
+        )
+        nested = group_by_key_into_nested_bag(bag)
+        got = nested.inner.count_by_key().collect_nested()
+        assert dict(got["g1"]) == {"a": 2, "b": 1}
+        assert dict(got["g2"]) == {"a": 1}
+
+    def test_inner_bag_cogroup(self, ctx):
+        from repro.core import group_by_key_into_nested_bag
+
+        bag = ctx.bag_of([("g1", ("a", 1)), ("g2", ("a", 2))])
+        nested = group_by_key_into_nested_bag(bag)
+        left = nested.inner
+        right = nested.inner.map_values(lambda v: v * 10)
+        got = left.cogroup(right).collect_nested()
+        assert got["g1"] == [("a", ([1], [10]))]
+        assert got["g2"] == [("a", ([2], [20]))]
+
+    def test_inner_bag_min_max(self, nested_fixture_free_ctx=None,
+                               ctx=None):
+        from repro.core import group_by_key_into_nested_bag
+        from repro.engine import EngineContext, laptop_config
+
+        local = EngineContext(laptop_config())
+        bag = local.bag_of(
+            [("g1", 4), ("g1", 9), ("g2", -1)]
+        )
+        nested = group_by_key_into_nested_bag(bag)
+        assert nested.inner.min().as_dict() == {"g1": 4, "g2": -1}
+        assert nested.inner.max().as_dict() == {"g1": 9, "g2": -1}
+
+    def test_inner_bag_min_with_default(self):
+        from repro.core import group_by_key_into_nested_bag
+        from repro.engine import EngineContext, laptop_config
+
+        local = EngineContext(laptop_config())
+        nested = group_by_key_into_nested_bag(
+            local.bag_of([("g1", 4), ("g2", 7)])
+        )
+        empty = nested.inner.filter(lambda x: x > 100)
+        assert empty.min(default=None).as_dict() == {
+            "g1": None, "g2": None,
+        }

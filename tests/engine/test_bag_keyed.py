@@ -1,0 +1,104 @@
+"""Keyed (shuffling) Bag operations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PlanError
+
+
+class TestReduceByKey:
+    def test_sums_per_key(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2), ("a", 3)])
+        result = bag.reduce_by_key(lambda x, y: x + y).collect_as_map()
+        assert result == {"a": 4, "b": 2}
+
+    def test_single_value_keys_pass_through(self, ctx):
+        bag = ctx.bag_of([("a", 7)])
+        assert bag.reduce_by_key(max).collect() == [("a", 7)]
+
+    def test_respects_custom_partition_count(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2)])
+        reduced = bag.reduce_by_key(lambda x, y: x + y, num_partitions=2)
+        assert reduced.num_partitions == 2
+        assert reduced.collect_as_map() == {"a": 1, "b": 2}
+
+    def test_non_keyed_records_rejected(self, ctx):
+        bag = ctx.bag_of([1, 2, 3])
+        with pytest.raises(PlanError):
+            bag.reduce_by_key(lambda x, y: x + y).collect()
+
+    def test_noncommutative_ordering_within_partition(self, ctx):
+        # The reduce function must be associative; concatenation checks
+        # that every value is folded exactly once.
+        bag = ctx.bag_of([("k", "a"), ("k", "b"), ("k", "c")])
+        folded = bag.reduce_by_key(lambda x, y: x + y).collect()[0][1]
+        assert sorted(folded) == ["a", "b", "c"]
+
+
+class TestGroupByKey:
+    def test_groups_values(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2), ("a", 3)])
+        groups = {
+            k: sorted(v) for k, v in bag.group_by_key().collect()
+        }
+        assert groups == {"a": [1, 3], "b": [2]}
+
+    def test_group_by_with_key_function(self, ctx):
+        bag = ctx.bag_of(range(6))
+        groups = {
+            k: sorted(v)
+            for k, v in bag.group_by(lambda x: x % 2).collect()
+        }
+        assert groups == {0: [0, 2, 4], 1: [1, 3, 5]}
+
+
+class TestCountByStructure:
+    def test_counts(self, ctx):
+        bag = ctx.bag_of("aabbbc")
+        counted = (
+            bag.map(lambda ch: (ch, 1))
+            .reduce_by_key(lambda x, y: x + y)
+            .collect_as_map()
+        )
+        assert counted == {"a": 2, "b": 3, "c": 1}
+
+
+class TestCoGroup:
+    def test_cogroups_both_sides(self, ctx):
+        left = ctx.bag_of([("a", 1), ("a", 2), ("b", 3)])
+        right = ctx.bag_of([("a", "x"), ("c", "y")])
+        result = {
+            k: (sorted(l), sorted(r))
+            for k, (l, r) in left.cogroup(right).collect()
+        }
+        assert result == {
+            "a": ([1, 2], ["x"]),
+            "b": ([3], []),
+            "c": ([], ["y"]),
+        }
+
+
+class TestSubtractByKey:
+    def test_removes_matching_keys(self, ctx):
+        left = ctx.bag_of([("a", 1), ("b", 2), ("c", 3)])
+        right = ctx.bag_of([("b", None)])
+        assert sorted(left.subtract_by_key(right).collect()) == [
+            ("a", 1), ("c", 3),
+        ]
+
+    def test_keeps_duplicates_of_surviving_keys(self, ctx):
+        left = ctx.bag_of([("a", 1), ("a", 2)])
+        right = ctx.bag_of([("b", 0)])
+        assert Counter(left.subtract_by_key(right).collect()) == Counter(
+            [("a", 1), ("a", 2)]
+        )
+
+
+class TestLeftOuterJoin:
+    def test_unmatched_left_gets_none(self, ctx):
+        left = ctx.bag_of([("a", 1), ("b", 2)])
+        right = ctx.bag_of([("a", "x")])
+        assert sorted(left.left_outer_join(right).collect()) == [
+            ("a", (1, "x")), ("b", (2, None)),
+        ]

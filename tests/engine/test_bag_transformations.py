@@ -1,0 +1,139 @@
+"""Elementwise and structural Bag transformations."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PlanError, UdfError
+
+
+def bag_counter(bag):
+    """Multiset view of a bag (bags are unordered)."""
+    return Counter(bag.collect())
+
+
+class TestMapFilterFlatMap:
+    def test_map(self, ctx):
+        bag = ctx.bag_of([1, 2, 3])
+        assert bag_counter(bag.map(lambda x: x * 10)) == Counter(
+            [10, 20, 30]
+        )
+
+    def test_map_preserves_source(self, ctx):
+        bag = ctx.bag_of([1, 2])
+        bag.map(lambda x: x + 1).collect()
+        assert bag_counter(bag) == Counter([1, 2])
+
+    def test_filter(self, ctx):
+        bag = ctx.bag_of(range(10))
+        assert sorted(bag.filter(lambda x: x % 3 == 0).collect()) == [
+            0, 3, 6, 9,
+        ]
+
+    def test_flat_map(self, ctx):
+        bag = ctx.bag_of([1, 2])
+        assert bag_counter(
+            bag.flat_map(lambda x: [x] * x)
+        ) == Counter({1: 1, 2: 2})
+
+    def test_flat_map_empty_results(self, ctx):
+        bag = ctx.bag_of([1, 2, 3])
+        assert bag.flat_map(lambda _x: []).collect() == []
+
+    def test_chained_transformations(self, ctx):
+        bag = ctx.bag_of(range(6))
+        result = (
+            bag.map(lambda x: x * 2)
+            .filter(lambda x: x > 4)
+            .flat_map(lambda x: [x, -x])
+        )
+        assert sorted(result.collect()) == [-10, -8, -6, 6, 8, 10]
+
+    def test_udf_error_is_wrapped(self, ctx):
+        bag = ctx.bag_of([1, 0])
+        with pytest.raises(UdfError) as err:
+            bag.map(lambda x: 1 // x).collect()
+        assert isinstance(err.value.original, ZeroDivisionError)
+
+    def test_map_partitions_sees_partition_index(self, ctx):
+        bag = ctx.bag_of(range(8), num_partitions=4)
+        counts = bag.map_partitions(
+            lambda items, index: [(index, len(items))]
+        ).collect()
+        assert sorted(counts) == [(0, 2), (1, 2), (2, 2), (3, 2)]
+
+
+class TestKeyedHelpers:
+    def test_key_by(self, ctx):
+        bag = ctx.bag_of(["aa", "b"])
+        assert bag_counter(bag.key_by(len)) == Counter(
+            [(2, "aa"), (1, "b")]
+        )
+
+    def test_map_values(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2)])
+        assert bag_counter(bag.map_values(lambda v: v * 5)) == Counter(
+            [("a", 5), ("b", 10)]
+        )
+
+    def test_keys_values_swap(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2)])
+        assert sorted(bag.keys().collect()) == ["a", "b"]
+        assert sorted(bag.values().collect()) == [1, 2]
+        assert sorted(bag.swap().collect()) == [(1, "a"), (2, "b")]
+
+
+class TestUnionDistinct:
+    def test_union_keeps_duplicates(self, ctx):
+        a = ctx.bag_of([1, 2])
+        b = ctx.bag_of([2, 3])
+        assert bag_counter(a.union(b)) == Counter({1: 1, 2: 2, 3: 1})
+
+    def test_union_of_three(self, ctx):
+        a, b, c = (ctx.bag_of([i]) for i in range(3))
+        assert sorted(a.union(b, c).collect()) == [0, 1, 2]
+
+    def test_nested_unions_flatten(self, ctx):
+        a = ctx.bag_of([1])
+        nested = a.union(ctx.bag_of([2])).union(ctx.bag_of([3]))
+        assert sorted(nested.collect()) == [1, 2, 3]
+
+    def test_union_rejects_foreign_context(self, ctx, config):
+        from repro.engine import EngineContext
+
+        other = EngineContext(config)
+        with pytest.raises(PlanError):
+            ctx.bag_of([1]).union(other.bag_of([2]))
+
+    def test_distinct(self, ctx):
+        bag = ctx.bag_of([1, 1, 2, 2, 2, 3])
+        assert sorted(bag.distinct().collect()) == [1, 2, 3]
+
+    def test_distinct_on_tuples(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("a", 1), ("b", 2)])
+        assert sorted(bag.distinct().collect()) == [("a", 1), ("b", 2)]
+
+
+class TestZipWithUniqueId:
+    def test_ids_are_unique(self, ctx):
+        bag = ctx.bag_of(range(20), num_partitions=3)
+        ids = [i for _x, i in bag.zip_with_unique_id().collect()]
+        assert len(set(ids)) == 20
+
+    def test_elements_preserved(self, ctx):
+        bag = ctx.bag_of(["x", "y", "z"])
+        elements = [e for e, _i in bag.zip_with_unique_id().collect()]
+        assert sorted(elements) == ["x", "y", "z"]
+
+
+class TestExplainLabels:
+    def test_explain_shows_plan_tree(self, ctx):
+        bag = ctx.bag_of([1]).map(lambda x: x).filter(bool)
+        text = bag.explain()
+        assert "Filter" in text
+        assert "Map" in text
+        assert "Parallelize" in text
+
+    def test_label_appears_in_explain(self, ctx):
+        bag = ctx.bag_of([1]).with_label("input data")
+        assert "input data" in bag.explain()

@@ -1,0 +1,62 @@
+"""Caching and within-job memoization."""
+
+
+class TestCache:
+    def test_cached_bag_not_recomputed(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        bag = ctx.bag_of([1, 2, 3]).map(traced).cache()
+        bag.count()
+        first = len(calls)
+        bag.count()
+        assert len(calls) == first
+
+    def test_uncached_bag_recomputed_per_job(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return x
+
+        bag = ctx.bag_of([1, 2, 3]).map(traced)
+        bag.count()
+        bag.count()
+        assert len(calls) == 6
+
+    def test_diamond_computed_once_within_job(self, ctx):
+        calls = []
+
+        def traced(x):
+            calls.append(x)
+            return (x % 2, x)
+
+        keyed = ctx.bag_of([1, 2, 3, 4]).map(traced)
+        joined = keyed.join(keyed.map_values(lambda v: v * 10))
+        joined.collect()
+        # The shared `keyed` node is evaluated once despite two consumers.
+        assert len(calls) == 4
+
+    def test_uncache_recomputes(self, ctx):
+        calls = []
+        bag = ctx.bag_of([1]).map(calls.append).cache()
+        bag.count()
+        bag.uncache()
+        bag.count()
+        assert len(calls) == 2
+
+    def test_cached_results_match_uncached(self, ctx):
+        bag = ctx.bag_of(range(10)).map(lambda x: x * 2)
+        uncached = sorted(bag.collect())
+        bag.cache()
+        bag.count()
+        assert sorted(bag.collect()) == uncached
+
+    def test_cache_survives_derived_plans(self, ctx):
+        bag = ctx.bag_of(range(4)).cache()
+        bag.count()
+        derived = bag.map(lambda x: x + 1)
+        assert sorted(derived.collect()) == [1, 2, 3, 4]

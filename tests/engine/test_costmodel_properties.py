@@ -1,0 +1,109 @@
+"""Property-based sanity of the cost model.
+
+The absolute constants are calibration; these properties are what the
+benchmark conclusions actually rest on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ClusterConfig, CostModel, EngineContext
+from repro.engine.costmodel import _makespan
+from repro.engine.metrics import ExecutionTrace
+
+
+def run_trace(config, records, num_groups):
+    ctx = EngineContext(config)
+    bag = ctx.bag_of([(i % num_groups, i) for i in range(records)])
+    bag.reduce_by_key(lambda a, b: a + b).collect()
+    return ctx.trace, ctx.cost_model
+
+
+machines = st.integers(min_value=1, max_value=40)
+records = st.integers(min_value=1, max_value=400)
+
+
+@settings(max_examples=25, deadline=None)
+@given(machines_a=machines, machines_b=machines, n=records)
+def test_more_machines_never_slower(machines_a, machines_b, n):
+    low, high = sorted((machines_a, machines_b))
+    config = ClusterConfig(machines=low, cores_per_machine=4)
+    trace, _model = run_trace(config, n, num_groups=max(1, n // 4))
+    slow = CostModel(config).simulated_seconds(trace)
+    fast = CostModel(
+        config.with_machines(high)
+    ).simulated_seconds(trace)
+    assert fast <= slow + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(n_small=records, n_big=records)
+def test_more_records_cost_at_least_as_much(n_small, n_big):
+    small, big = sorted((n_small, n_big))
+    config = ClusterConfig(machines=2, cores_per_machine=4)
+    trace_small, model = run_trace(config, small, num_groups=4)
+    trace_big, _ = run_trace(config, big, num_groups=4)
+    assert model.simulated_seconds(
+        trace_big
+    ) >= model.simulated_seconds(trace_small) - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=records)
+def test_cost_is_positive_and_finite(n):
+    config = ClusterConfig(machines=2, cores_per_machine=4)
+    trace, model = run_trace(config, n, num_groups=3)
+    seconds = model.simulated_seconds(trace)
+    assert seconds > 0
+    assert seconds == seconds and seconds != float("inf")
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tasks=st.lists(
+        st.integers(min_value=0, max_value=100), max_size=20
+    ),
+    slots=st.integers(min_value=1, max_value=16),
+)
+def test_makespan_bounds(tasks, slots):
+    span = _makespan(tasks, slots)
+    total = sum(tasks)
+    biggest = max(tasks, default=0)
+    # Lower bounds: the biggest task, and perfect parallelism.
+    assert span >= biggest
+    assert span * slots >= total or len(
+        [t for t in tasks if t]
+    ) <= slots
+    # Upper bound: fully serial.
+    assert span <= total
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    tasks=st.lists(
+        st.integers(min_value=0, max_value=100), max_size=20
+    ),
+    slots_a=st.integers(min_value=1, max_value=16),
+    slots_b=st.integers(min_value=1, max_value=16),
+)
+def test_makespan_monotone_in_slots(tasks, slots_a, slots_b):
+    low, high = sorted((slots_a, slots_b))
+    assert _makespan(tasks, high) <= _makespan(tasks, low)
+
+
+def test_empty_trace_is_free():
+    model = CostModel(ClusterConfig())
+    assert model.simulated_seconds(ExecutionTrace()) == 0.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=records)
+def test_cost_additive_over_jobs(n):
+    config = ClusterConfig(machines=2, cores_per_machine=4)
+    ctx = EngineContext(config)
+    bag = ctx.bag_of(list(range(n)))
+    bag.count()
+    one = ctx.simulated_seconds()
+    bag.count()
+    two = ctx.simulated_seconds()
+    assert abs(two - 2 * one) < 1e-9

@@ -1,0 +1,137 @@
+"""Auto join strategy and JoinHint (the engine's own optimizer)."""
+
+from collections import Counter
+
+from repro.engine import (
+    ClusterConfig,
+    EngineContext,
+    JoinHint,
+)
+
+LEFT = [("a", 1), ("b", 2), ("b", 3)]
+RIGHT = [("a", "x"), ("b", "y")]
+
+
+def context(threshold_bytes, bytes_per_record=100.0):
+    return EngineContext(
+        ClusterConfig(
+            machines=2,
+            cores_per_machine=4,
+            bytes_per_record=bytes_per_record,
+            auto_broadcast_threshold_bytes=threshold_bytes,
+        )
+    )
+
+
+def broadcast_volume(ctx):
+    return sum(
+        job.broadcast_records + job.broadcast_meta_records
+        for job in ctx.trace.jobs
+    )
+
+
+class TestAutoStrategy:
+    def test_small_known_side_broadcasts(self):
+        ctx = context(threshold_bytes=10_000)
+        got = ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="auto"
+        ).collect()
+        assert len(got) == 3
+        assert broadcast_volume(ctx) == len(RIGHT)
+
+    def test_large_known_side_repartitions(self):
+        ctx = context(threshold_bytes=50)  # below one record
+        ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="auto"
+        ).collect()
+        assert broadcast_volume(ctx) == 0
+
+    def test_unknown_size_defaults_to_repartition(self):
+        ctx = context(threshold_bytes=10 ** 12)
+        # A shuffle output has no statically known count.
+        right = ctx.bag_of(RIGHT).reduce_by_key(lambda a, _b: a)
+        ctx.bag_of(LEFT).join(right, strategy="auto").collect()
+        assert broadcast_volume(ctx) == 0
+
+    def test_known_count_propagates_through_maps(self):
+        ctx = context(threshold_bytes=10_000)
+        right = ctx.bag_of(RIGHT).map(lambda kv: kv)
+        ctx.bag_of(LEFT).join(right, strategy="auto").collect()
+        assert broadcast_volume(ctx) == len(RIGHT)
+
+    def test_hint_overrides_unknown_size(self):
+        ctx = context(threshold_bytes=10_000)
+        right = ctx.bag_of(RIGHT).reduce_by_key(lambda a, _b: a)
+        ctx.bag_of(LEFT).join(
+            right,
+            strategy="auto",
+            hints=JoinHint(right_records=2),
+        ).collect()
+        assert broadcast_volume(ctx) == len(RIGHT)
+
+    def test_results_identical_across_strategies(self):
+        results = []
+        for threshold in (50, 10_000):
+            ctx = context(threshold_bytes=threshold)
+            results.append(
+                Counter(
+                    ctx.bag_of(LEFT).join(
+                        ctx.bag_of(RIGHT), strategy="auto"
+                    ).collect()
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_meta_side_measured_at_meta_rate(self):
+        # 2 records x 5 MB data rate exceed a 1 MB threshold, but the
+        # same records marked meta (256 B each) fall below it.
+        ctx = context(
+            threshold_bytes=1_000_000, bytes_per_record=5e6
+        )
+        ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT).as_meta(), strategy="auto"
+        ).collect()
+        assert broadcast_volume(ctx) == len(RIGHT)
+
+
+class TestHintsLoweringMode:
+    """The Sec. 8.2 'closer integration' mode end to end."""
+
+    def test_matches_matryoshka_decisions(self):
+        from repro.core import (
+            LoweringConfig,
+            group_by_key_into_nested_bag,
+        )
+
+        records = [("g%d" % (i % 4), i) for i in range(40)]
+        outputs = {}
+        for mode in ("auto", "hints"):
+            ctx = EngineContext(
+                ClusterConfig(machines=2, cores_per_machine=4)
+            )
+            nested = group_by_key_into_nested_bag(
+                ctx.bag_of(records), LoweringConfig(join_strategy=mode)
+            )
+            counts = nested.inner.count()
+            doubled = nested.inner.map_with_closure(
+                counts, lambda x, n: (x, n)
+            )
+            outputs[mode] = Counter(doubled.repr.collect())
+        assert outputs["auto"] == outputs["hints"]
+
+    def test_hint_decision_recorded(self):
+        from repro.core import LoweringConfig, Optimizer
+
+        ctx = EngineContext(
+            ClusterConfig(machines=2, cores_per_machine=4)
+        )
+        from repro.core import group_by_key_into_nested_bag
+
+        nested = group_by_key_into_nested_bag(ctx.bag_of([("a", 1)]))
+        optimizer = Optimizer(ctx, LoweringConfig(join_strategy="hints"))
+        optimizer.join_with_scalar(
+            nested.inner.repr, nested.inner.count()
+        ).collect()
+        assert optimizer.decisions_of_kind("scalar-join")[0].choice == (
+            "hints"
+        )

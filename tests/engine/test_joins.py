@@ -1,0 +1,88 @@
+"""Join strategies: repartition (cogroup-based) and broadcast."""
+
+from collections import Counter
+
+import pytest
+
+from repro.errors import PlanError
+
+
+def reference_join(left, right):
+    """Nested-loop join ground truth."""
+    out = []
+    for lk, lv in left:
+        for rk, rv in right:
+            if lk == rk:
+                out.append((lk, (lv, rv)))
+    return Counter(out)
+
+
+LEFT = [("a", 1), ("a", 2), ("b", 3), ("d", 9)]
+RIGHT = [("a", "x"), ("b", "y"), ("b", "z"), ("c", "w")]
+
+
+class TestRepartitionJoin:
+    def test_matches_nested_loop_reference(self, ctx):
+        got = ctx.bag_of(LEFT).join(ctx.bag_of(RIGHT)).collect()
+        assert Counter(got) == reference_join(LEFT, RIGHT)
+
+    def test_empty_left(self, ctx):
+        got = ctx.bag_of([]).join(ctx.bag_of(RIGHT)).collect()
+        assert got == []
+
+    def test_empty_right(self, ctx):
+        got = ctx.bag_of(LEFT).join(ctx.bag_of([])).collect()
+        assert got == []
+
+    def test_multiplicity(self, ctx):
+        left = ctx.bag_of([("k", 1), ("k", 2)])
+        right = ctx.bag_of([("k", "x"), ("k", "y"), ("k", "z")])
+        assert len(left.join(right).collect()) == 6
+
+
+class TestBroadcastJoin:
+    def test_matches_nested_loop_reference(self, ctx):
+        got = ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="broadcast"
+        ).collect()
+        assert Counter(got) == reference_join(LEFT, RIGHT)
+
+    def test_agrees_with_repartition(self, ctx):
+        broadcast = ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="broadcast"
+        ).collect()
+        repartition = ctx.bag_of(LEFT).join(ctx.bag_of(RIGHT)).collect()
+        assert Counter(broadcast) == Counter(repartition)
+
+    def test_records_broadcast_volume(self, ctx):
+        ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="broadcast"
+        ).collect()
+        job = ctx.trace.jobs[-1]
+        assert job.broadcast_records == len(RIGHT)
+
+    def test_unknown_strategy_rejected(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.bag_of(LEFT).join(ctx.bag_of(RIGHT), strategy="magic")
+
+
+class TestCross:
+    def test_cross_product_size(self, ctx):
+        a = ctx.bag_of([1, 2, 3])
+        b = ctx.bag_of(["x", "y"])
+        got = a.cross(b).collect()
+        assert Counter(got) == Counter(
+            [(i, s) for i in (1, 2, 3) for s in ("x", "y")]
+        )
+
+    def test_cross_broadcast_left_same_result(self, ctx):
+        a = ctx.bag_of([1, 2])
+        b = ctx.bag_of(["x"])
+        right_bcast = a.cross(b, broadcast_side="right").collect()
+        a2 = ctx.bag_of([1, 2])
+        b2 = ctx.bag_of(["x"])
+        left_bcast = a2.cross(b2, broadcast_side="left").collect()
+        assert Counter(right_bcast) == Counter(left_bcast)
+
+    def test_cross_with_empty_is_empty(self, ctx):
+        assert ctx.bag_of([1]).cross(ctx.empty_bag()).collect() == []

@@ -1,0 +1,146 @@
+"""Trace recording and the analytical cost model."""
+
+import pytest
+
+from repro.engine import ClusterConfig, CostModel, EngineContext
+from repro.engine.costmodel import _makespan
+from repro.engine.metrics import ExecutionTrace
+
+
+@pytest.fixture
+def cluster():
+    return ClusterConfig(
+        machines=4,
+        cores_per_machine=4,
+        bytes_per_record=1000.0,
+        job_launch_overhead_s=1.0,
+        stage_overhead_s=0.1,
+        task_overhead_s=0.01,
+    )
+
+
+class TestTraceRecording:
+    def test_jobs_counted(self, ctx):
+        bag = ctx.bag_of([1, 2, 3])
+        bag.count()
+        bag.count()
+        assert ctx.trace.num_jobs == 2
+
+    def test_shuffle_records_recorded(self, ctx):
+        bag = ctx.bag_of([(i % 4, i) for i in range(100)])
+        bag.group_by_key().collect()
+        assert ctx.trace.jobs[-1].total_shuffle_records == 100
+
+    def test_map_side_combine_reduces_shuffle_volume(self, ctx):
+        records = [(i % 2, 1) for i in range(100)]
+        bag = ctx.bag_of(records, num_partitions=4)
+        bag.reduce_by_key(lambda a, b: a + b).collect()
+        # At most partitions x keys combined records cross the network.
+        assert ctx.trace.jobs[-1].total_shuffle_records <= 8
+
+    def test_narrow_chain_is_single_stage(self, ctx):
+        bag = ctx.bag_of(range(10))
+        bag.map(lambda x: x).filter(bool).map(lambda x: -x).collect()
+        job = ctx.trace.jobs[-1]
+        assert len(job.stages) == 1
+
+    def test_shuffle_starts_new_stage(self, ctx):
+        bag = ctx.bag_of([(1, 1)])
+        bag.reduce_by_key(lambda a, b: a + b).collect()
+        kinds = [stage.kind for stage in ctx.trace.jobs[-1].stages]
+        assert kinds == ["input", "shuffle"]
+
+    def test_reset_clears_jobs(self, ctx):
+        ctx.bag_of([1]).count()
+        ctx.reset_trace()
+        assert ctx.trace.num_jobs == 0
+
+    def test_summary_format(self, ctx):
+        ctx.bag_of([1]).count()
+        assert "jobs=1" in ctx.trace.summary()
+
+
+class TestCostModel:
+    def test_every_job_pays_launch_overhead(self, cluster):
+        ctx = EngineContext(cluster)
+        bag = ctx.bag_of([1])
+        bag.count()
+        bag.count()
+        cost = ctx.cost_breakdown()
+        assert cost.job_launch_s == pytest.approx(2.0)
+
+    def test_total_is_sum_of_components(self, cluster):
+        ctx = EngineContext(cluster)
+        ctx.bag_of([(1, 1), (2, 2)]).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        cost = ctx.cost_breakdown()
+        parts = (
+            cost.job_launch_s + cost.stage_overhead_s
+            + cost.task_overhead_s + cost.compute_s + cost.shuffle_s
+            + cost.spill_s + cost.broadcast_s + cost.collect_s
+        )
+        assert cost.total_s == pytest.approx(parts)
+
+    def test_empty_trace_costs_nothing(self, cluster):
+        model = CostModel(cluster)
+        assert model.simulated_seconds(ExecutionTrace()) == 0.0
+
+    def test_more_records_cost_more_compute(self, cluster):
+        small = EngineContext(cluster)
+        small.bag_of(range(10)).map(lambda x: x).collect()
+        large = EngineContext(cluster)
+        large.bag_of(range(10000)).map(lambda x: x).collect()
+        assert (
+            large.cost_breakdown().compute_s
+            > small.cost_breakdown().compute_s
+        )
+
+    def test_meta_stages_cost_less_than_data_stages(self, cluster):
+        data = EngineContext(cluster)
+        data.bag_of([(i, i) for i in range(500)]).reduce_by_key(
+            lambda a, b: a + b, num_partitions=1
+        ).collect()
+        meta = EngineContext(cluster)
+        meta.bag_of([(i, i) for i in range(500)]).as_meta(
+        ).reduce_by_key(lambda a, b: a + b, num_partitions=1).collect()
+        assert (
+            meta.cost_breakdown().compute_s
+            < data.cost_breakdown().compute_s
+        )
+
+    def test_weighted_work_charged_at_sequential_rate(self, cluster):
+        from repro.engine import Weighted
+
+        plain = EngineContext(cluster)
+        plain.bag_of(range(100)).map(lambda x: x).collect()
+        heavy = EngineContext(cluster)
+        heavy.bag_of(range(100)).map(
+            lambda x: Weighted(x, 10)
+        ).collect()
+        ratio = (
+            heavy.cost_breakdown().compute_s
+            / plain.cost_breakdown().compute_s
+        )
+        assert ratio > 5
+
+
+class TestMakespan:
+    def test_empty(self):
+        assert _makespan([], 4) == 0
+
+    def test_fewer_tasks_than_slots_is_max(self):
+        assert _makespan([10, 3, 7], 8) == 10
+
+    def test_balanced_tasks_divide_evenly(self):
+        assert _makespan([1] * 8, 4) == 2
+
+    def test_skewed_task_dominates(self):
+        assert _makespan([100, 1, 1, 1], 4) == 100
+
+    def test_zero_record_tasks_ignored(self):
+        assert _makespan([0, 0, 5], 2) == 5
+
+    def test_lpt_packing(self):
+        # 6 tasks on 2 slots: LPT gives 9 (5+4, 3+3+2+1).
+        assert _makespan([5, 4, 3, 3, 2, 1], 2) == 9

@@ -1,0 +1,70 @@
+"""Stable hashing and hash partitioning."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.engine.partitioner import HashPartitioner, stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_within_process(self):
+        assert stable_hash("abc") == stable_hash("abc")
+
+    def test_stable_across_processes(self):
+        code = (
+            "from repro.engine.partitioner import stable_hash; "
+            "print(stable_hash(('day1', 42)))"
+        )
+        runs = {
+            subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(runs) == 1
+        assert runs == {str(stable_hash(("day1", 42)))}
+
+    def test_distinct_types_do_not_collide_trivially(self):
+        assert stable_hash("1") != stable_hash(1)
+        assert stable_hash(1.0) != stable_hash(1)
+
+    def test_handles_nested_tuples(self):
+        assert stable_hash((("a", 1), ("b", (2, 3)))) == stable_hash(
+            (("a", 1), ("b", (2, 3)))
+        )
+
+    def test_handles_none_bool_bytes(self):
+        for key in (None, True, False, b"xyz"):
+            assert stable_hash(key) == stable_hash(key)
+
+
+class TestHashPartitioner:
+    def test_partition_in_range(self):
+        partitioner = HashPartitioner(7)
+        for key in ("a", 1, (2, "b"), None):
+            assert 0 <= partitioner.partition_for(key) < 7
+
+    def test_split_preserves_all_records(self):
+        partitioner = HashPartitioner(4)
+        records = [(i % 10, i) for i in range(100)]
+        buckets = partitioner.split(records)
+        assert sum(len(b) for b in buckets) == 100
+
+    def test_same_key_same_bucket(self):
+        partitioner = HashPartitioner(4)
+        buckets = partitioner.split([("k", 1), ("k", 2), ("k", 3)])
+        non_empty = [b for b in buckets if b]
+        assert len(non_empty) == 1
+
+    def test_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+    def test_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)

@@ -1,0 +1,142 @@
+"""Property-based tests: engine operators against reference semantics."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineContext, laptop_config
+
+keys = st.integers(min_value=0, max_value=5)
+values = st.integers(min_value=-100, max_value=100)
+keyed_records = st.lists(st.tuples(keys, values), max_size=30)
+elements = st.lists(values, max_size=30)
+partitions = st.integers(min_value=1, max_value=7)
+
+
+def make_ctx():
+    return EngineContext(laptop_config())
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements, n=partitions)
+def test_partitioning_never_loses_elements(data, n):
+    ctx = make_ctx()
+    bag = ctx.bag_of(data, num_partitions=n)
+    assert Counter(bag.collect()) == Counter(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements)
+def test_map_matches_builtin(data):
+    ctx = make_ctx()
+    got = ctx.bag_of(data).map(lambda x: x * 3 + 1).collect()
+    assert Counter(got) == Counter(x * 3 + 1 for x in data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements)
+def test_filter_matches_builtin(data):
+    ctx = make_ctx()
+    got = ctx.bag_of(data).filter(lambda x: x % 2 == 0).collect()
+    assert Counter(got) == Counter(x for x in data if x % 2 == 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=keyed_records, n=partitions)
+def test_reduce_by_key_matches_reference(data, n):
+    ctx = make_ctx()
+    got = ctx.bag_of(data).reduce_by_key(
+        lambda a, b: a + b, num_partitions=n
+    ).collect_as_map()
+    expected = {}
+    for key, value in data:
+        expected[key] = expected.get(key, 0) + value
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=keyed_records)
+def test_group_by_key_matches_reference(data):
+    ctx = make_ctx()
+    got = {
+        k: Counter(v)
+        for k, v in ctx.bag_of(data).group_by_key().collect()
+    }
+    expected = {}
+    for key, value in data:
+        expected.setdefault(key, Counter())[value] += 1
+    assert got == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=keyed_records, right=keyed_records)
+def test_join_matches_nested_loop(left, right):
+    ctx = make_ctx()
+    got = ctx.bag_of(left).join(ctx.bag_of(right)).collect()
+    expected = Counter(
+        (lk, (lv, rv))
+        for lk, lv in left
+        for rk, rv in right
+        if lk == rk
+    )
+    assert Counter(got) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=keyed_records, right=keyed_records)
+def test_broadcast_join_equals_repartition_join(left, right):
+    ctx = make_ctx()
+    repartition = ctx.bag_of(left).join(ctx.bag_of(right)).collect()
+    broadcast = ctx.bag_of(left).join(
+        ctx.bag_of(right), strategy="broadcast"
+    ).collect()
+    assert Counter(repartition) == Counter(broadcast)
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=keyed_records, right=keyed_records)
+def test_subtract_by_key_matches_reference(left, right):
+    ctx = make_ctx()
+    got = ctx.bag_of(left).subtract_by_key(ctx.bag_of(right)).collect()
+    right_keys = {k for k, _v in right}
+    expected = Counter(
+        (k, v) for k, v in left if k not in right_keys
+    )
+    assert Counter(got) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements)
+def test_distinct_matches_set(data):
+    ctx = make_ctx()
+    got = ctx.bag_of(data).distinct().collect()
+    assert sorted(got) == sorted(set(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=elements, b=elements)
+def test_union_is_multiset_sum(a, b):
+    ctx = make_ctx()
+    got = ctx.bag_of(a).union(ctx.bag_of(b)).collect()
+    assert Counter(got) == Counter(a) + Counter(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements)
+def test_count_and_sum(data):
+    ctx = make_ctx()
+    bag = ctx.bag_of(data)
+    assert bag.count() == len(data)
+    assert bag.sum() == sum(data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=elements, n=partitions)
+def test_zip_with_unique_id_bijective(data, n):
+    ctx = make_ctx()
+    pairs = ctx.bag_of(data, num_partitions=n).zip_with_unique_id(
+    ).collect()
+    ids = [i for _e, i in pairs]
+    assert len(set(ids)) == len(data)
+    assert Counter(e for e, _i in pairs) == Counter(data)

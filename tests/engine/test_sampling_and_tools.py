@@ -1,0 +1,122 @@
+"""Sampling, trace description, measurement scopes, CSV export."""
+
+import pytest
+
+from repro.bench.harness import RunResult, Sweep
+from repro.errors import PlanError
+
+
+class TestSample:
+    def test_fraction_bounds(self, ctx):
+        with pytest.raises(PlanError):
+            ctx.bag_of([1]).sample(1.5)
+        with pytest.raises(PlanError):
+            ctx.bag_of([1]).sample(-0.1)
+
+    def test_full_fraction_is_identity(self, ctx):
+        bag = ctx.bag_of(range(10))
+        assert sorted(bag.sample(1.0).collect()) == list(range(10))
+
+    def test_zero_fraction_is_empty(self, ctx):
+        assert ctx.bag_of(range(100)).sample(0.0).collect() == []
+
+    def test_roughly_proportional(self, ctx):
+        kept = ctx.bag_of(range(2000)).sample(0.3, seed=1).count()
+        assert 450 < kept < 750
+
+    def test_deterministic_per_seed(self, ctx):
+        bag = ctx.bag_of(range(100))
+        first = sorted(bag.sample(0.5, seed=7).collect())
+        second = sorted(bag.sample(0.5, seed=7).collect())
+        assert first == second
+
+    def test_different_seeds_differ(self, ctx):
+        bag = ctx.bag_of(range(200))
+        assert sorted(bag.sample(0.5, seed=1).collect()) != sorted(
+            bag.sample(0.5, seed=2).collect()
+        )
+
+    def test_sample_is_subset(self, ctx):
+        data = list(range(50))
+        kept = ctx.bag_of(data).sample(0.4, seed=3).collect()
+        assert set(kept) <= set(data)
+
+
+class TestLiftedSample:
+    def test_uniform_fraction(self, ctx):
+        from repro.core import group_by_key_into_nested_bag
+
+        records = [("g%d" % (i % 2), i) for i in range(400)]
+        nested = group_by_key_into_nested_bag(ctx.bag_of(records))
+        counts = nested.inner.sample(0.25, seed=5).count().as_dict()
+        for count in counts.values():
+            assert 25 < count < 75
+
+    def test_per_tag_fractions(self, ctx):
+        """Sec. 2.3: different inner computations draw different sample
+        sizes inside one flat program."""
+        from repro.core import group_by_key_into_nested_bag
+
+        records = [("g%d" % (i % 2), i) for i in range(400)]
+        nested = group_by_key_into_nested_bag(ctx.bag_of(records))
+        fractions = nested.lctx.scalars_from_pairs(
+            [("g0", 0.05), ("g1", 0.8)]
+        )
+        counts = nested.inner.sample_with_closure(
+            fractions, seed=5
+        ).count().as_dict()
+        assert counts["g0"] < counts["g1"]
+        assert counts["g0"] < 40
+        assert counts["g1"] > 120
+
+
+class TestTraceDescribe:
+    def test_describe_lists_jobs_and_stages(self, ctx):
+        bag = ctx.bag_of([("a", 1), ("b", 2)]).with_label("visits")
+        bag.reduce_by_key(lambda a, b: a + b).collect()
+        text = ctx.trace.describe()
+        assert "job 0: collect" in text
+        assert "stage 0 (input)" in text
+        assert "shuffle=" in text
+        assert "Parallelize[visits]" in text
+
+    def test_max_jobs_limits_output(self, ctx):
+        for _ in range(3):
+            ctx.bag_of([1]).count()
+        text = ctx.trace.describe(max_jobs=1)
+        assert "job 2" in text
+        assert "job 0" not in text
+
+
+class TestMeasure:
+    def test_measures_only_the_block(self, ctx):
+        ctx.bag_of([1]).count()  # outside the window
+        with ctx.measure() as inner:
+            ctx.bag_of([1]).count()
+            ctx.bag_of([1]).count()
+        two_jobs = 2 * ctx.config.job_launch_overhead_s
+        assert inner.seconds >= two_jobs
+        assert inner.seconds < ctx.simulated_seconds()
+
+    def test_empty_block_costs_nothing(self, ctx):
+        with ctx.measure() as inner:
+            pass
+        assert inner.seconds == 0.0
+
+    def test_trace_preserved(self, ctx):
+        ctx.bag_of([1]).count()
+        with ctx.measure():
+            ctx.bag_of([1]).count()
+        assert ctx.trace.num_jobs == 2
+
+
+class TestSweepCsv:
+    def test_csv_round_trip(self):
+        sweep = Sweep(title="T", x_label="x", systems=["a", "b"])
+        sweep.add(RunResult(system="a", x=1, seconds=2.5))
+        sweep.add(RunResult(system="b", x=1, status="oom"))
+        sweep.add(RunResult(system="a", x=2, seconds=4.0))
+        lines = sweep.to_csv().strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,2.500,OOM"
+        assert lines[2] == "2,4.000,"

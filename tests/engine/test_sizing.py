@@ -1,0 +1,56 @@
+"""SizeEstimator behaviour."""
+
+from repro.engine.sizing import estimate_record_size, estimate_size
+
+
+class TestEstimateSize:
+    def test_primitives_positive(self):
+        for obj in (1, 1.5, "abc", b"abc", True, None):
+            assert estimate_size(obj) > 0
+
+    def test_bigger_string_bigger_estimate(self):
+        assert estimate_size("x" * 1000) > estimate_size("x")
+
+    def test_container_grows_with_elements(self):
+        assert estimate_size(list(range(100))) > estimate_size(
+            list(range(10))
+        )
+
+    def test_dict_includes_keys_and_values(self):
+        assert estimate_size({"key": "value" * 100}) > estimate_size({})
+
+    def test_handles_cycles(self):
+        loop = []
+        loop.append(loop)
+        assert estimate_size(loop) > 0
+
+    def test_sampling_extrapolates_large_lists(self):
+        small = estimate_size(["x" * 50] * 100)
+        large = estimate_size(["x" * 50] * 10_000)
+        assert large > 50 * small
+
+    def test_object_with_dict(self):
+        class Record:
+            def __init__(self):
+                self.payload = "x" * 500
+
+        assert estimate_size(Record()) > 500
+
+    def test_object_with_slots(self):
+        class Slotted:
+            __slots__ = ("payload",)
+
+            def __init__(self):
+                self.payload = "y" * 500
+
+        assert estimate_size(Slotted()) > 500
+
+
+class TestEstimateRecordSize:
+    def test_empty_sequence(self):
+        assert estimate_record_size([]) == 0.0
+
+    def test_average_of_sample(self):
+        records = [(i, "x") for i in range(10)]
+        per_record = estimate_record_size(records)
+        assert per_record == estimate_size(records[0])

@@ -1,0 +1,93 @@
+"""The Weighted work annotation and broadcast handles."""
+
+import pytest
+
+from repro.core.primitives import retag
+from repro.engine import Broadcast, EngineContext, Weighted, laptop_config
+from repro.engine.work import unwrap
+from repro.errors import SimulatedOutOfMemory
+
+
+class TestWeighted:
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValueError):
+            Weighted("x", -1)
+
+    def test_repr(self):
+        assert "work=3" in repr(Weighted("x", 3))
+
+    def test_unwrap_credits_work(self):
+        acc = [0]
+        assert unwrap(Weighted("v", 7), acc) == "v"
+        assert acc[0] == 7
+
+    def test_unwrap_passes_plain_values(self):
+        acc = [0]
+        assert unwrap("v", acc) == "v"
+        assert acc[0] == 0
+
+    def test_retag_preserves_weighted(self):
+        tagged = retag("t", Weighted("v", 5))
+        assert isinstance(tagged, Weighted)
+        assert tagged.value == ("t", "v")
+        assert tagged.work == 5
+
+    def test_retag_plain(self):
+        assert retag("t", "v") == ("t", "v")
+
+    def test_weighted_filter_counts_work(self, ctx):
+        before = ctx.trace.total_records
+        ctx.bag_of(range(10)).filter(
+            lambda x: Weighted(x % 2 == 0, 100)
+        ).collect()
+        factor = ctx.config.sequential_work_factor
+        assert ctx.trace.total_records - before >= 1000 * factor
+
+    def test_weighted_flat_map_counts_work(self, ctx):
+        before = ctx.trace.total_records
+        ctx.bag_of(range(4)).flat_map(
+            lambda x: Weighted([x], 50)
+        ).collect()
+        factor = ctx.config.sequential_work_factor
+        assert ctx.trace.total_records - before >= 200 * factor
+
+
+class TestBroadcastHandles:
+    def test_value_accessible(self, ctx):
+        handle = ctx.broadcast({"a": 1})
+        assert isinstance(handle, Broadcast)
+        assert handle.value == {"a": 1}
+
+    def test_records_default_to_len(self, ctx):
+        assert ctx.broadcast([1, 2, 3]).num_records == 3
+
+    def test_scalar_counts_as_one_record(self, ctx):
+        assert ctx.broadcast(42).num_records == 1
+
+    def test_volume_charged_to_current_job(self, ctx):
+        bag = ctx.bag_of([1]).cache()
+        bag.count()
+        ctx.broadcast(list(range(5)))
+        assert ctx.trace.jobs[-1].broadcast_records == 5
+
+    def test_oversized_broadcast_raises(self):
+        from repro.engine import ClusterConfig
+
+        ctx = EngineContext(
+            ClusterConfig(
+                machines=1,
+                cores_per_machine=1,
+                memory_per_machine_bytes=1_000,
+                bytes_per_record=100.0,
+                memory_overhead_factor=1.0,
+            )
+        )
+        with pytest.raises(SimulatedOutOfMemory):
+            ctx.broadcast(list(range(100)))
+
+    def test_usable_inside_udfs(self, ctx):
+        lookup = ctx.broadcast({0: "even", 1: "odd"})
+        got = ctx.bag_of(range(4)).map(
+            lambda x, b=lookup: b.value[x % 2]
+        ).collect()
+        assert sorted(got) == ["even", "even", "odd", "odd"]

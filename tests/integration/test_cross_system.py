@@ -1,0 +1,127 @@
+"""Cross-system integration: every execution strategy, same answers.
+
+These are the reproduction's end-to-end guarantees: for each task, the
+Matryoshka (flattened) program, both workarounds, the DIQL plan where
+applicable, and the sequential reference all agree on randomized inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.inner_parallel import group_locally
+from repro.data import grouped_edges, visits_log
+from repro.engine import EngineContext, laptop_config
+from repro.tasks import bounce_rate as br
+from repro.tasks import pagerank as pr
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    num_days=st.integers(min_value=1, max_value=10),
+    total=st.integers(min_value=20, max_value=200),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_bounce_rate_all_systems_agree(num_days, total, seed):
+    records = visits_log(num_days, total, seed=seed)
+    truth = br.bounce_rate_reference(records)
+    ctx = EngineContext(laptop_config())
+    outputs = {
+        "nested": dict(
+            br.bounce_rate_nested(ctx.bag_of(records)).collect()
+        ),
+        "flat": dict(
+            br.bounce_rate_flat(ctx.bag_of(records)).collect()
+        ),
+        "outer": dict(
+            br.bounce_rate_outer(ctx.bag_of(records)).collect()
+        ),
+        "inner": dict(
+            br.bounce_rate_inner(ctx, group_locally(records))
+        ),
+        "diql": dict(
+            br.bounce_rate_diql(ctx.bag_of(records)).collect()
+        ),
+    }
+    for system, got in outputs.items():
+        assert got == truth, "system %s diverged" % system
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    num_groups=st.integers(min_value=1, max_value=5),
+    total=st.integers(min_value=20, max_value=120),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pagerank_all_systems_agree(num_groups, total, seed):
+    records = grouped_edges(num_groups, total, seed=seed)
+    groups = group_locally(records)
+    truth = {
+        gid: pr.pagerank_reference(groups[gid], iterations=4)[0]
+        for gid in groups
+    }
+    ctx = EngineContext(laptop_config())
+    nested = {}
+    for gid, (v, rank) in pr.pagerank_nested(
+        ctx.bag_of(records), iterations=4
+    ).collect():
+        nested.setdefault(gid, {})[v] = rank
+    outer = {
+        gid: dict(ranks)
+        for gid, ranks in pr.pagerank_outer(
+            ctx.bag_of(records), iterations=4
+        ).collect()
+    }
+    inner = dict(pr.pagerank_inner(ctx, groups, iterations=4))
+    for system, got in (
+        ("nested", nested), ("outer", outer), ("inner", inner),
+    ):
+        assert set(got) == set(truth), system
+        for gid in truth:
+            assert set(got[gid]) == set(truth[gid]), (system, gid)
+            for v in truth[gid]:
+                assert got[gid][v] == pytest.approx(
+                    truth[gid][v]
+                ), (system, gid, v)
+
+
+class TestScalingInvariants:
+    """The structural properties that drive every figure."""
+
+    def test_matryoshka_job_count_constant_in_groups(self):
+        for task_records in (
+            [visits_log(g, 120, seed=4) for g in (2, 10)],
+        ):
+            counts = []
+            for records in task_records:
+                ctx = EngineContext(laptop_config())
+                br.bounce_rate_nested(ctx.bag_of(records)).collect()
+                counts.append(ctx.trace.num_jobs)
+            assert counts[0] == counts[1]
+
+    def test_inner_parallel_job_count_linear_in_groups(self):
+        counts = []
+        for groups in (2, 8):
+            records = visits_log(groups, 160, seed=4)
+            ctx = EngineContext(laptop_config())
+            br.bounce_rate_inner(ctx, group_locally(records))
+            counts.append(ctx.trace.num_jobs)
+        assert counts[1] == 4 * counts[0]
+
+    def test_matryoshka_pagerank_jobs_scale_with_iterations_only(self):
+        counts = []
+        for iterations in (2, 4):
+            records = grouped_edges(4, 60, seed=4)
+            ctx = EngineContext(laptop_config())
+            pr.pagerank_nested(
+                ctx.bag_of(records), iterations=iterations
+            ).collect()
+            counts.append(ctx.trace.num_jobs)
+        per_iteration = (counts[1] - counts[0]) / 2
+        assert per_iteration <= 3
+
+    def test_outer_parallel_single_job_chain(self):
+        records = visits_log(6, 120, seed=4)
+        ctx = EngineContext(laptop_config())
+        br.bounce_rate_outer(ctx.bag_of(records)).collect()
+        assert ctx.trace.num_jobs == 1

@@ -1,0 +1,21 @@
+"""Fixtures for language-frontend tests."""
+
+import pytest
+
+from repro.core.nestedbag import group_by_key_into_nested_bag
+
+
+@pytest.fixture
+def nested(ctx):
+    bag = ctx.bag_of(
+        [
+            ("fruit", 1), ("fruit", 2), ("fruit", 3),
+            ("animal", 10), ("animal", 20),
+        ]
+    )
+    return group_by_key_into_nested_bag(bag)
+
+
+@pytest.fixture
+def lctx(nested):
+    return nested.lctx

@@ -1,0 +1,276 @@
+"""The parsing phase: AST rewriting of plain Python UDFs."""
+
+import pytest
+
+from repro.core.nestedbag import nested_map
+from repro.errors import ParsingError
+from repro.lang import nested_udf, parse_udf
+
+# ---------------------------------------------------------------------------
+# UDFs under test (module level so inspect.getsource works)
+# ---------------------------------------------------------------------------
+
+
+@nested_udf
+def collatz_steps(n):
+    steps = 0
+    while n != 1 and steps < 50:
+        n = (n // 2) if n % 2 == 0 else (3 * n + 1)
+        steps = steps + 1
+    return steps
+
+
+@nested_udf
+def classify(x):
+    if x < 0:
+        sign = "neg"
+    elif x == 0:
+        sign = "zero"
+    else:
+        sign = "pos"
+    return sign
+
+
+@nested_udf
+def triangular(n):
+    total = 0
+    for i in range(n):
+        total = total + i + 1
+    return total
+
+
+@nested_udf
+def clamp_grow(x):
+    while x < 20:
+        x = x * 2
+        if x > 20:
+            x = 20
+    return x
+
+
+@nested_udf
+def countdown(n):
+    hits = 0
+    for i in range(10, 0, -2):
+        if i <= n:
+            hits = hits + 1
+    return hits
+
+
+@nested_udf
+def no_else_branch(x):
+    y = 0
+    if x > 5:
+        y = x
+    return y
+
+
+@nested_udf
+def boolean_mix(x):
+    big = x > 10 or x < -10
+    small = not big and x != 0
+    return big, small
+
+
+@nested_udf
+def chained_compare(x):
+    inside = 0 < x < 10
+    return inside
+
+
+def plain_reference(fn):
+    return fn.original
+
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+class TestPlainDegradation:
+    """Rewritten UDFs behave exactly like the originals on plain values."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 27])
+    def test_collatz(self, n):
+        assert collatz_steps(n) == plain_reference(collatz_steps)(n)
+
+    @pytest.mark.parametrize("x", [-3, 0, 9])
+    def test_classify(self, x):
+        assert classify(x) == plain_reference(classify)(x)
+
+    @pytest.mark.parametrize("n", [0, 1, 5])
+    def test_triangular(self, n):
+        assert triangular(n) == n * (n + 1) // 2
+
+    @pytest.mark.parametrize("x", [1, 3, 30])
+    def test_clamp_grow(self, x):
+        assert clamp_grow(x) == plain_reference(clamp_grow)(x)
+
+    @pytest.mark.parametrize("n", [0, 4, 10])
+    def test_countdown_negative_step_range(self, n):
+        assert countdown(n) == plain_reference(countdown)(n)
+
+    @pytest.mark.parametrize("x", [-20, -1, 0, 5, 11])
+    def test_boolean_mix(self, x):
+        assert boolean_mix(x) == plain_reference(boolean_mix)(x)
+
+    @pytest.mark.parametrize("x", [-1, 5, 10])
+    def test_chained_compare(self, x):
+        assert chained_compare(x) == plain_reference(chained_compare)(x)
+
+
+class TestLiftedExecution:
+    """The same UDFs, applied to whole bags through nested_map."""
+
+    def test_collatz_lifted(self, ctx):
+        seeds = [1, 2, 3, 7, 27]
+        got = nested_map(ctx.bag_of(seeds), collatz_steps)
+        expected = sorted(
+            plain_reference(collatz_steps)(n) for n in seeds
+        )
+        assert sorted(got.collect_values()) == expected
+
+    def test_classify_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([-5, 0, 5]), classify)
+        assert sorted(got.collect_values()) == ["neg", "pos", "zero"]
+
+    def test_triangular_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([1, 3, 5]), triangular)
+        assert sorted(got.collect_values()) == [1, 6, 15]
+
+    def test_nested_if_inside_while_lifted(self, ctx):
+        seeds = [1, 3, 30]
+        got = nested_map(ctx.bag_of(seeds), clamp_grow)
+        expected = sorted(
+            plain_reference(clamp_grow)(x) for x in seeds
+        )
+        assert sorted(got.collect_values()) == expected
+
+    def test_boolean_mix_lifted(self, ctx):
+        big, small = nested_map(ctx.bag_of([-20, 5]), boolean_mix)
+        assert sorted(big.collect_values()) == [False, True]
+        assert sorted(small.collect_values()) == [False, True]
+
+    def test_chained_compare_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([-1, 5, 10]), chained_compare)
+        assert sorted(got.collect_values()) == [False, False, True]
+
+    def test_if_without_else_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([2, 9]), no_else_branch)
+        assert sorted(got.collect_values()) == [0, 9]
+
+
+class TestTransformedSource:
+    def test_while_becomes_combinator(self):
+        source = collatz_steps.transformed_source
+        assert "__mz_while_loop" in source
+        assert "while " not in source
+
+    def test_if_becomes_cond(self):
+        source = classify.transformed_source
+        assert "__mz_cond" in source
+
+    def test_for_desugared(self):
+        source = triangular.transformed_source
+        assert "for " not in source
+        assert "__mz_while_loop" in source
+
+    def test_boolean_helpers_injected(self):
+        source = boolean_mix.transformed_source
+        assert "__mz_or" in source
+        assert "__mz_not" in source
+
+    def test_loop_vars_passed(self):
+        assert "loop_vars=" in collatz_steps.transformed_source
+
+
+class TestClosureCapture:
+    def test_decorated_closure_over_enclosing_scope(self):
+        limit = 10
+
+        def make():
+            bound = limit
+
+            def stepper(x):
+                while x < bound:
+                    x = x + 4
+                return x
+
+            return stepper
+
+        rewritten, _source = parse_udf(make())
+        assert rewritten(1) == 13
+
+
+class TestRejectedConstructs:
+    def test_break_rejected(self):
+        def bad(x):
+            while x < 10:
+                x += 1
+                break
+            return x
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_continue_rejected(self):
+        def bad(x):
+            while x < 10:
+                continue
+            return x
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_return_inside_loop_rejected(self):
+        def bad(x):
+            while x < 10:
+                return x
+            return x
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_while_else_rejected(self):
+        def bad(x):
+            while x < 10:
+                x += 1
+            else:
+                x = 0
+            return x
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_for_over_list_rejected(self):
+        def bad(xs):
+            total = 0
+            for x in [1, 2, 3]:
+                total += x
+            return total
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_non_literal_range_step_rejected(self):
+        def bad(n, s):
+            total = 0
+            for i in range(0, n, s):
+                total += i
+            return total
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_one_sided_unbound_assignment_rejected(self):
+        def bad(x):
+            if x > 0:
+                fresh = 1
+            return fresh
+
+        with pytest.raises(ParsingError):
+            parse_udf(bad)
+
+    def test_lambda_has_no_source(self):
+        with pytest.raises(ParsingError):
+            parse_udf(eval("lambda x: x"))

@@ -1,0 +1,155 @@
+"""Further parsing-phase coverage: augmented assignment, deep nesting,
+multiple parameters, defaults, and lambdas inside rewritten UDFs."""
+
+import pytest
+
+from repro.core import nested_map
+from repro.engine import EngineContext, laptop_config
+from repro.lang import nested_udf
+
+# ---------------------------------------------------------------------------
+# UDFs under test
+# ---------------------------------------------------------------------------
+
+
+@nested_udf
+def aug_assign(x):
+    total = 0
+    while x > 0:
+        total += x
+        x -= 1
+    return total
+
+
+@nested_udf
+def nested_loops(n):
+    total = 0
+    i = 0
+    while i < n:
+        j = 0
+        while j < i:
+            total += 1
+            j += 1
+        i += 1
+    return total
+
+
+@nested_udf
+def with_default(x, bump=5):
+    if x > 0:
+        x = x + bump
+    return x
+
+
+@nested_udf
+def two_params(a, b):
+    while a < b:
+        a = a * 2
+    return a
+
+
+@nested_udf
+def uses_lambda_inside(x):
+    double = lambda v: v * 2  # noqa: E731 -- deliberate inner lambda
+    y = 0
+    while y < x:
+        y = double(y) + 1
+    return y
+
+
+@nested_udf
+def elif_chain(x):
+    if x < 0:
+        bucket = 0
+    elif x < 10:
+        bucket = 1
+    elif x < 100:
+        bucket = 2
+    else:
+        bucket = 3
+    return bucket
+
+
+GLOBAL_OFFSET = 1000
+
+
+@nested_udf
+def reads_global(x):
+    while x < GLOBAL_OFFSET:
+        x = x * 3
+    return x
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(laptop_config())
+
+
+class TestPlainBehaviour:
+    @pytest.mark.parametrize("n", [0, 1, 5])
+    def test_aug_assign(self, n):
+        assert aug_assign(n) == n * (n + 1) // 2
+
+    @pytest.mark.parametrize("n", [0, 2, 5])
+    def test_nested_loops(self, n):
+        assert nested_loops(n) == n * (n - 1) // 2
+
+    def test_with_default(self):
+        assert with_default(3) == 8
+        assert with_default(3, bump=10) == 13
+        assert with_default(-3) == -3
+
+    def test_two_params(self):
+        assert two_params(1, 10) == 16
+
+    def test_uses_lambda_inside(self):
+        assert uses_lambda_inside(4) == uses_lambda_inside.original(4)
+
+    @pytest.mark.parametrize(
+        "x,expected", [(-5, 0), (3, 1), (42, 2), (500, 3)]
+    )
+    def test_elif_chain(self, x, expected):
+        assert elif_chain(x) == expected
+
+    def test_reads_global(self):
+        assert reads_global(2) == reads_global.original(2)
+
+
+class TestLiftedBehaviour:
+    def test_aug_assign_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([1, 3, 5]), aug_assign)
+        assert sorted(got.collect_values()) == [1, 6, 15]
+
+    def test_nested_loops_lifted(self, ctx):
+        seeds = [0, 2, 4, 6]
+        got = nested_map(ctx.bag_of(seeds), nested_loops)
+        assert sorted(got.collect_values()) == sorted(
+            n * (n - 1) // 2 for n in seeds
+        )
+
+    def test_two_params_partial_lift(self, ctx):
+        # One argument lifted, the other a plain closure constant.
+        got = nested_map(
+            ctx.bag_of([1, 3, 9]), lambda a: two_params(a, 10)
+        )
+        assert sorted(got.collect_values()) == sorted(
+            two_params.original(a, 10) for a in (1, 3, 9)
+        )
+
+    def test_elif_chain_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([-5, 3, 42, 500]), elif_chain)
+        assert sorted(got.collect_values()) == [0, 1, 2, 3]
+
+    def test_reads_global_lifted(self, ctx):
+        seeds = [2, 500, 2000]
+        got = nested_map(ctx.bag_of(seeds), reads_global)
+        assert sorted(got.collect_values()) == sorted(
+            reads_global.original(s) for s in seeds
+        )
+
+    def test_uses_lambda_inside_lifted(self, ctx):
+        seeds = [1, 4, 9]
+        got = nested_map(ctx.bag_of(seeds), uses_lambda_inside)
+        assert sorted(got.collect_values()) == sorted(
+            uses_lambda_inside.original(s) for s in seeds
+        )

@@ -1,0 +1,67 @@
+"""Statement-level coverage: tuple assignment, asserts, docstrings."""
+
+import pytest
+
+from repro.core import nested_map
+from repro.engine import EngineContext, laptop_config
+from repro.lang import nested_udf
+
+
+@nested_udf
+def swapping(a):
+    b = 1
+    while a < 100:
+        a, b = b, a + b
+    return a
+
+
+@nested_udf
+def with_docstring(x):
+    """The docstring must survive rewriting."""
+    if x > 0:
+        x = x * 2
+    return x
+
+
+@nested_udf
+def with_assert(x):
+    assert isinstance(x, object)  # noqa: S101 -- passthrough check
+    total = 0
+    while total < x:
+        total += 2
+    return total
+
+
+@pytest.fixture
+def ctx():
+    return EngineContext(laptop_config())
+
+
+class TestStatements:
+    def test_tuple_assignment_in_loop_plain(self):
+        assert swapping(1) == swapping.original(1)
+        assert swapping(150) == 150
+
+    def test_tuple_assignment_in_loop_lifted(self, ctx):
+        seeds = [1, 50, 150]
+        got = nested_map(ctx.bag_of(seeds), swapping)
+        assert sorted(got.collect_values()) == sorted(
+            swapping.original(s) for s in seeds
+        )
+
+    def test_docstring_preserved(self):
+        assert "must survive" in with_docstring.__doc__
+
+    def test_assert_passes_through_plain(self):
+        assert with_assert(5) == 6
+
+    def test_assert_passes_through_lifted(self, ctx):
+        got = nested_map(ctx.bag_of([3, 8]), with_assert)
+        assert sorted(got.collect_values()) == [4, 8]
+
+    def test_transformed_source_attribute(self):
+        assert isinstance(swapping.transformed_source, str)
+        assert "__mz_while_loop" in swapping.transformed_source
+
+    def test_original_attribute_round_trips(self):
+        assert swapping.original.__name__ == "swapping"

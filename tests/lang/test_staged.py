@@ -1,0 +1,104 @@
+"""Staged boolean/select helpers: lifted behaviour and plain fallback."""
+
+from repro.lang.staged import (
+    staged_and,
+    staged_not,
+    staged_or,
+    staged_select,
+)
+
+
+class TestPlainSemantics:
+    def test_and_short_circuits(self):
+        evaluated = []
+
+        def right():
+            evaluated.append(1)
+            return True
+
+        assert staged_and(False, right) is False
+        assert evaluated == []
+        assert staged_and(True, right) is True
+        assert evaluated == [1]
+
+    def test_or_short_circuits(self):
+        evaluated = []
+
+        def right():
+            evaluated.append(1)
+            return False
+
+        assert staged_or(True, right) is True
+        assert evaluated == []
+        assert staged_or(False, right) is False
+
+    def test_not(self):
+        assert staged_not(True) is False
+        assert staged_not(0) is True
+
+    def test_select_evaluates_one_side(self):
+        taken = []
+        staged_select(
+            True, lambda: taken.append("then"),
+            lambda: taken.append("else"),
+        )
+        assert taken == ["then"]
+
+    def test_truthy_non_bools_pass_through(self):
+        assert staged_and([1], lambda: "x") == "x"
+        assert staged_or("", lambda: "fallback") == "fallback"
+
+
+class TestLiftedSemantics:
+    def test_and_per_tag(self, lctx):
+        a = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", True)]
+        )
+        b = lctx.scalars_from_pairs(
+            [("fruit", False), ("animal", True)]
+        )
+        assert staged_and(a, lambda: b).as_dict() == {
+            "fruit": False, "animal": True,
+        }
+
+    def test_or_per_tag(self, lctx):
+        a = lctx.scalars_from_pairs(
+            [("fruit", False), ("animal", False)]
+        )
+        assert staged_or(a, lambda: True).as_dict() == {
+            "fruit": True, "animal": True,
+        }
+
+    def test_not_per_tag(self, lctx):
+        a = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", False)]
+        )
+        assert staged_not(a).as_dict() == {
+            "fruit": False, "animal": True,
+        }
+
+    def test_select_lifted_predicate(self, lctx):
+        pred = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", False)]
+        )
+        out = staged_select(pred, lambda: 1, lambda: 2)
+        assert out.as_dict() == {"fruit": 1, "animal": 2}
+
+    def test_select_lifted_branches(self, lctx):
+        pred = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", False)]
+        )
+        then_value = lctx.constant(10)
+        else_value = lctx.constant(20)
+        out = staged_select(
+            pred, lambda: then_value, lambda: else_value
+        )
+        assert out.as_dict() == {"fruit": 10, "animal": 20}
+
+    def test_select_mixed_branches(self, lctx):
+        pred = lctx.scalars_from_pairs(
+            [("fruit", True), ("animal", False)]
+        )
+        then_value = lctx.constant(10)
+        out = staged_select(pred, lambda: then_value, lambda: -1)
+        assert out.as_dict() == {"fruit": 10, "animal": -1}

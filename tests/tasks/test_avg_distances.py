@@ -1,0 +1,94 @@
+"""Average Distances: the three-level task (paper Sec. 2.2)."""
+
+import networkx as nx
+import pytest
+
+from repro.data import component_graph
+from repro.tasks import avg_distances as ad
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return component_graph(
+        num_components=3, vertices_per_component=6, seed=9
+    )
+
+
+def networkx_truth(edges):
+    graph = nx.Graph(edges)
+    truth = {}
+    for component in nx.connected_components(graph):
+        sub = graph.subgraph(component)
+        n = len(component)
+        total = sum(
+            d
+            for lengths in dict(
+                nx.all_pairs_shortest_path_length(sub)
+            ).values()
+            for d in lengths.values()
+        )
+        truth[min(component)] = total / (n * (n - 1))
+    return truth
+
+
+class TestReference:
+    def test_matches_networkx(self, edges):
+        truth = networkx_truth(edges)
+        got, _work = ad.avg_distances_reference(edges)
+        assert set(got) == set(truth)
+        assert all(
+            got[c] == pytest.approx(truth[c]) for c in truth
+        )
+
+    def test_triangle_distance_is_one(self):
+        got, _work = ad.avg_distances_reference([(0, 1), (1, 2), (0, 2)])
+        assert got == {0: pytest.approx(1.0)}
+
+    def test_path_of_three(self):
+        got, _work = ad.avg_distances_reference([(0, 1), (1, 2)])
+        # Distances: 0-1:1, 0-2:2, 1-2:1 (both directions) => avg 4/3.
+        assert got[0] == pytest.approx(4 / 3)
+
+
+class TestNestedThreeLevels:
+    def test_matches_reference(self, ctx, edges):
+        truth, _work = ad.avg_distances_reference(edges)
+        got = dict(ad.avg_distances_nested(ctx, edges).collect())
+        assert set(got) == set(truth)
+        assert all(
+            got[c] == pytest.approx(truth[c]) for c in truth
+        )
+
+    def test_single_component(self, ctx):
+        got = dict(
+            ad.avg_distances_nested(ctx, [(0, 1), (1, 2)]).collect()
+        )
+        assert got[0] == pytest.approx(4 / 3)
+
+
+class TestWorkarounds:
+    def test_outer_matches_reference(self, ctx, edges):
+        truth, _work = ad.avg_distances_reference(edges)
+        got = dict(ad.avg_distances_outer(ctx, edges).collect())
+        assert all(
+            got[c] == pytest.approx(truth[c]) for c in truth
+        )
+
+    def test_inner_matches_reference(self, ctx, edges):
+        truth, _work = ad.avg_distances_reference(edges)
+        got = dict(ad.avg_distances_inner(ctx, edges))
+        assert all(
+            got[c] == pytest.approx(truth[c]) for c in truth
+        )
+
+    def test_inner_jobs_explode_multiplicatively(self, ctx):
+        """Inner-parallel parallelizes only level 3: the job count grows
+        with components x sources x BFS waves."""
+        small = component_graph(1, 4, seed=1)
+        big = component_graph(4, 4, seed=1)
+        ctx.reset_trace()
+        ad.avg_distances_inner(ctx, small)
+        small_jobs = ctx.trace.num_jobs
+        ctx.reset_trace()
+        ad.avg_distances_inner(ctx, big)
+        assert ctx.trace.num_jobs >= 3 * small_jobs

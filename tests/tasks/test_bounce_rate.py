@@ -1,0 +1,115 @@
+"""Bounce Rate: every system variant agrees with the ground truth."""
+
+import pytest
+
+from repro.baselines.inner_parallel import group_locally
+from repro.data import visits_log
+from repro.tasks import bounce_rate as br
+
+
+@pytest.fixture(scope="module")
+def visits():
+    return visits_log(num_days=6, total_visits=400, seed=3)
+
+
+@pytest.fixture(scope="module")
+def truth(visits):
+    return br.bounce_rate_reference(visits)
+
+
+class TestReference:
+    def test_hand_example(self):
+        records = [
+            ("mon", "a"), ("mon", "a"), ("mon", "b"),
+            ("tue", "c"),
+        ]
+        assert br.bounce_rate_reference(records) == {
+            "mon": 0.5, "tue": 1.0,
+        }
+
+    def test_rates_in_unit_interval(self, truth):
+        assert all(0 <= rate <= 1 for rate in truth.values())
+
+
+class TestVariantsAgree:
+    def test_nested_matches_reference(self, ctx, visits, truth):
+        got = dict(br.bounce_rate_nested(ctx.bag_of(visits)).collect())
+        assert got == truth
+
+    def test_flat_listing3_matches_reference(self, ctx, visits, truth):
+        got = dict(br.bounce_rate_flat(ctx.bag_of(visits)).collect())
+        assert got == truth
+
+    def test_nested_equals_hand_flattened(self, ctx, visits):
+        """Theorem 2 in miniature: the flattened program Matryoshka
+        produces is equivalent to Listing 3."""
+        nested = dict(
+            br.bounce_rate_nested(ctx.bag_of(visits)).collect()
+        )
+        flat = dict(br.bounce_rate_flat(ctx.bag_of(visits)).collect())
+        assert nested == flat
+
+    def test_outer_matches_reference(self, ctx, visits, truth):
+        got = dict(br.bounce_rate_outer(ctx.bag_of(visits)).collect())
+        assert got == truth
+
+    def test_inner_matches_reference(self, ctx, visits, truth):
+        got = dict(br.bounce_rate_inner(ctx, group_locally(visits)))
+        assert got == truth
+
+    def test_diql_matches_reference(self, ctx, visits, truth):
+        got = dict(br.bounce_rate_diql(ctx.bag_of(visits)).collect())
+        assert got == truth
+
+
+class TestJobScaling:
+    def test_nested_jobs_independent_of_group_count(self, ctx):
+        job_counts = []
+        for days in (2, 12):
+            ctx.reset_trace()
+            records = visits_log(days, 120, seed=1)
+            br.bounce_rate_nested(ctx.bag_of(records)).collect()
+            job_counts.append(ctx.trace.num_jobs)
+        assert job_counts[0] == job_counts[1]
+
+    def test_inner_jobs_grow_with_group_count(self, ctx):
+        job_counts = []
+        for days in (2, 12):
+            ctx.reset_trace()
+            records = visits_log(days, 120, seed=1)
+            br.bounce_rate_inner(ctx, group_locally(records))
+            job_counts.append(ctx.trace.num_jobs)
+        assert job_counts[1] == 6 * job_counts[0]
+
+
+class TestGroupUdfCompositionality:
+    def test_group_udf_runs_on_plain_sequential_bags(self):
+        """Sec. 2.1's point: the same whole-bag function should work on
+        any Bag-like collection -- including a local one."""
+
+        class LocalBag:
+            def __init__(self, items):
+                self.items = list(items)
+
+            def map(self, fn):
+                return LocalBag(fn(x) for x in self.items)
+
+            def filter(self, fn):
+                return LocalBag(x for x in self.items if fn(x))
+
+            def reduce_by_key(self, fn):
+                acc = {}
+                for key, value in self.items:
+                    acc[key] = fn(acc[key], value) if key in acc else (
+                        value
+                    )
+                return LocalBag(acc.items())
+
+            def distinct(self):
+                return LocalBag(set(self.items))
+
+            def count(self):
+                return len(self.items)
+
+        group = LocalBag(["a", "a", "b"])
+        assert br.bounce_rate_group_udf(group) == 0.5

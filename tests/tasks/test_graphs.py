@@ -1,0 +1,84 @@
+"""Connected components and graph helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.data import component_graph
+from repro.tasks import graphs
+
+
+@pytest.fixture(scope="module")
+def edges():
+    return component_graph(
+        num_components=4, vertices_per_component=8, seed=11
+    )
+
+
+class TestConnectedComponentsReference:
+    def test_matches_networkx(self, edges):
+        got = graphs.connected_components_reference(edges)
+        graph = nx.Graph(edges)
+        for component in nx.connected_components(graph):
+            labels = {got[v] for v in component}
+            assert len(labels) == 1
+            assert labels == {min(component)}
+
+    def test_two_disjoint_edges(self):
+        got = graphs.connected_components_reference([(1, 2), (3, 4)])
+        assert got == {1: 1, 2: 1, 3: 3, 4: 3}
+
+    def test_chain_collapses_to_min(self):
+        got = graphs.connected_components_reference(
+            [(5, 4), (4, 3), (3, 2)]
+        )
+        assert set(got.values()) == {2}
+
+
+class TestConnectedComponentsDataflow:
+    def test_matches_reference(self, ctx, edges):
+        reference = graphs.connected_components_reference(edges)
+        got = graphs.connected_components(
+            ctx, ctx.bag_of(edges)
+        ).collect_as_map()
+        assert got == reference
+
+    def test_single_component(self, ctx):
+        got = graphs.connected_components(
+            ctx, ctx.bag_of([(0, 1), (1, 2), (2, 3)])
+        ).collect_as_map()
+        assert set(got.values()) == {0}
+
+    def test_label_propagation_converges(self, ctx):
+        # A long path needs several rounds; the loop must terminate.
+        path = [(i, i + 1) for i in range(12)]
+        got = graphs.connected_components(
+            ctx, ctx.bag_of(path)
+        ).collect_as_map()
+        assert set(got.values()) == {0}
+
+
+class TestBfsReference:
+    def test_distances_match_networkx(self, edges):
+        adjacency = graphs.adjacency_of(edges)
+        graph = nx.Graph(edges)
+        source = min(adjacency)
+        got = graphs.bfs_distances_reference(adjacency, source)
+        expected = nx.single_source_shortest_path_length(graph, source)
+        assert got == dict(expected)
+
+    def test_unreachable_vertices_absent(self):
+        adjacency = graphs.adjacency_of([(1, 2), (3, 4)])
+        got = graphs.bfs_distances_reference(adjacency, 1)
+        assert 3 not in got and 4 not in got
+
+
+class TestUndirect:
+    def test_both_directions_present(self, ctx):
+        got = graphs.undirect(ctx.bag_of([(1, 2)])).collect()
+        assert sorted(got) == [(1, 2), (2, 1)]
+
+    def test_deduplicates(self, ctx):
+        got = graphs.undirect(
+            ctx.bag_of([(1, 2), (2, 1), (1, 2)])
+        ).collect()
+        assert sorted(got) == [(1, 2), (2, 1)]

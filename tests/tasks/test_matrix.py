@@ -1,0 +1,126 @@
+"""Matrix-as-nested-collection operations (paper Sec. 1 example)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import EngineContext, laptop_config
+from repro.tasks import matrix as mx
+
+ROWS = [
+    [1.0, 2.0, 2.0],
+    [0.0, 0.0, 0.0],
+    [3.0, 4.0, 0.0],
+]
+
+
+@pytest.fixture
+def entries(ctx):
+    return mx.matrix_bag(ctx, ROWS)
+
+
+class TestRowAggregates:
+    def test_row_sums(self, entries):
+        assert mx.row_sums(entries).collect_as_map() == {
+            0: 5.0, 1: 0.0, 2: 7.0,
+        }
+
+    def test_row_norms(self, entries):
+        norms = mx.row_norms(entries).collect_as_map()
+        assert norms[0] == pytest.approx(3.0)
+        assert norms[1] == pytest.approx(0.0)
+        assert norms[2] == pytest.approx(5.0)
+
+    def test_frobenius(self, entries):
+        expected = math.sqrt(sum(v * v for row in ROWS for v in row))
+        assert mx.frobenius_norm(entries) == pytest.approx(expected)
+
+
+class TestNormalizeRows:
+    def test_matches_reference(self, ctx, entries):
+        expected = mx.normalize_rows_reference(ROWS)
+        got = {}
+        for i, (j, value) in mx.normalize_rows(entries).collect():
+            got.setdefault(i, {})[j] = value
+        for i, row in enumerate(expected):
+            for j, value in enumerate(row):
+                assert got[i][j] == pytest.approx(value)
+
+    def test_normalized_rows_have_unit_norm(self, ctx, entries):
+        normalized = mx.normalize_rows(entries)
+        norms = mx.row_norms(normalized).collect_as_map()
+        assert norms[0] == pytest.approx(1.0)
+        assert norms[1] == pytest.approx(0.0)  # zero row stays zero
+        assert norms[2] == pytest.approx(1.0)
+
+
+class TestMatrixVector:
+    def test_matches_reference(self, ctx, entries):
+        vector = [2.0, -1.0, 0.5]
+        vector_bag = ctx.bag_of(list(enumerate(vector)))
+        got = mx.matrix_vector_product(
+            entries, vector_bag
+        ).collect_as_map()
+        expected = mx.matrix_vector_reference(ROWS, vector)
+        assert set(got) == set(expected)
+        for i in expected:
+            assert got[i] == pytest.approx(expected[i])
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(
+            st.floats(
+                min_value=-10, max_value=10,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=3,
+            max_size=3,
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_row_sums_property(rows):
+    ctx = EngineContext(laptop_config())
+    got = mx.row_sums(mx.matrix_bag(ctx, rows)).collect_as_map()
+    expected = mx.row_sums_reference(rows)
+    assert set(got) == set(expected)
+    for i in expected:
+        assert got[i] == pytest.approx(expected[i])
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    rows=st.lists(
+        st.lists(
+            st.floats(
+                min_value=-5, max_value=5,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=2,
+            max_size=2,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    vector=st.lists(
+        st.floats(
+            min_value=-5, max_value=5,
+            allow_nan=False, allow_infinity=False,
+        ),
+        min_size=2,
+        max_size=2,
+    ),
+)
+def test_matrix_vector_property(rows, vector):
+    ctx = EngineContext(laptop_config())
+    got = mx.matrix_vector_product(
+        mx.matrix_bag(ctx, rows), ctx.bag_of(list(enumerate(vector)))
+    ).collect_as_map()
+    expected = mx.matrix_vector_reference(rows, vector)
+    for i in expected:
+        assert got.get(i, 0.0) == pytest.approx(expected[i])

@@ -1,0 +1,101 @@
+"""The top-level `repro` package surface.
+
+Regression net for the lazy-attribute machinery: a bad `__getattr__`
+once recursed to a segfault precisely on `repro.<lazy symbol>` access
+from a fresh interpreter, so these run in subprocesses.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+def run_fresh(code):
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+class TestLazyAttributes:
+    def test_fresh_interpreter_lazy_symbol(self):
+        result = run_fresh(
+            "import repro; print(repro.group_by_key_into_nested_bag)"
+        )
+        assert result.returncode == 0, result.stderr
+
+    def test_fresh_interpreter_lazy_submodule(self):
+        result = run_fresh("import repro; print(repro.core)")
+        assert result.returncode == 0, result.stderr
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "InnerScalar",
+            "InnerBag",
+            "NestedBag",
+            "group_by_key_into_nested_bag",
+            "nested_group_by_key",
+            "nested_map",
+            "while_loop",
+            "cond",
+            "lifted",
+            "nested_udf",
+            "LoweringConfig",
+        ],
+    )
+    def test_symbol_resolves(self, name):
+        assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize(
+        "name",
+        ["core", "lang", "engine", "baselines", "tasks", "data",
+         "bench"],
+    )
+    def test_submodule_resolves(self, name):
+        module = getattr(repro, name)
+        assert module.__name__ == "repro." + name
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.definitely_not_a_thing
+
+
+class TestEagerExports:
+    def test_engine_symbols(self):
+        assert repro.EngineContext is not None
+        assert repro.Bag is not None
+        assert repro.ClusterConfig is not None
+        assert repro.Weighted is not None
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.SimulatedOutOfMemory,
+                          repro.ExecutionError)
+        assert issubclass(repro.ExecutionError, repro.ReproError)
+        assert issubclass(repro.FlatteningError, repro.ReproError)
+        assert issubclass(repro.ParsingError, repro.ReproError)
+        assert issubclass(repro.UdfError, repro.ExecutionError)
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestReprs:
+    def test_primitive_reprs(self):
+        ctx = repro.EngineContext()
+        nested = repro.group_by_key_into_nested_bag(
+            ctx.bag_of([("a", 1), ("b", 2)])
+        )
+        assert "num_groups=2" in repr(nested)
+        assert "num_tags=2" in repr(nested.keys)
+        assert "level=1" in repr(nested.inner)
+
+    def test_context_repr(self):
+        ctx = repro.EngineContext()
+        ctx.bag_of([1]).count()
+        assert "jobs=1" in repr(ctx)
