@@ -39,7 +39,12 @@ class RunResult:
 
 
 def run_measured(config, system, x, fn):
-    """Run ``fn(ctx)`` on a fresh context; return a :class:`RunResult`."""
+    """Run ``fn(ctx)`` on a fresh context; return a :class:`RunResult`.
+
+    The trace is checked against the invariants of
+    :mod:`repro.engine.validate` before it is costed: a figure must
+    never be computed from a malformed trace.
+    """
     ctx = EngineContext(config)
     try:
         fn(ctx)
@@ -51,6 +56,7 @@ def run_measured(config, system, x, fn):
             jobs=ctx.trace.num_jobs,
             detail=str(oom),
         )
+    ctx.validate_trace()
     return RunResult(
         system=system,
         x=x,

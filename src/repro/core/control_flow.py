@@ -15,6 +15,14 @@ Per iteration it
   tags and discards the parts whose original loops have finished,
 * (P2) saves those discarded parts into result bags, and
 * (P3) exits once no tag remains live.
+
+Both the plain and the lifted loop unroll into lineage: every iteration
+appends operators to the plan of each loop variable, so long-running
+loops naturally build plans thousands of operators deep.  The engine's
+iterative executor evaluates such chains stack-safely (constant Python
+call depth regardless of lineage depth), so the per-iteration caching
+below exists purely to avoid *recomputation* across iterations -- not
+to keep plans shallow enough to evaluate.
 """
 
 import contextlib
@@ -161,6 +169,8 @@ def _split_on_condition(live_state, cond_scalar, finished_parts):
     # One job materializes every cached per-iteration bag (P3's emptiness
     # check rides along): the job count per iteration is constant, which
     # is exactly why Matryoshka beats the inner-parallel workaround.
+    # Materializing also resets each variable's lineage to the cached
+    # partitions, so later iterations recompute nothing upstream.
     _materialize(checkpoint)
     num_live = live_tags.count(label="lifted-loop live tags")
     if num_live == 0:

@@ -24,6 +24,11 @@ from .costmodel import CostBreakdown, CostModel
 from .metrics import ExecutionTrace, JobMetrics, StageMetrics
 from .partitioner import HashPartitioner, stable_hash
 from .sizing import estimate_record_size, estimate_size
+from .validate import (
+    TraceInvariantError,
+    validate_job,
+    validate_trace,
+)
 from .work import Weighted
 
 __all__ = [
@@ -40,6 +45,7 @@ __all__ = [
     "JoinHint",
     "MB",
     "StageMetrics",
+    "TraceInvariantError",
     "Weighted",
     "estimate_record_size",
     "estimate_size",
@@ -47,4 +53,6 @@ __all__ = [
     "large_cluster_config",
     "paper_cluster_config",
     "stable_hash",
+    "validate_job",
+    "validate_trace",
 ]

@@ -219,10 +219,12 @@ class Bag:
             strategy: ``"repartition"`` shuffles both sides;
                 ``"broadcast"`` ships the *other* bag to every executor
                 (fails with simulated OOM when it does not fit);
-                ``"auto"`` lets the engine's optimizer decide from known
-                sizes (driver-provided data) and :class:`JoinHint`s --
-                a side below the config's broadcast threshold is
-                broadcast, with unknown-size sides treated as large.
+                ``"broadcast_left"`` ships *this* bag instead (the build
+                side is the left input); ``"auto"`` lets the engine's
+                optimizer decide from known sizes (driver-provided data)
+                and :class:`JoinHint`s -- the smaller side below the
+                config's broadcast threshold is broadcast, with
+                unknown-size sides treated as large.
             hints: Optional :class:`JoinHint` for ``"auto"``.
         """
         self._same_context(other)
@@ -230,28 +232,55 @@ class Bag:
             strategy = self._choose_join_strategy(other, hints)
         if strategy == "broadcast":
             return self._derive(p.BroadcastJoin(self.node, other.node))
+        if strategy == "broadcast_left":
+            # BroadcastJoin always builds its hash table from the right
+            # child, so stream `other` against a broadcast of this bag
+            # and swap the value pairs back into (left, right) order.
+            flipped = other._derive(
+                p.BroadcastJoin(other.node, self.node)
+            )
+            return flipped.map_values(_swap_pair)
         if strategy != "repartition":
             raise PlanError("unknown join strategy: %r" % (strategy,))
         cogrouped = self.cogroup(other, num_partitions)
         return cogrouped.flat_map(_join_pairs)
 
     def _choose_join_strategy(self, other, hints):
-        """The engine optimizer's broadcast decision (Catalyst-style)."""
-        right_records = hints.right_records if hints else None
-        if right_records is None:
-            right_records = _known_count(other.node)
-        if right_records is None:
-            return "repartition"
+        """The engine optimizer's broadcast decision (Catalyst-style).
+
+        Either side may be the build side: a hinted or statically known
+        left input below the threshold is broadcast just like a right
+        one, and when both fit the smaller wins (ties go right, the
+        cheaper plan -- no pair swap).
+        """
+        left_bytes = self._estimated_build_bytes(
+            hints.left_records if hints else None, self
+        )
+        right_bytes = self._estimated_build_bytes(
+            hints.right_records if hints else None, other
+        )
+        threshold = self.context.config.auto_broadcast_threshold_bytes
+        left_fits = left_bytes is not None and left_bytes <= threshold
+        right_fits = right_bytes is not None and right_bytes <= threshold
+        if right_fits and (not left_fits or right_bytes <= left_bytes):
+            return "broadcast"
+        if left_fits:
+            return "broadcast_left"
+        return "repartition"
+
+    def _estimated_build_bytes(self, hinted_records, side):
+        """Estimated size of one join side, or None when unknown."""
+        records = hinted_records
+        if records is None:
+            records = _known_count(side.node)
+        if records is None:
+            return None
         rate = (
             self.context.config.result_record_bytes
-            if other.is_meta
+            if side.is_meta
             else self.context.config.bytes_per_record
         )
-        estimated = right_records * rate
-        threshold = self.context.config.auto_broadcast_threshold_bytes
-        if estimated <= threshold:
-            return "broadcast"
-        return "repartition"
+        return records * rate
 
     def left_outer_join(self, other, num_partitions=None):
         """Join keeping left records without a match: ``(k, (v, None))``."""
@@ -358,8 +387,20 @@ class Bag:
         return self.fold(0, lambda acc, x: acc + x, label)
 
     def take(self, n, label=""):
-        """Up to ``n`` elements (collects; fine at this scale)."""
-        return self.collect(label)[:n]
+        """Up to ``n`` elements.
+
+        Truncates each partition to its first ``n`` records before
+        collecting (as Spark's ``take`` scans a bounded prefix), so only
+        ``n x partitions`` records ever reach the driver -- taking a few
+        elements of a bag far larger than driver memory must not OOM.
+        """
+        if n <= 0:
+            return []
+
+        def head(items, _index):
+            return items[:n]
+
+        return self.map_partitions(head).collect(label)[:n]
 
     def top(self, n, key=None, label=""):
         """The ``n`` largest elements, descending.
@@ -409,6 +450,10 @@ def _known_count(node):
             node = node.child
             continue
         return None
+
+
+def _swap_pair(vw):
+    return (vw[1], vw[0])
 
 
 def _join_pairs(record):

@@ -84,6 +84,11 @@ class ClusterConfig:
     #: strategy="auto", a join side whose estimated size is below this
     #: is broadcast.
     auto_broadcast_threshold_bytes: int = 512 * MB
+    #: Check the trace invariants of :mod:`repro.engine.validate` after
+    #: every completed job.  Cheap (linear in the stage count) and on by
+    #: default; disable only when deliberately constructing invalid
+    #: traces.
+    validate_traces: bool = True
 
     def __post_init__(self):
         if self.machines < 1:

@@ -12,6 +12,7 @@ from .costmodel import CostModel
 from .executor import Executor
 from .metrics import ExecutionTrace
 from .plan import Parallelize
+from .validate import validate_trace
 
 
 class EngineContext:
@@ -87,6 +88,15 @@ class EngineContext:
     def reset_trace(self):
         """Start a fresh measurement window (keeps caches)."""
         self.trace.reset()
+
+    def validate_trace(self):
+        """Assert the trace invariants (:mod:`repro.engine.validate`).
+
+        The executor already validates each job as it completes (unless
+        ``config.validate_traces`` is off); this re-checks the whole
+        trace, e.g. before handing it to the cost model.
+        """
+        return validate_trace(self.trace)
 
     def measure(self):
         """Context manager measuring the simulated time of a block::

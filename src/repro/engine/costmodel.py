@@ -75,10 +75,10 @@ class CostModel:
         cost = CostBreakdown(job_launch_s=cfg.job_launch_overhead_s)
         slots = cfg.total_cores
         for stage in job.stages:
-            if stage.kind not in ("union", "cached"):
-                # Unions and cache reads are narrow continuations, not
-                # scheduled task sets of their own; their tasks belong to
-                # the stages that consume them.
+            if stage.kind not in ("union", "coalesce", "cached"):
+                # Unions, coalesces and cache reads are narrow
+                # continuations, not scheduled task sets of their own;
+                # their tasks belong to the stages that consume them.
                 cost.stage_overhead_s += cfg.stage_overhead_s
                 # Task scheduling is serial at the driver [24, 37]: many
                 # tiny tasks cost real time regardless of cluster size.

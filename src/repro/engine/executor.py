@@ -1,24 +1,41 @@
 """Plan evaluation: turns a lineage DAG into data, recording metrics.
 
-The executor evaluates plans recursively.  Narrow operators fuse into the
-stage of their input (their per-task record counts are credited to that
-stage); wide operators perform a hash shuffle and open a new stage.  The
-recorded :class:`~repro.engine.metrics.JobMetrics` mirror what the Spark UI
-would show for the same program, which is what the cost model needs.
+The executor evaluates plans **iteratively**: the lineage DAG is
+linearized over an explicit work stack (children before parents), so
+arbitrarily deep lineages -- e.g. the loop-unrolled control flow that
+``repro.core.control_flow`` compiles -- evaluate without recursion and
+without touching the interpreter's recursion limit.
+
+Narrow elementwise chains (``map``/``filter``/``flat_map``) are *fused*
+into one per-partition pipeline: records stream through the whole chain
+one at a time instead of materializing an intermediate list per
+operator (the Flare-style pipelined evaluation the chain's stage
+accounting already assumed).  Narrow operators fuse into the stage of
+their input (their per-task record counts are credited to that stage);
+wide operators perform a hash shuffle and open a new stage.  The
+recorded :class:`~repro.engine.metrics.JobMetrics` mirror what the
+Spark UI would show for the same program, which is what the cost model
+needs.  A cogroup schedules exactly **one** reduce stage that reads
+both sides' shuffle files -- the stage layout a Spark scheduler
+produces -- and every completed job is checked against the trace
+invariants in :mod:`repro.engine.validate`.
 
 Everything actually executes -- results are real, only the clock is
 simulated.
 """
 
-import sys
-
 from ..errors import PlanError, SimulatedOutOfMemory, UdfError
 from . import plan as p
 from .partitioner import build_balanced_assignment
+from .validate import validate_job
 from .work import unwrap
 
-_MIN_RECURSION_LIMIT = 20000
+_SENTINEL = object()
 
+#: Pipeline step tags for fused elementwise chains.
+_STEP_MAP = 0
+_STEP_FILTER = 1
+_STEP_FLATMAP = 2
 
 def _origin(node):
     name = node.name
@@ -43,8 +60,6 @@ class Executor:
     def __init__(self, config, trace):
         self.config = config
         self.trace = trace
-        if sys.getrecursionlimit() < _MIN_RECURSION_LIMIT:
-            sys.setrecursionlimit(_MIN_RECURSION_LIMIT)
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
@@ -57,12 +72,14 @@ class Executor:
         result = [item for part in partitions for item in part]
         self._check_driver_memory(len(result))
         job.collected_records += len(result)
+        self._finish(job)
         return result
 
     def count(self, node, label=""):
         job = self.trace.new_job("count", label)
         partitions = self._run(node, job)
         job.collected_records += len(partitions)
+        self._finish(job)
         return sum(len(part) for part in partitions)
 
     def save(self, node, label=""):
@@ -78,6 +95,7 @@ class Executor:
             job.saved_meta_records += written
         else:
             job.saved_records += written
+        self._finish(job)
         return written
 
     def reduce(self, node, fn, label=""):
@@ -99,6 +117,7 @@ class Executor:
         acc = partials[0]
         for item in partials[1:]:
             acc = fn(acc, item)
+        self._finish(job)
         return acc
 
     def fold(self, node, zero, fn, label=""):
@@ -109,60 +128,164 @@ class Executor:
             for item in part:
                 acc = fn(acc, item)
         job.collected_records += len(partitions)
+        self._finish(job)
         return acc
 
+    def _finish(self, job):
+        if self.config.validate_traces:
+            validate_job(job)
+
     # ------------------------------------------------------------------
-    # Evaluation
+    # Iterative evaluation
     # ------------------------------------------------------------------
 
     def _run(self, node, job):
-        memo = {}
-        return self._eval(node, job, memo).partitions
+        return self._eval(node, job).partitions
 
-    def _eval(self, node, job, memo):
-        key = id(node)
-        if key in memo:
-            return memo[key]
-        if node.materialized is not None:
-            stage = job.new_stage("cached", meta=node.meta, origin=_origin(node))
-            for _ in node.materialized:
-                stage.task_records.append(0)
-            result = _Result(node.materialized, stage)
-            memo[key] = result
-            return result
-        result = self._eval_fresh(node, job, memo)
-        if node.cached:
-            node.materialized = result.partitions
-        memo[key] = result
-        return result
+    def _eval(self, root, job):
+        """Evaluate ``root`` bottom-up over an explicit work stack.
 
-    def _eval_fresh(self, node, job, memo):
+        Stack-safe by construction: the Python call depth is constant in
+        the lineage depth, so 20k-operator chains evaluate without
+        recursion-limit games.
+        """
+        results = {}
+        refcounts = self._refcounts(root)
+        stack = [root]
+        while stack:
+            node = stack[-1]
+            key = id(node)
+            if key in results:
+                stack.pop()
+                continue
+            if node.materialized is not None:
+                results[key] = self._cached_result(node, job)
+                stack.pop()
+                continue
+            chain = self._fused_chain(node, refcounts)
+            if chain is not None:
+                deps = (chain[0].child,)
+            else:
+                deps = self._dep_order(node)
+            pending = [dep for dep in deps if id(dep) not in results]
+            if pending:
+                stack.extend(reversed(pending))
+                continue
+            stack.pop()
+            if chain is not None:
+                result = self._eval_fused(
+                    chain, results[id(chain[0].child)]
+                )
+            else:
+                result = self._eval_node(node, job, results)
+            if node.cached:
+                node.materialized = result.partitions
+            results[key] = result
+        return results[id(root)]
+
+    @staticmethod
+    def _refcounts(root):
+        """Number of evaluated parents per node (by id).
+
+        Only edges that evaluation will actually traverse count:
+        children below an already-materialized node are never evaluated.
+        """
+        counts = {}
+        seen = set()
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            if node.materialized is not None:
+                continue
+            for child in node.children:
+                counts[id(child)] = counts.get(id(child), 0) + 1
+                stack.append(child)
+        return counts
+
+    @staticmethod
+    def _dep_order(node):
+        """Children in the order their side effects must occur.
+
+        Broadcast operators evaluate (and size-check) the build side
+        before the stream side, mirroring a real driver's submission
+        order.
+        """
+        if isinstance(node, p.BroadcastJoin):
+            return (node.right, node.left)
+        if isinstance(node, p.CrossBroadcast):
+            if node.broadcast_side == "right":
+                return (node.right, node.left)
+            return (node.left, node.right)
+        return tuple(node.children)
+
+    def _fused_chain(self, node, refcounts):
+        """The maximal fusable elementwise chain ending at ``node``.
+
+        Returns the chain bottom-up (``chain[0]`` closest to the data)
+        or ``None`` when ``node`` is not elementwise.  Fusion never
+        crosses a node that is cached, already materialized, or shared
+        by another parent (those must produce a memoized result of
+        their own).
+        """
+        if not node.fusable:
+            return None
+        chain = [node]
+        child = node.child
+        while (
+            child.fusable
+            and not child.cached
+            and child.materialized is None
+            and refcounts.get(id(child), 0) == 1
+        ):
+            chain.append(child)
+            child = child.child
+        chain.reverse()
+        return chain
+
+    def _cached_result(self, node, job):
+        stage = job.new_stage("cached", meta=node.meta, origin=_origin(node))
+        for _ in node.materialized:
+            stage.task_records.append(0)
+        return _Result(node.materialized, stage)
+
+    def _eval_node(self, node, job, results):
         if isinstance(node, p.Parallelize):
             return self._eval_parallelize(node, job)
-        if isinstance(node, p.Map):
-            return self._eval_elementwise(node, job, memo, self._map_part)
-        if isinstance(node, p.Filter):
-            return self._eval_elementwise(node, job, memo, self._filter_part)
-        if isinstance(node, p.FlatMap):
-            return self._eval_elementwise(node, job, memo, self._flatmap_part)
         if isinstance(node, p.MapPartitions):
-            return self._eval_map_partitions(node, job, memo)
+            return self._eval_map_partitions(node, results[id(node.child)])
         if isinstance(node, p.ZipWithUniqueId):
-            return self._eval_zip_with_unique_id(node, job, memo)
+            return self._eval_zip_with_unique_id(
+                node, results[id(node.child)]
+            )
         if isinstance(node, p.Union):
-            return self._eval_union(node, job, memo)
+            return self._eval_union(
+                node, job, [results[id(child)] for child in node.children]
+            )
         if isinstance(node, p.Coalesce):
-            return self._eval_coalesce(node, job, memo)
+            return self._eval_coalesce(node, job, results[id(node.child)])
         if isinstance(node, p.ReduceByKey):
-            return self._eval_reduce_by_key(node, job, memo)
+            return self._eval_reduce_by_key(
+                node, job, results[id(node.child)]
+            )
         if isinstance(node, p.GroupByKey):
-            return self._eval_group_by_key(node, job, memo)
+            return self._eval_group_by_key(
+                node, job, results[id(node.child)]
+            )
         if isinstance(node, p.CoGroup):
-            return self._eval_cogroup(node, job, memo)
+            return self._eval_cogroup(
+                node, job, results[id(node.left)], results[id(node.right)]
+            )
         if isinstance(node, p.BroadcastJoin):
-            return self._eval_broadcast_join(node, job, memo)
+            return self._eval_broadcast_join(
+                node, job, results[id(node.left)], results[id(node.right)]
+            )
         if isinstance(node, p.CrossBroadcast):
-            return self._eval_cross_broadcast(node, job, memo)
+            return self._eval_cross_broadcast(
+                node, job, results[id(node.left)], results[id(node.right)]
+            )
         raise PlanError("unknown plan node type: %s" % node.name)
 
     def _eval_parallelize(self, node, job):
@@ -172,44 +295,77 @@ class Executor:
             stage.task_records.append(len(part))
         return _Result(partitions, stage)
 
-    # -- narrow elementwise operators ----------------------------------
+    # -- fused narrow elementwise chains -------------------------------
 
-    def _eval_elementwise(self, node, job, memo, apply_part):
-        child = self._eval(node.child, job, memo)
+    def _eval_fused(self, chain, child):
+        """Stream each partition through the whole elementwise chain.
+
+        One output list per partition is materialized at the fusion
+        boundary; no per-operator intermediates exist.  Each operator is
+        credited its input record count (plus reported UDF work) on the
+        input's stage, exactly as unfused evaluation would.
+        """
+        steps = []
+        for op in chain:
+            if isinstance(op, p.Map):
+                steps.append((_STEP_MAP, op.fn, op))
+            elif isinstance(op, p.Filter):
+                steps.append((_STEP_FILTER, op.fn, op))
+            else:
+                steps.append((_STEP_FLATMAP, op.fn, op))
         factor = self.config.sequential_work_factor
+        stage = child.stage
         out = []
         for index, part in enumerate(child.partitions):
-            child.stage.add_task_records(index, len(part))
-            work = [0]
-            out.append(apply_part(node, part, work))
-            if work[0]:
-                # UDF-internal sequential work runs record-at-a-time and
-                # is charged at the configured slowdown over the bulk rate.
-                child.stage.add_task_records(index, int(work[0] * factor))
-        return _Result(out, child.stage)
+            counts = [0] * len(steps)
+            works = [[0] for _ in steps]
+            out.append(self._run_pipeline(steps, part, counts, works))
+            for i in range(len(steps)):
+                stage.add_task_records(index, counts[i])
+                if works[i][0]:
+                    # UDF-internal sequential work runs record-at-a-time
+                    # and is charged at the configured slowdown over the
+                    # bulk rate.
+                    stage.add_task_records(index, int(works[i][0] * factor))
+        return _Result(out, stage)
 
-    def _map_part(self, node, part, work):
-        out = []
-        for item in part:
-            out.append(unwrap(self._call(node, node.fn, item), work))
-        return out
+    def _run_pipeline(self, steps, part, counts, works):
+        """One partition through the fused chain, record at a time.
 
-    def _filter_part(self, node, part, work):
+        An explicit iterator stack (one level per in-flight flat_map
+        expansion) keeps the evaluation depth independent of the chain
+        length: a 20k-operator map chain runs in a flat loop.
+        """
+        num = len(steps)
         out = []
-        for item in part:
-            if unwrap(self._call(node, node.fn, item), work):
+        stack = [(0, iter(part))]
+        while stack:
+            depth, iterator = stack[-1]
+            item = next(iterator, _SENTINEL)
+            if item is _SENTINEL:
+                stack.pop()
+                continue
+            i = depth
+            while i < num:
+                kind, fn, op = steps[i]
+                counts[i] += 1
+                if kind == _STEP_MAP:
+                    item = unwrap(self._call(op, fn, item), works[i])
+                elif kind == _STEP_FILTER:
+                    if not unwrap(self._call(op, fn, item), works[i]):
+                        break
+                else:
+                    produced = unwrap(self._call(op, fn, item), works[i])
+                    stack.append((i + 1, iter(produced)))
+                    break
+                i += 1
+            else:
                 out.append(item)
         return out
 
-    def _flatmap_part(self, node, part, work):
-        out = []
-        for item in part:
-            produced = unwrap(self._call(node, node.fn, item), work)
-            out.extend(produced)
-        return out
+    # -- other narrow operators ----------------------------------------
 
-    def _eval_map_partitions(self, node, job, memo):
-        child = self._eval(node.child, job, memo)
+    def _eval_map_partitions(self, node, child):
         out = []
         for index, part in enumerate(child.partitions):
             child.stage.add_task_records(index, len(part))
@@ -217,8 +373,7 @@ class Executor:
             out.append(produced)
         return _Result(out, child.stage)
 
-    def _eval_zip_with_unique_id(self, node, job, memo):
-        child = self._eval(node.child, job, memo)
+    def _eval_zip_with_unique_id(self, node, child):
         n = max(1, len(child.partitions))
         out = []
         for index, part in enumerate(child.partitions):
@@ -228,30 +383,45 @@ class Executor:
             )
         return _Result(out, child.stage)
 
-    def _eval_union(self, node, job, memo):
-        partition_lists = []
-        for child in node.children:
-            partition_lists.append(self._eval(child, job, memo).partitions)
-        partitions = p.chain_partitions(partition_lists)
+    def _eval_union(self, node, job, children):
+        partitions = p.chain_partitions(
+            [child.partitions for child in children]
+        )
         stage = job.new_stage("union", meta=node.meta, origin=_origin(node))
         for _ in partitions:
             stage.task_records.append(0)
         return _Result(partitions, stage)
 
-    def _eval_coalesce(self, node, job, memo):
-        child = self._eval(node.child, job, memo)
+    def _eval_coalesce(self, node, job, child):
         n = min(node.num_partitions, max(1, len(child.partitions)))
         out = [[] for _ in range(n)]
         for index, part in enumerate(child.partitions):
             out[index % n].extend(part)
         stage = job.new_stage(
-            "union", meta=node.meta, origin=_origin(node)
+            "coalesce", meta=node.meta, origin=_origin(node)
         )
         for part in out:
             stage.task_records.append(0)
         return _Result(out, stage)
 
     # -- wide (shuffling) operators ------------------------------------
+
+    def _bucketize(self, result, num_partitions, assignment):
+        """Hash-partition keyed records into reduce buckets.
+
+        Charges the map-side shuffle write to the producing stage and
+        returns ``(buckets, moved)`` where ``moved`` is the number of
+        records written to (and later read from) the shuffle.
+        """
+        buckets = [[] for _ in range(num_partitions)]
+        moved = 0
+        for index, part in enumerate(result.partitions):
+            result.stage.add_task_records(index, len(part))
+            moved += len(part)
+            for record in part:
+                self._require_keyed(record)
+                buckets[assignment[record[0]]].append(record)
+        return buckets, moved
 
     def _shuffle(self, result, num_partitions, job, meta=False,
                  origin="", assignment=None):
@@ -265,16 +435,10 @@ class Executor:
             assignment = self._key_assignment(
                 result.partitions, num_partitions
             )
-        buckets = [[] for _ in range(num_partitions)]
-        moved = 0
-        for index, part in enumerate(result.partitions):
-            result.stage.add_task_records(index, len(part))
-            moved += len(part)
-            for record in part:
-                self._require_keyed(record)
-                buckets[assignment[record[0]]].append(record)
+        buckets, moved = self._bucketize(result, num_partitions, assignment)
         stage = job.new_stage("shuffle", meta=meta, origin=origin)
         stage.shuffle_read_records = moved
+        stage.shuffle_write_records = moved
         for bucket in buckets:
             stage.task_records.append(len(bucket))
         return buckets, stage
@@ -288,8 +452,7 @@ class Executor:
                 counts[key] = counts.get(key, 0) + 1
         return build_balanced_assignment(counts, num_partitions)
 
-    def _eval_reduce_by_key(self, node, job, memo):
-        child = self._eval(node.child, job, memo)
+    def _eval_reduce_by_key(self, node, job, child):
         # Map-side combine: reduce within each map partition first, so the
         # shuffle only moves one record per (partition, key) pair.
         combined = _Result(
@@ -320,8 +483,7 @@ class Executor:
                 acc[key] = value
         return list(acc.items())
 
-    def _eval_group_by_key(self, node, job, memo):
-        child = self._eval(node.child, job, memo)
+    def _eval_group_by_key(self, node, job, child):
         buckets, stage = self._shuffle(
             child, node.num_partitions, job, meta=node.meta,
             origin=_origin(node),
@@ -349,9 +511,7 @@ class Executor:
         per_machine = -(-max(1, nonempty) // self.config.machines)
         return self.config.task_memory_limit_bytes(per_machine)
 
-    def _eval_cogroup(self, node, job, memo):
-        left = self._eval(node.left, job, memo)
-        right = self._eval(node.right, job, memo)
+    def _eval_cogroup(self, node, job, left, right):
         # Both sides co-partition: one key assignment over both inputs.
         counts = {}
         for result in (left, right):
@@ -362,16 +522,31 @@ class Executor:
         assignment = build_balanced_assignment(
             counts, node.num_partitions
         )
-        left_buckets, stage = self._shuffle(
-            left, node.num_partitions, job, meta=node.meta,
-            origin=_origin(node), assignment=assignment,
+        left_buckets, left_moved = self._bucketize(
+            left, node.num_partitions, assignment
         )
-        right_buckets, right_stage = self._shuffle(
-            right, node.num_partitions, job, meta=node.meta,
-            assignment=assignment,
+        right_buckets, right_moved = self._bucketize(
+            right, node.num_partitions, assignment
         )
+        # One reduce stage reads both sides' shuffle files (Spark
+        # schedules a single reduce task set for a cogroup); each input
+        # record is credited exactly once.
+        stage = job.new_stage("shuffle", meta=node.meta,
+                              origin=_origin(node))
+        stage.shuffle_read_records = left_moved + right_moved
+        stage.shuffle_write_records = left_moved + right_moved
+        for bucket_index in range(node.num_partitions):
+            stage.task_records.append(
+                len(left_buckets[bucket_index])
+                + len(right_buckets[bucket_index])
+            )
         out = []
-        limit = self._task_limit(left_buckets)
+        limit = self._task_limit(
+            [
+                left_buckets[i] + right_buckets[i]
+                for i in range(node.num_partitions)
+            ]
+        )
         for bucket_index in range(node.num_partitions):
             groups = {}
             for key, value in left_buckets[bucket_index]:
@@ -387,18 +562,12 @@ class Executor:
                         "cogrouping key %r" % (key,), needed, limit
                     )
             out.append(list(groups.items()))
-        # The reduce side reads both shuffles; fold the right-side counts
-        # into the stage that emits the cogrouped output.
-        for index, count in enumerate(right_stage.task_records):
-            stage.add_task_records(index, count)
-        stage.shuffle_read_records += right_stage.shuffle_read_records
         self._account_spill(stage)
         return _Result(out, stage)
 
     # -- broadcast operators (narrow) ----------------------------------
 
-    def _eval_broadcast_join(self, node, job, memo):
-        right = self._eval(node.right, job, memo)
+    def _eval_broadcast_join(self, node, job, left, right):
         table = {}
         count = 0
         for index, part in enumerate(right.partitions):
@@ -415,7 +584,6 @@ class Executor:
             job.broadcast_meta_records += count
         else:
             job.broadcast_records += count
-        left = self._eval(node.left, job, memo)
         stage = self._scale_corrected(left.stage, node, job)
         out = []
         for index, part in enumerate(left.partitions):
@@ -429,12 +597,13 @@ class Executor:
             out.append(produced)
         return _Result(out, stage)
 
-    def _eval_cross_broadcast(self, node, job, memo):
+    def _eval_cross_broadcast(self, node, job, left, right):
         if node.broadcast_side == "right":
-            stream_node, small_node = node.left, node.right
+            stream_node, stream = node.left, left
+            small_node, small = node.right, right
         else:
-            stream_node, small_node = node.right, node.left
-        small = self._eval(small_node, job, memo)
+            stream_node, stream = node.right, right
+            small_node, small = node.left, left
         payload = [item for part in small.partitions for item in part]
         for index, part in enumerate(small.partitions):
             small.stage.add_task_records(index, len(part))
@@ -446,7 +615,6 @@ class Executor:
             job.broadcast_meta_records += len(payload)
         else:
             job.broadcast_records += len(payload)
-        stream = self._eval(stream_node, job, memo)
         stage = self._scale_corrected(stream.stage, node, job)
         out = []
         for index, part in enumerate(stream.partitions):

@@ -16,13 +16,23 @@ class StageMetrics:
 
     Attributes:
         stage_id: Stage number within the trace.
-        kind: ``"input"``, ``"shuffle"``, or ``"result"`` -- how the stage's
-            input partitions were obtained.
+        kind: How the stage's input partitions were obtained:
+            ``"input"`` (driver-provided data) and ``"shuffle"`` (a wide
+            operator's reduce side) are scheduled task sets;
+            ``"union"``, ``"coalesce"``, and ``"cached"`` are narrow
+            continuations whose tasks belong to the stages that consume
+            them.  See :mod:`repro.engine.validate` for the invariants
+            each kind must satisfy.
         task_records: Per-task record counts, *including* extra work that
             UDFs reported (see :mod:`repro.engine.work`).  Task ``i``
             corresponds to partition ``i`` of the stage input.
         shuffle_read_records: Records read over the network to form the
-            stage input (0 for input/result stages).
+            stage input (0 for non-shuffle stages).
+        shuffle_write_records: Records the upstream map side wrote into
+            the shuffle feeding this stage.  Always equals
+            ``shuffle_read_records`` in a valid trace (every shuffled
+            record is read exactly once); recorded separately so the
+            validator can prove it.
         spilled_records: Records spilled to disk during the shuffle because
             the in-memory working set was too large.
     """
@@ -31,6 +41,7 @@ class StageMetrics:
     kind: str = "input"
     task_records: list = field(default_factory=list)
     shuffle_read_records: int = 0
+    shuffle_write_records: int = 0
     spilled_records: int = 0
     #: Meta-scale stages carry per-tag summary records, charged at the
     #: config's result_record_bytes instead of bytes_per_record.

@@ -6,8 +6,11 @@ evaluates them when an action runs.
 
 Narrow nodes (Map, Filter, FlatMap, MapPartitions, ZipWithUniqueId,
 BroadcastJoin, CrossBroadcast) transform partitions in place and fuse into
-the stage of their input.  Wide nodes (ReduceByKey, GroupByKey, CoGroup)
-require a shuffle and start a new stage.
+the stage of their input.  Elementwise nodes additionally mark themselves
+``fusable``: the executor streams records through maximal fusable chains
+one record at a time instead of materializing an intermediate list per
+operator.  Wide nodes (ReduceByKey, GroupByKey, CoGroup) require a
+shuffle and start a new stage.
 """
 
 import itertools
@@ -18,6 +21,11 @@ class PlanNode:
 
     #: Subclasses list their child nodes here.
     children = ()
+
+    #: Elementwise record-at-a-time operators (map/filter/flat_map) set
+    #: this; the executor fuses unbroken chains of them into one
+    #: streaming per-partition pipeline.
+    fusable = False
 
     def __init__(self):
         self.cached = False
@@ -82,18 +90,24 @@ class UnaryNode(PlanNode):
 
 
 class Map(UnaryNode):
+    fusable = True
+
     def __init__(self, child, fn):
         super().__init__(child)
         self.fn = fn
 
 
 class Filter(UnaryNode):
+    fusable = True
+
     def __init__(self, child, fn):
         super().__init__(child)
         self.fn = fn
 
 
 class FlatMap(UnaryNode):
+    fusable = True
+
     def __init__(self, child, fn):
         super().__init__(child)
         self.fn = fn

@@ -69,6 +69,26 @@ class TestSaveTake:
     def test_take(self, ctx):
         assert len(ctx.bag_of(range(100)).take(5)) == 5
 
+    def test_take_zero_runs_no_job(self, ctx):
+        assert ctx.bag_of(range(100)).take(0) == []
+        assert ctx.trace.num_jobs == 0
+
+    def test_take_elements_come_from_the_bag(self, ctx):
+        got = ctx.bag_of(range(100)).take(7)
+        assert len(got) == 7
+        assert set(got) <= set(range(100))
+
+    def test_take_from_bag_larger_than_driver_memory(self, tight_ctx):
+        from repro.errors import SimulatedOutOfMemory
+
+        # 1000 result records exceed the tight driver's 50 kB budget...
+        big = tight_ctx.bag_of(range(1000)).as_meta()
+        with pytest.raises(SimulatedOutOfMemory):
+            big.collect()
+        # ...but take(5) only moves 5 records per partition, as Spark
+        # truncates partitions before collecting.
+        assert len(big.take(5)) == 5
+
 
 class TestRangeBag:
     def test_range_bag(self, ctx):

@@ -4,6 +4,7 @@ The absolute constants are calibration; these properties are what the
 benchmark conclusions actually rest on.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -107,3 +108,140 @@ def test_cost_additive_over_jobs(n):
     bag.count()
     two = ctx.simulated_seconds()
     assert abs(two - 2 * one) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# Stage-accounting properties of the iterative executor.
+#
+# The fused pipelines and the single-stage cogroup must not shift any
+# non-cogroup cost: for narrow chains and reduce_by_key plans the trace
+# is compared against an independently computed reference.  Cogroup
+# plans must cost *strictly less* than the seed's double-charged layout
+# (which left the right side's folded shuffle stage in the job).
+# ----------------------------------------------------------------------
+
+import copy
+
+from repro.engine.partitioner import build_balanced_assignment
+
+chain_specs = st.lists(
+    st.tuples(st.sampled_from(["map", "filter"]),
+              st.integers(min_value=0, max_value=6)),
+    max_size=5,
+)
+
+
+def _apply_spec(kind, param, value):
+    if kind == "map":
+        return value + param
+    return (value + param) % 3 != 0
+
+
+def _reference_trace(config, data, specs, reduce_partitions):
+    """Expected trace of parallelize -> narrow chain -> reduce_by_key ->
+    collect, computed without the executor."""
+    from repro.engine.metrics import ExecutionTrace
+
+    num_partitions = min(config.default_parallelism, max(1, len(data)))
+    parts = [[] for _ in range(num_partitions)]
+    for index, record in enumerate(data):
+        parts[index % num_partitions].append(record)
+    trace = ExecutionTrace()
+    job = trace.new_job("collect")
+    stage = job.new_stage("input", origin="Parallelize")
+    tasks = [len(part) for part in parts]
+    for kind, param in specs:
+        out = []
+        for index, part in enumerate(parts):
+            tasks[index] += len(part)
+            if kind == "map":
+                out.append(
+                    [(k, _apply_spec(kind, param, v)) for k, v in part]
+                )
+            else:
+                out.append(
+                    [
+                        (k, v) for k, v in part
+                        if _apply_spec(kind, param, v)
+                    ]
+                )
+        parts = out
+    # Map-side combine: one record per (partition, key).
+    combined = [sorted({k for k, _v in part}) for part in parts]
+    for index, keys in enumerate(combined):
+        tasks[index] += len(keys)
+    stage.task_records.extend(tasks)
+    moved = sum(len(keys) for keys in combined)
+    counts = {}
+    for keys in combined:
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+    assignment = build_balanced_assignment(counts, reduce_partitions)
+    reduce_stage = job.new_stage("shuffle", origin="ReduceByKey")
+    buckets = [0] * reduce_partitions
+    for keys in combined:
+        for key in keys:
+            buckets[assignment[key]] += 1
+    reduce_stage.task_records.extend(buckets)
+    reduce_stage.shuffle_read_records = moved
+    reduce_stage.shuffle_write_records = moved
+    job.collected_records += len(counts)
+    return trace
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=records,
+    tags=st.integers(min_value=1, max_value=20),
+    specs=chain_specs,
+)
+def test_non_cogroup_cost_matches_reference_trace(n, tags, specs):
+    config = ClusterConfig(machines=2, cores_per_machine=4)
+    data = [("k%d" % (i % tags), i) for i in range(n)]
+    ctx = EngineContext(config)
+    bag = ctx.bag_of(data)
+    for kind, param in specs:
+        if kind == "map":
+            bag = bag.map(
+                lambda kv, p=param: (kv[0], _apply_spec("map", p, kv[1]))
+            )
+        else:
+            bag = bag.filter(
+                lambda kv, p=param: _apply_spec("filter", p, kv[1])
+            )
+    reduce_partitions = config.default_parallelism
+    bag.reduce_by_key(lambda a, b: a + b, reduce_partitions).collect()
+    got = ctx.simulated_seconds()
+    reference = _reference_trace(config, data, specs, reduce_partitions)
+    expected = CostModel(config).simulated_seconds(reference)
+    assert got == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    left_n=records,
+    right_n=records,
+    tags=st.integers(min_value=1, max_value=15),
+)
+def test_cogroup_join_cost_strictly_below_double_charged(
+    left_n, right_n, tags
+):
+    config = ClusterConfig(machines=2, cores_per_machine=4)
+    ctx = EngineContext(config)
+    left = ctx.bag_of([("k%d" % (i % tags), i) for i in range(left_n)])
+    right = ctx.bag_of(
+        [("k%d" % (i % tags), -i) for i in range(right_n)]
+    )
+    left.join(right, strategy="repartition").collect()
+    model = CostModel(config)
+    fixed = model.simulated_seconds(ctx.trace)
+    # Reconstruct the seed's layout: the right side's shuffle stage kept
+    # its task records and reads after being folded into the output
+    # stage, double-charging every cogroup-based join.
+    double_charged = copy.deepcopy(ctx.trace)
+    job = double_charged.jobs[-1]
+    duplicate = job.new_stage("shuffle", origin="CoGroup")
+    duplicate.task_records.append(right_n)
+    duplicate.shuffle_read_records = right_n
+    duplicate.shuffle_write_records = right_n
+    assert fixed < model.simulated_seconds(double_charged)

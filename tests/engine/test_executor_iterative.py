@@ -1,0 +1,200 @@
+"""The iterative, stack-safe evaluator and its fused narrow pipelines.
+
+The executor must evaluate arbitrarily deep lineage chains -- the shape
+loop-unrolled control flow produces -- without recursion, without
+touching the interpreter's recursion limit, and with exactly the trace
+accounting the per-operator evaluation produced.
+"""
+
+import sys
+
+import pytest
+
+DEEP = 20_000
+
+
+class TestStackSafety:
+    def test_20k_map_lineage_counts_without_recursion_error(self, ctx):
+        bag = ctx.bag_of(range(50))
+        for _ in range(DEEP):
+            bag = bag.map(lambda x: x + 1)
+        limit_before = sys.getrecursionlimit()
+        assert bag.count() == 50
+        assert sys.getrecursionlimit() == limit_before
+
+    def test_deep_lineage_result_is_correct(self, ctx):
+        bag = ctx.bag_of(range(10))
+        for _ in range(DEEP):
+            bag = bag.map(lambda x: x + 1)
+        assert sorted(bag.collect()) == [i + DEEP for i in range(10)]
+
+    def test_deep_lineage_survives_a_tight_recursion_limit(self, ctx):
+        # Stack safety must come from the iterative evaluator, not from a
+        # generous interpreter default.
+        bag = ctx.bag_of(range(5))
+        for _ in range(5_000):
+            bag = bag.map(lambda x: x)
+        limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(900)
+        try:
+            assert bag.count() == 5
+        finally:
+            sys.setrecursionlimit(limit)
+
+    def test_deep_mixed_chain_through_a_shuffle(self, ctx):
+        bag = ctx.bag_of(range(40))
+        for i in range(2_000):
+            if i % 3 == 2:
+                bag = bag.filter(lambda x: True)
+            else:
+                bag = bag.map(lambda x: x)
+        total = bag.map(lambda x: (x % 4, 1)).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        assert sorted(total) == [(0, 10), (1, 10), (2, 10), (3, 10)]
+
+    def test_plain_while_loop_unrolls_deep_lineage(self, ctx):
+        # A loop-unrolled plain while loop (repro.core.control_flow)
+        # builds one map per iteration on an uncached bag -- the lineage
+        # shape that used to exhaust the recursion limit.
+        from repro.core.control_flow import while_loop
+
+        state = {"bag": ctx.bag_of(range(4)), "i": 0}
+        state = while_loop(
+            state,
+            lambda s: s["i"] < 6_000,
+            lambda s: {
+                "bag": s["bag"].map(lambda x: x + 1),
+                "i": s["i"] + 1,
+            },
+        )
+        assert sorted(state["bag"].collect()) == [
+            i + 6_000 for i in range(4)
+        ]
+
+    def test_recursion_limit_never_raised_by_engine_import(self):
+        import repro.engine.executor as executor_module
+
+        source = open(executor_module.__file__).read()
+        assert "setrecursionlimit" not in source
+
+
+class TestFusedPipelines:
+    def test_fused_chain_matches_per_operator_results(self, ctx):
+        got = (
+            ctx.bag_of(range(20))
+            .map(lambda x: x * 2)
+            .filter(lambda x: x % 3 != 0)
+            .flat_map(lambda x: [x, -x])
+            .map(lambda x: x + 1)
+            .collect()
+        )
+        expected = []
+        for x in range(20):
+            y = x * 2
+            if y % 3 != 0:
+                expected.extend([y + 1, -y + 1])
+        assert sorted(got) == sorted(expected)
+
+    def test_fused_chain_is_one_stage_with_per_operator_counts(self, ctx):
+        n = 24
+        bag = ctx.bag_of(range(n), num_partitions=4)
+        bag.map(lambda x: x).filter(
+            lambda x: x % 2 == 0
+        ).map(lambda x: x).collect()
+        job = ctx.trace.jobs[-1]
+        assert len(job.stages) == 1
+        # parallelize(n) + map input(n) + filter input(n) + second map
+        # input(n/2): identical to unfused per-operator accounting.
+        assert job.stages[0].total_records == n + n + n + n // 2
+
+    def test_flat_map_credits_downstream_expansion(self, ctx):
+        n = 10
+        bag = ctx.bag_of(range(n), num_partitions=2)
+        bag.flat_map(lambda x: [x, x, x]).map(lambda x: x).collect()
+        job = ctx.trace.jobs[-1]
+        # parallelize(n) + flat_map input(n) + map input(3n).
+        assert job.stages[0].total_records == n + n + 3 * n
+
+    def test_weighted_work_charged_once_per_operator(self, ctx):
+        from repro.engine import Weighted
+
+        n = 16
+        work = 5
+        bag = ctx.bag_of(range(n), num_partitions=4)
+        bag.map(lambda x: Weighted(x, work)).collect()
+        job = ctx.trace.jobs[-1]
+        factor = ctx.config.sequential_work_factor
+        per_partition = n // 4
+        expected = n + n + 4 * int(per_partition * work * factor)
+        assert job.stages[0].total_records == expected
+
+    def test_shared_node_evaluated_once(self, ctx):
+        calls = []
+
+        def tracked(x):
+            calls.append(x)
+            return x
+
+        base = ctx.bag_of(range(8)).map(tracked)
+        left = base.map(lambda x: ("l", x))
+        right = base.map(lambda x: ("r", x))
+        merged = left.union(right).collect()
+        assert len(merged) == 16
+        # The shared map ran once per record, not once per consumer.
+        assert len(calls) == 8
+
+    def test_shared_node_accounting_not_duplicated(self, ctx):
+        n = 12
+        base = ctx.bag_of(range(n), num_partitions=3).map(lambda x: x)
+        left = base.map(lambda x: x)
+        right = base.map(lambda x: x)
+        left.union(right).collect()
+        job = ctx.trace.jobs[-1]
+        input_stage = job.stages[0]
+        # parallelize(n) + shared map(n) + two consumers(n each).
+        assert input_stage.total_records == 4 * n
+
+    def test_cache_boundary_stops_fusion(self, ctx):
+        upstream_calls = []
+
+        def upstream(x):
+            upstream_calls.append(x)
+            return x + 1
+
+        cached = ctx.bag_of(range(6)).map(upstream).cache()
+        first = cached.map(lambda x: x * 10).collect()
+        second = cached.map(lambda x: x * 100).collect()
+        assert sorted(first) == [10 * (i + 1) for i in range(6)]
+        assert sorted(second) == [100 * (i + 1) for i in range(6)]
+        # The cached prefix ran once; the second job read materialized
+        # partitions through a "cached" stage.
+        assert len(upstream_calls) == 6
+        kinds = [stage.kind for stage in ctx.trace.jobs[-1].stages]
+        assert kinds[0] == "cached"
+
+    def test_udf_errors_still_attributed(self, ctx):
+        from repro.errors import UdfError
+
+        bag = ctx.bag_of([1, 0]).map(lambda x: 1 // x)
+        with pytest.raises(UdfError):
+            bag.collect()
+
+
+class TestEvaluationOrder:
+    def test_trace_stage_order_unchanged(self, ctx):
+        bag = ctx.bag_of([(1, 1), (2, 2)])
+        bag.map(lambda kv: kv).reduce_by_key(lambda a, b: a + b).collect()
+        kinds = [stage.kind for stage in ctx.trace.jobs[-1].stages]
+        assert kinds == ["input", "shuffle"]
+
+    def test_broadcast_build_side_evaluated_first(self, ctx):
+        order = []
+        left = ctx.bag_of([("a", 1)]).map(
+            lambda kv: order.append("left") or kv
+        )
+        right = ctx.bag_of([("a", 2)]).map(
+            lambda kv: order.append("right") or kv
+        )
+        left.join(right, strategy="broadcast").collect()
+        assert order == ["right", "left"]

@@ -46,12 +46,52 @@ class TestAutoStrategy:
         ).collect()
         assert broadcast_volume(ctx) == 0
 
-    def test_unknown_size_defaults_to_repartition(self):
+    def test_both_sides_unknown_defaults_to_repartition(self):
         ctx = context(threshold_bytes=10 ** 12)
-        # A shuffle output has no statically known count.
+        # Shuffle outputs have no statically known count.
+        left = ctx.bag_of(LEFT).reduce_by_key(lambda a, _b: a)
         right = ctx.bag_of(RIGHT).reduce_by_key(lambda a, _b: a)
-        ctx.bag_of(LEFT).join(right, strategy="auto").collect()
+        left.join(right, strategy="auto").collect()
         assert broadcast_volume(ctx) == 0
+
+    def test_small_known_left_side_broadcasts(self):
+        # The right side is a shuffle output of unknown size; the left
+        # side is small and statically known, so *it* is the build side.
+        ctx = context(threshold_bytes=10_000)
+        right = ctx.bag_of(RIGHT).reduce_by_key(lambda a, _b: a)
+        got = ctx.bag_of(LEFT).join(right, strategy="auto").collect()
+        assert Counter(got) == Counter(
+            [("a", (1, "x")), ("b", (2, "y")), ("b", (3, "y"))]
+        )
+        assert broadcast_volume(ctx) == len(LEFT)
+
+    def test_left_hint_enables_left_broadcast(self):
+        ctx = context(threshold_bytes=10_000)
+        left = ctx.bag_of(LEFT).reduce_by_key(lambda a, b: a + b)
+        right = ctx.bag_of(RIGHT).reduce_by_key(lambda a, _b: a)
+        left.join(
+            right,
+            strategy="auto",
+            hints=JoinHint(left_records=2),
+        ).collect()
+        assert broadcast_volume(ctx) == 2
+
+    def test_smaller_of_two_known_sides_is_broadcast(self):
+        ctx = context(threshold_bytes=10_000)
+        ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="auto"
+        ).collect()
+        # Both fit below the threshold; RIGHT (2 records) < LEFT (3).
+        assert broadcast_volume(ctx) == len(RIGHT)
+
+    def test_explicit_broadcast_left_strategy(self):
+        ctx = context(threshold_bytes=10_000)
+        got = ctx.bag_of(LEFT).join(
+            ctx.bag_of(RIGHT), strategy="broadcast_left"
+        ).collect()
+        repartition = ctx.bag_of(LEFT).join(ctx.bag_of(RIGHT)).collect()
+        assert Counter(got) == Counter(repartition)
+        assert broadcast_volume(ctx) == len(LEFT)
 
     def test_known_count_propagates_through_maps(self):
         ctx = context(threshold_bytes=10_000)
