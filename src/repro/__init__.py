@@ -28,10 +28,13 @@ from .engine import (
 from .errors import (
     ExecutionError,
     FlatteningError,
+    InjectedFault,
     ParsingError,
     PlanError,
     ReproError,
+    SerializationError,
     SimulatedOutOfMemory,
+    TaskFailedError,
     UdfError,
     UnsupportedFeatureError,
 )
@@ -44,13 +47,16 @@ __all__ = [
     "EngineContext",
     "ExecutionError",
     "FlatteningError",
+    "InjectedFault",
     "InnerBag",
     "InnerScalar",
     "NestedBag",
     "ParsingError",
     "PlanError",
     "ReproError",
+    "SerializationError",
     "SimulatedOutOfMemory",
+    "TaskFailedError",
     "UdfError",
     "UnsupportedFeatureError",
     "Weighted",

@@ -5,9 +5,11 @@ Regenerate the paper's figures without pytest::
     python -m repro.bench --list
     python -m repro.bench fig1 fig5 --scale quick
     python -m repro.bench all --scale full
+    python -m repro.bench fig5 --backend process --workers 4 --measured
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -53,7 +55,29 @@ def main(argv=None):
     parser.add_argument(
         "--list", action="store_true", help="list experiment names"
     )
+    parser.add_argument(
+        "--backend",
+        choices=["serial", "process"],
+        help="task runtime backend (default: serial, or $REPRO_BACKEND)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        help="worker count for the process backend (0 = all cores)",
+    )
+    parser.add_argument(
+        "--measured",
+        action="store_true",
+        help="add real wall-clock columns next to simulated seconds",
+    )
     args = parser.parse_args(argv)
+
+    # Experiments build their own ClusterConfigs, so backend selection
+    # flows through the env-var defaults that ClusterConfig reads.
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
+    if args.workers is not None:
+        os.environ["REPRO_NUM_WORKERS"] = str(args.workers)
 
     if args.list or not args.experiments:
         print("Available experiments:")
@@ -74,7 +98,7 @@ def main(argv=None):
         fn, extra = EXPERIMENTS[name]
         started = time.time()
         sweep = fn(args.scale, *extra)
-        sweep.print_table()
+        sweep.print_table(measured=args.measured)
         print("[%s: %.1fs wall]" % (name, time.time() - started))
     return 0
 

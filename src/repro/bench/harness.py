@@ -4,9 +4,17 @@ Each measured run gets a fresh :class:`EngineContext` over the experiment's
 cluster configuration.  The program executes for real; the reported
 seconds come from the cost model over the recorded trace.  Simulated OOM
 is caught and reported the way the paper's plots mark failed runs.
+
+Next to the simulated figure, every run also records *measured* seconds:
+the driver wall-clock of the run, and the summed per-task wall-clock
+reported by the task runtime.  Tables and CSVs show the simulated column
+by default; pass ``measured=True`` to :meth:`Sweep.to_table` /
+:meth:`Sweep.to_csv` to see real runtime side by side -- useful when
+comparing the serial and process-pool backends.
 """
 
 import math
+import time
 from dataclasses import dataclass, field
 
 from ..engine import EngineContext
@@ -25,16 +33,22 @@ class RunResult:
     status: str = "ok"
     jobs: int = 0
     detail: str = ""
+    #: Driver wall-clock of the whole run (plan building included).
+    measured_seconds: float = math.nan
+    #: Summed per-task wall-clock reported by the task runtime.
+    task_seconds: float = math.nan
 
     @property
     def failed(self):
         return self.status != "ok"
 
-    def cell(self):
+    def cell(self, measured=False):
         if self.status == "oom":
             return OOM
         if self.status == "skipped":
             return "-"
+        if measured:
+            return _format_seconds(self.measured_seconds)
         return _format_seconds(self.seconds)
 
 
@@ -46,6 +60,7 @@ def run_measured(config, system, x, fn):
     never be computed from a malformed trace.
     """
     ctx = EngineContext(config)
+    start = time.perf_counter()
     try:
         fn(ctx)
     except SimulatedOutOfMemory as oom:
@@ -55,13 +70,18 @@ def run_measured(config, system, x, fn):
             status="oom",
             jobs=ctx.trace.num_jobs,
             detail=str(oom),
+            measured_seconds=time.perf_counter() - start,
+            task_seconds=ctx.measured_task_seconds(),
         )
+    elapsed = time.perf_counter() - start
     ctx.validate_trace()
     return RunResult(
         system=system,
         x=x,
         seconds=ctx.simulated_seconds(),
         jobs=ctx.trace.num_jobs,
+        measured_seconds=elapsed,
+        task_seconds=ctx.measured_task_seconds(),
     )
 
 
@@ -117,15 +137,27 @@ class Sweep:
                 seen.append(result.x)
         return seen
 
-    def to_table(self):
-        """Aligned text table: one row per x value, one column per system."""
-        header = [self.x_label] + list(self.systems)
+    def to_table(self, measured=False):
+        """Aligned text table: one row per x value, one column per system.
+
+        With ``measured=True`` each system gets a second column showing
+        real driver wall-clock next to the simulated seconds.
+        """
+        header = [self.x_label]
+        for system in self.systems:
+            header.append(system)
+            if measured:
+                header.append(system + " (wall)")
         rows = [header]
         for x in self.x_values():
             row = [str(x)]
             for system in self.systems:
                 result = self.result_for(system, x)
                 row.append(result.cell() if result else "-")
+                if measured:
+                    row.append(
+                        result.cell(measured=True) if result else "-"
+                    )
             rows.append(row)
         widths = [
             max(len(row[i]) for row in rows) for i in range(len(header))
@@ -143,17 +175,24 @@ class Sweep:
                 )
         return "\n".join(lines)
 
-    def print_table(self):
+    def print_table(self, measured=False):
         print()
-        print(self.to_table())
+        print(self.to_table(measured=measured))
 
-    def to_csv(self):
+    def to_csv(self, measured=False):
         """The sweep as CSV text (x column + one column per system).
 
         Failed cells render as ``OOM``; missing cells are empty.  Handy
-        for plotting the figures with external tooling.
+        for plotting the figures with external tooling.  With
+        ``measured=True`` each system additionally gets a
+        ``<system>_wall_seconds`` column of real driver wall-clock.
         """
-        lines = [",".join([self.x_label] + list(self.systems))]
+        header = [self.x_label]
+        for system in self.systems:
+            header.append(system)
+            if measured:
+                header.append(system + "_wall_seconds")
+        lines = [",".join(header)]
         for x in self.x_values():
             row = [str(x)]
             for system in self.systems:
@@ -164,6 +203,13 @@ class Sweep:
                     row.append(OOM)
                 else:
                     row.append("%.3f" % result.seconds)
+                if measured:
+                    if result is None or math.isnan(
+                        result.measured_seconds
+                    ):
+                        row.append("")
+                    else:
+                        row.append("%.3f" % result.measured_seconds)
             lines.append(",".join(row))
         return "\n".join(lines) + "\n"
 

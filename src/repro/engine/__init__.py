@@ -7,6 +7,8 @@ Public surface:
 * :class:`~repro.engine.bag.Bag` -- the distributed collection.
 * :class:`~repro.engine.config.ClusterConfig` and the preset factories.
 * :class:`~repro.engine.work.Weighted` -- report UDF-internal work.
+* The task runtime (:mod:`repro.engine.runtime`): pluggable serial /
+  process-pool execution backends behind the simulated clock.
 """
 
 from .bag import Bag, JoinHint
@@ -23,15 +25,25 @@ from .context import EngineContext
 from .costmodel import CostBreakdown, CostModel
 from .metrics import ExecutionTrace, JobMetrics, StageMetrics
 from .partitioner import HashPartitioner, stable_hash
+from .runtime import (
+    FaultInjector,
+    ProcessPoolBackend,
+    SerialBackend,
+    TaskScheduler,
+)
 from .sizing import estimate_record_size, estimate_size
 from .validate import (
+    BackendParityError,
     TraceInvariantError,
+    assert_backend_parity,
+    trace_signature,
     validate_job,
     validate_trace,
 )
 from .work import Weighted
 
 __all__ = [
+    "BackendParityError",
     "Bag",
     "Broadcast",
     "ClusterConfig",
@@ -39,20 +51,26 @@ __all__ = [
     "CostModel",
     "EngineContext",
     "ExecutionTrace",
+    "FaultInjector",
     "GB",
     "HashPartitioner",
     "JobMetrics",
     "JoinHint",
     "MB",
+    "ProcessPoolBackend",
+    "SerialBackend",
     "StageMetrics",
+    "TaskScheduler",
     "TraceInvariantError",
     "Weighted",
+    "assert_backend_parity",
     "estimate_record_size",
     "estimate_size",
     "laptop_config",
     "large_cluster_config",
     "paper_cluster_config",
     "stable_hash",
+    "trace_signature",
     "validate_job",
     "validate_trace",
 ]

@@ -11,10 +11,22 @@ second, default parallelism of 3x the total core count, and 22 GB of
 executor memory per machine.
 """
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 
 GB = 1024 ** 3
 MB = 1024 ** 2
+
+#: Backends the task runtime knows (see :mod:`repro.engine.runtime`).
+VALID_BACKENDS = ("serial", "process")
+
+
+def _default_backend():
+    return os.environ.get("REPRO_BACKEND", "serial")
+
+
+def _default_num_workers():
+    return int(os.environ.get("REPRO_NUM_WORKERS", "0"))
 
 
 @dataclass(frozen=True)
@@ -89,6 +101,26 @@ class ClusterConfig:
     #: default; disable only when deliberately constructing invalid
     #: traces.
     validate_traces: bool = True
+    #: Task runtime backend (:mod:`repro.engine.runtime`): ``"serial"``
+    #: runs tasks inline on the driver thread, ``"process"`` fans them
+    #: out over worker processes.  Defaults to the ``REPRO_BACKEND``
+    #: environment variable, else serial.
+    backend: str = field(default_factory=_default_backend)
+    #: Worker processes for the process backend; 0 means one per CPU.
+    #: Defaults to ``REPRO_NUM_WORKERS``, else 0.  Orthogonal to
+    #: ``machines``, which sizes the *simulated* cluster.
+    num_workers: int = field(default_factory=_default_num_workers)
+    #: Per-task attempt budget (Spark's spark.task.maxFailures is 4):
+    #: transient failures are retried until the task succeeds or the
+    #: budget is spent.
+    max_task_attempts: int = 4
+    #: A task is counted as a straggler when its measured runtime
+    #: exceeds this multiple of its task set's median (Spark's
+    #: speculation multiplier) ...
+    straggler_factor: float = 1.5
+    #: ... and this absolute floor, so scheduling jitter on
+    #: microsecond-scale tasks never registers.
+    straggler_min_task_seconds: float = 0.01
 
     def __post_init__(self):
         if self.machines < 1:
@@ -97,6 +129,15 @@ class ClusterConfig:
             raise ValueError("cores_per_machine must be >= 1")
         if self.bytes_per_record <= 0:
             raise ValueError("bytes_per_record must be positive")
+        if self.backend not in VALID_BACKENDS:
+            raise ValueError(
+                "backend must be one of %r, got %r"
+                % (VALID_BACKENDS, self.backend)
+            )
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
 
     @property
     def total_cores(self):
@@ -138,6 +179,12 @@ class ClusterConfig:
     def with_bytes_per_record(self, bytes_per_record):
         """Return a copy with a different record-size scale factor."""
         return replace(self, bytes_per_record=bytes_per_record)
+
+    def with_backend(self, backend, num_workers=None):
+        """Return a copy running on a different task-runtime backend."""
+        if num_workers is None:
+            return replace(self, backend=backend)
+        return replace(self, backend=backend, num_workers=num_workers)
 
 
 def laptop_config(**overrides):

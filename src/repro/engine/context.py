@@ -1,9 +1,12 @@
 """The engine context: entry point for creating bags and running jobs.
 
 An :class:`EngineContext` is the analog of a ``SparkContext``: it owns the
-cluster configuration, the executor, the execution trace, and the cost
-model that converts the trace into simulated seconds.
+cluster configuration, the task runtime (scheduler + backend), the
+executor, the execution trace, and the cost model that converts the
+trace into simulated seconds.
 """
+
+import time
 
 from .bag import Bag
 from .broadcast import Broadcast, check_broadcast_fits
@@ -12,6 +15,7 @@ from .costmodel import CostModel
 from .executor import Executor
 from .metrics import ExecutionTrace
 from .plan import Parallelize
+from .runtime.scheduler import TaskScheduler
 from .validate import validate_trace
 
 
@@ -28,8 +32,14 @@ class EngineContext:
         if not isinstance(self.config, ClusterConfig):
             raise TypeError("config must be a ClusterConfig")
         self.trace = ExecutionTrace()
-        self.executor = Executor(self.config, self.trace)
+        self.runtime = TaskScheduler(self.config)
+        self.executor = Executor(self.config, self.trace, self.runtime)
         self.cost_model = CostModel(self.config)
+
+    @property
+    def fault_injector(self):
+        """The runtime's deterministic fault-injection hook."""
+        return self.runtime.fault_injector
 
     # ------------------------------------------------------------------
     # Bag creation
@@ -82,6 +92,15 @@ class EngineContext:
         """Simulated wall-clock seconds for everything run so far."""
         return self.cost_model.simulated_seconds(self.trace)
 
+    def measured_task_seconds(self):
+        """*Measured* task wall-clock recorded by the runtime so far.
+
+        This is real time actually spent in task bodies on this
+        machine (summed across tasks, so with a process backend it can
+        exceed elapsed time), not the simulated cluster seconds.
+        """
+        return self.trace.measured_task_seconds
+
     def cost_breakdown(self):
         return self.cost_model.trace_cost(self.trace)
 
@@ -99,17 +118,33 @@ class EngineContext:
         return validate_trace(self.trace)
 
     def measure(self):
-        """Context manager measuring the simulated time of a block::
+        """Context manager measuring a block's simulated *and* real time::
 
             with ctx.measure() as measurement:
                 program(ctx)
-            print(measurement.seconds)
+            print(measurement.seconds)           # simulated cluster time
+            print(measurement.measured_seconds)  # real wall-clock of block
 
         The surrounding trace is preserved: jobs run inside the block
         are appended as usual, and the measurement reports only their
-        cost.
+        cost.  ``measured_seconds`` is driver wall-clock of the whole
+        block; ``task_seconds`` is the runtime's summed per-task time
+        for the block's jobs.
         """
         return _Measurement(self)
+
+    def close(self):
+        """Release runtime resources (worker pools are process-shared
+        and survive; this exists for API symmetry and future dedicated
+        backends)."""
+        self.runtime.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
 
     def __repr__(self):
         return (
@@ -123,20 +158,35 @@ class EngineContext:
 
 
 class _Measurement:
-    """Simulated seconds of the jobs run within a ``with`` block."""
+    """Simulated and measured seconds of the jobs in a ``with`` block.
+
+    Attributes:
+        seconds: Simulated cluster seconds (cost model over the trace).
+        measured_seconds: Real driver wall-clock of the block.
+        task_seconds: Real per-task wall-clock summed over the block's
+            jobs (recorded by the task runtime).
+    """
 
     def __init__(self, ctx):
         self._ctx = ctx
         self._start_job = None
+        self._start_time = None
         self.seconds = None
+        self.measured_seconds = None
+        self.task_seconds = None
 
     def __enter__(self):
         self._start_job = self._ctx.trace.num_jobs
+        self._start_time = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, _exc, _tb):
+        self.measured_seconds = time.perf_counter() - self._start_time
         cost = 0.0
+        tasks = 0.0
         for job in self._ctx.trace.jobs[self._start_job:]:
             cost += self._ctx.cost_model.job_cost(job).total_s
+            tasks += job.measured_task_seconds
         self.seconds = cost
+        self.task_seconds = tasks
         return False

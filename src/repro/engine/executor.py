@@ -21,21 +21,35 @@ produces -- and every completed job is checked against the trace
 invariants in :mod:`repro.engine.validate`.
 
 Everything actually executes -- results are real, only the clock is
-simulated.
+simulated.  *Where* a partition's work runs is the task runtime's
+business (:mod:`repro.engine.runtime`): each stage's per-partition work
+is packaged as a picklable task and dispatched through the
+:class:`~repro.engine.runtime.TaskScheduler`, which runs it inline
+(serial backend) or across worker processes (process backend), retries
+transient failures, and records measured per-task wall-clock into the
+trace next to the simulated counters.  Driver-side data movement
+(parallelize slicing, shuffle bucketing, unions, coalesce) stays
+inline: it is the simulated cluster's fabric, not task work.
 """
 
-from ..errors import PlanError, SimulatedOutOfMemory, UdfError
+from ..errors import PlanError, SimulatedOutOfMemory
 from . import plan as p
 from .partitioner import build_balanced_assignment
+from .runtime.scheduler import TaskScheduler
+from .runtime.task import (
+    STEP_FILTER,
+    STEP_FLATMAP,
+    STEP_MAP,
+    BroadcastJoinProbeTask,
+    CoGroupBucketTask,
+    CombineTask,
+    CrossBroadcastTask,
+    FusedPipelineTask,
+    GroupBucketTask,
+    MapPartitionsTask,
+)
 from .validate import validate_job
-from .work import unwrap
 
-_SENTINEL = object()
-
-#: Pipeline step tags for fused elementwise chains.
-_STEP_MAP = 0
-_STEP_FILTER = 1
-_STEP_FLATMAP = 2
 
 def _origin(node):
     name = node.name
@@ -57,9 +71,12 @@ class _Result:
 class Executor:
     """Evaluates plan nodes for one :class:`EngineContext`."""
 
-    def __init__(self, config, trace):
+    def __init__(self, config, trace, scheduler=None):
         self.config = config
         self.trace = trace
+        self.scheduler = (
+            scheduler if scheduler is not None else TaskScheduler(config)
+        )
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
@@ -301,76 +318,55 @@ class Executor:
         """Stream each partition through the whole elementwise chain.
 
         One output list per partition is materialized at the fusion
-        boundary; no per-operator intermediates exist.  Each operator is
-        credited its input record count (plus reported UDF work) on the
-        input's stage, exactly as unfused evaluation would.
+        boundary; no per-operator intermediates exist.  The per-record
+        pipeline loop lives in
+        :class:`~repro.engine.runtime.task.FusedPipelineTask` and runs
+        wherever the backend puts it; each operator is then credited
+        its input record count (plus reported UDF work) on the input's
+        stage, exactly as unfused evaluation would.
         """
         steps = []
         for op in chain:
             if isinstance(op, p.Map):
-                steps.append((_STEP_MAP, op.fn, op))
+                steps.append((STEP_MAP, op.fn, _origin(op)))
             elif isinstance(op, p.Filter):
-                steps.append((_STEP_FILTER, op.fn, op))
+                steps.append((STEP_FILTER, op.fn, _origin(op)))
             else:
-                steps.append((_STEP_FLATMAP, op.fn, op))
+                steps.append((STEP_FLATMAP, op.fn, _origin(op)))
         factor = self.config.sequential_work_factor
         stage = child.stage
+        task = FusedPipelineTask(steps)
+        results = self.scheduler.run_stage(
+            task,
+            [(part,) for part in child.partitions],
+            stage=stage,
+        )
         out = []
-        for index, part in enumerate(child.partitions):
-            counts = [0] * len(steps)
-            works = [[0] for _ in steps]
-            out.append(self._run_pipeline(steps, part, counts, works))
+        for index, (records, counts, works) in enumerate(results):
+            out.append(records)
             for i in range(len(steps)):
                 stage.add_task_records(index, counts[i])
-                if works[i][0]:
+                if works[i]:
                     # UDF-internal sequential work runs record-at-a-time
                     # and is charged at the configured slowdown over the
                     # bulk rate.
-                    stage.add_task_records(index, int(works[i][0] * factor))
+                    stage.add_task_records(index, int(works[i] * factor))
         return _Result(out, stage)
-
-    def _run_pipeline(self, steps, part, counts, works):
-        """One partition through the fused chain, record at a time.
-
-        An explicit iterator stack (one level per in-flight flat_map
-        expansion) keeps the evaluation depth independent of the chain
-        length: a 20k-operator map chain runs in a flat loop.
-        """
-        num = len(steps)
-        out = []
-        stack = [(0, iter(part))]
-        while stack:
-            depth, iterator = stack[-1]
-            item = next(iterator, _SENTINEL)
-            if item is _SENTINEL:
-                stack.pop()
-                continue
-            i = depth
-            while i < num:
-                kind, fn, op = steps[i]
-                counts[i] += 1
-                if kind == _STEP_MAP:
-                    item = unwrap(self._call(op, fn, item), works[i])
-                elif kind == _STEP_FILTER:
-                    if not unwrap(self._call(op, fn, item), works[i]):
-                        break
-                else:
-                    produced = unwrap(self._call(op, fn, item), works[i])
-                    stack.append((i + 1, iter(produced)))
-                    break
-                i += 1
-            else:
-                out.append(item)
-        return out
 
     # -- other narrow operators ----------------------------------------
 
     def _eval_map_partitions(self, node, child):
-        out = []
+        task = MapPartitionsTask(node.fn, _origin(node))
+        out = self.scheduler.run_stage(
+            task,
+            [
+                (part, index)
+                for index, part in enumerate(child.partitions)
+            ],
+            stage=child.stage,
+        )
         for index, part in enumerate(child.partitions):
             child.stage.add_task_records(index, len(part))
-            produced = list(self._call(node, node.fn, part, index))
-            out.append(produced)
         return _Result(out, child.stage)
 
     def _eval_zip_with_unique_id(self, node, child):
@@ -454,54 +450,41 @@ class Executor:
 
     def _eval_reduce_by_key(self, node, job, child):
         # Map-side combine: reduce within each map partition first, so the
-        # shuffle only moves one record per (partition, key) pair.
+        # shuffle only moves one record per (partition, key) pair.  The
+        # same combine task runs on both sides of the shuffle.
+        task = CombineTask(node.fn, _origin(node))
         combined = _Result(
-            [
-                self._combine_partition(node, part)
-                for part in child.partitions
-            ],
+            self.scheduler.run_stage(
+                task,
+                [(part,) for part in child.partitions],
+                stage=child.stage,
+            ),
             child.stage,
         )
         buckets, stage = self._shuffle(
             combined, node.num_partitions, job, meta=node.meta,
             origin=_origin(node),
         )
-        out = []
-        for bucket in buckets:
-            out.append(self._combine_partition(node, bucket))
+        out = self.scheduler.run_stage(
+            task, [(bucket,) for bucket in buckets], stage=stage
+        )
         self._account_spill(stage)
         return _Result(out, stage)
-
-    def _combine_partition(self, node, records):
-        acc = {}
-        for record in records:
-            self._require_keyed(record)
-            key, value = record
-            if key in acc:
-                acc[key] = self._call(node, node.fn, acc[key], value)
-            else:
-                acc[key] = value
-        return list(acc.items())
 
     def _eval_group_by_key(self, node, job, child):
         buckets, stage = self._shuffle(
             child, node.num_partitions, job, meta=node.meta,
             origin=_origin(node),
         )
-        out = []
-        limit = self._task_limit(buckets)
-        rate = self._stage_rate(stage)
-        for bucket in buckets:
-            groups = {}
-            for key, value in bucket:
-                groups.setdefault(key, []).append(value)
-            for key, values in groups.items():
-                needed = self.config.materialized_bytes(len(values), rate)
-                if needed > limit:
-                    raise SimulatedOutOfMemory(
-                        "materializing group %r" % (key,), needed, limit
-                    )
-            out.append(list(groups.items()))
+        task = GroupBucketTask(
+            self._stage_rate(stage),
+            self.config.memory_overhead_factor,
+            self._task_limit(buckets),
+            _origin(node),
+        )
+        out = self.scheduler.run_stage(
+            task, [(bucket,) for bucket in buckets], stage=stage
+        )
         self._account_spill(stage)
         return _Result(out, stage)
 
@@ -540,28 +523,26 @@ class Executor:
                 len(left_buckets[bucket_index])
                 + len(right_buckets[bucket_index])
             )
-        out = []
         limit = self._task_limit(
             [
                 left_buckets[i] + right_buckets[i]
                 for i in range(node.num_partitions)
             ]
         )
-        for bucket_index in range(node.num_partitions):
-            groups = {}
-            for key, value in left_buckets[bucket_index]:
-                groups.setdefault(key, ([], []))[0].append(value)
-            for key, value in right_buckets[bucket_index]:
-                groups.setdefault(key, ([], []))[1].append(value)
-            for key, (lvals, rvals) in groups.items():
-                needed = self.config.materialized_bytes(
-                    len(lvals) + len(rvals), self._stage_rate(stage)
-                )
-                if needed > limit:
-                    raise SimulatedOutOfMemory(
-                        "cogrouping key %r" % (key,), needed, limit
-                    )
-            out.append(list(groups.items()))
+        task = CoGroupBucketTask(
+            self._stage_rate(stage),
+            self.config.memory_overhead_factor,
+            limit,
+            _origin(node),
+        )
+        out = self.scheduler.run_stage(
+            task,
+            [
+                (left_buckets[i], right_buckets[i])
+                for i in range(node.num_partitions)
+            ],
+            stage=stage,
+        )
         self._account_spill(stage)
         return _Result(out, stage)
 
@@ -585,16 +566,14 @@ class Executor:
         else:
             job.broadcast_records += count
         stage = self._scale_corrected(left.stage, node, job)
-        out = []
+        task = BroadcastJoinProbeTask(table, _origin(node))
+        out = self.scheduler.run_stage(
+            task,
+            [(part,) for part in left.partitions],
+            stage=stage,
+        )
         for index, part in enumerate(left.partitions):
-            produced = []
-            for record in part:
-                self._require_keyed(record)
-                key, value = record
-                for other in table.get(key, ()):
-                    produced.append((key, (value, other)))
-            stage.add_task_records(index, len(part) + len(produced))
-            out.append(produced)
+            stage.add_task_records(index, len(part) + len(out[index]))
         return _Result(out, stage)
 
     def _eval_cross_broadcast(self, node, job, left, right):
@@ -616,30 +595,21 @@ class Executor:
         else:
             job.broadcast_records += len(payload)
         stage = self._scale_corrected(stream.stage, node, job)
-        out = []
-        for index, part in enumerate(stream.partitions):
-            produced = []
-            for item in part:
-                for other in payload:
-                    if node.broadcast_side == "right":
-                        produced.append((item, other))
-                    else:
-                        produced.append((other, item))
+        task = CrossBroadcastTask(
+            payload, node.broadcast_side, _origin(node)
+        )
+        out = self.scheduler.run_stage(
+            task,
+            [(part,) for part in stream.partitions],
+            stage=stage,
+        )
+        for index, produced in enumerate(out):
             stage.add_task_records(index, len(produced))
-            out.append(produced)
         return _Result(out, stage)
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-
-    def _call(self, node, fn, *args):
-        try:
-            return fn(*args)
-        except (SimulatedOutOfMemory, UdfError):
-            raise
-        except Exception as exc:
-            raise UdfError(node.name, exc) from exc
 
     def _require_keyed(self, record):
         if not isinstance(record, tuple) or len(record) != 2:

@@ -35,6 +35,16 @@ class StageMetrics:
             validator can prove it.
         spilled_records: Records spilled to disk during the shuffle because
             the in-memory working set was too large.
+        task_seconds: *Measured* wall-clock seconds per task (all
+            attempts summed), recorded by the task runtime next to the
+            simulated counters.  Task ``i`` corresponds to partition
+            ``i``; driver-inline work (unions, shuffle bucketing) is
+            not timed.
+        task_retries: Task attempts beyond the first that the scheduler
+            launched for this stage (each recovery from a fault adds
+            one).
+        straggler_tasks: Tasks whose measured runtime exceeded the
+            configured multiple of their task set's median.
     """
 
     stage_id: int
@@ -48,6 +58,9 @@ class StageMetrics:
     meta: bool = False
     #: Name (and label, if set) of the plan node that opened this stage.
     origin: str = ""
+    task_seconds: list = field(default_factory=list)
+    task_retries: int = 0
+    straggler_tasks: int = 0
 
 
     @property
@@ -58,11 +71,22 @@ class StageMetrics:
     def total_records(self):
         return sum(self.task_records)
 
+    @property
+    def measured_seconds(self):
+        """Total measured task wall-clock for this stage."""
+        return sum(self.task_seconds)
+
     def add_task_records(self, partition_index, count):
         """Credit ``count`` processed records to the given task."""
         while len(self.task_records) <= partition_index:
             self.task_records.append(0)
         self.task_records[partition_index] += count
+
+    def add_task_seconds(self, partition_index, seconds):
+        """Credit measured wall-clock seconds to the given task."""
+        while len(self.task_seconds) <= partition_index:
+            self.task_seconds.append(0.0)
+        self.task_seconds[partition_index] += seconds
 
 
 @dataclass
@@ -94,6 +118,15 @@ class JobMetrics:
     @property
     def total_shuffle_records(self):
         return sum(stage.shuffle_read_records for stage in self.stages)
+
+    @property
+    def measured_task_seconds(self):
+        """Measured task wall-clock summed over the job's stages."""
+        return sum(stage.measured_seconds for stage in self.stages)
+
+    @property
+    def task_retries(self):
+        return sum(stage.task_retries for stage in self.stages)
 
 
 @dataclass
@@ -132,6 +165,15 @@ class ExecutionTrace:
     def total_records(self):
         return sum(job.total_records for job in self.jobs)
 
+    @property
+    def measured_task_seconds(self):
+        """Measured task wall-clock summed over every job."""
+        return sum(job.measured_task_seconds for job in self.jobs)
+
+    @property
+    def task_retries(self):
+        return sum(job.task_retries for job in self.jobs)
+
     def summary(self):
         """Human-readable one-line summary of the trace."""
         return (
@@ -165,6 +207,16 @@ class ExecutionTrace:
                     )
                 if stage.spilled_records:
                     extras.append("spill=%d" % stage.spilled_records)
+                if stage.task_seconds:
+                    extras.append(
+                        "measured=%.3fs" % stage.measured_seconds
+                    )
+                if stage.task_retries:
+                    extras.append("retries=%d" % stage.task_retries)
+                if stage.straggler_tasks:
+                    extras.append(
+                        "stragglers=%d" % stage.straggler_tasks
+                    )
                 lines.append(
                     "  stage %d (%s%s): tasks=%d records=%d %s%s"
                     % (

@@ -1,0 +1,44 @@
+"""The task runtime: real multi-process execution behind the engine.
+
+The engine's clock is simulated (the cost model turns traces into the
+paper's seconds), but its *execution* is real -- and this package is
+where it runs.  A :class:`TaskScheduler` dispatches each stage's
+per-partition tasks to a pluggable backend:
+
+* :class:`SerialBackend` -- inline on the driver thread (default).
+* :class:`ProcessPoolBackend` -- pickled task closures + partitions
+  fanned out over a pool of worker processes, with per-task measured
+  wall-clock, bounded retries, deterministic fault injection
+  (:class:`FaultInjector`), and straggler detection.
+
+Select a backend via :class:`~repro.engine.config.ClusterConfig`::
+
+    ClusterConfig(backend="process", num_workers=4)
+
+or the ``REPRO_BACKEND`` / ``REPRO_NUM_WORKERS`` environment variables.
+"""
+
+from .backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+    shutdown_pools,
+)
+from .faults import FaultInjector
+from .scheduler import TaskScheduler
+from .serde import dumps, ensure_serializable, loads
+from .task import Invocation, TaskOutcome
+
+__all__ = [
+    "FaultInjector",
+    "Invocation",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "TaskOutcome",
+    "TaskScheduler",
+    "dumps",
+    "ensure_serializable",
+    "loads",
+    "make_backend",
+    "shutdown_pools",
+]

@@ -1,0 +1,147 @@
+"""Execution backends: where a dispatched task set actually runs.
+
+Two backends implement the same two-method contract
+(``run_invocations(invocations) -> outcomes``, ``close()``):
+
+* :class:`SerialBackend` runs tasks inline on the driver thread --
+  today's behavior, zero overhead, and the default.
+* :class:`ProcessPoolBackend` serializes each invocation (closure +
+  input partition) with :mod:`repro.engine.runtime.serde`, runs it on a
+  pool of worker processes, and deserializes the outcomes.  Worker
+  pools are shared per worker-count across all contexts in the process
+  (tasks are self-contained, so a warm pool can serve any context) and
+  torn down at interpreter exit.
+
+Both backends report failures as :class:`TaskOutcome` data rather than
+raising, so the scheduler's retry policy is backend-independent.
+"""
+
+import atexit
+import multiprocessing
+import os
+
+from ...errors import SerializationError
+from . import serde
+from .task import TaskOutcome, execute_invocation
+
+
+class SerialBackend:
+    """Run every task inline on the driver thread."""
+
+    name = "serial"
+
+    def run_invocations(self, invocations):
+        return [execute_invocation(invocation) for invocation in invocations]
+
+    def close(self):
+        pass
+
+
+class ProcessPoolBackend:
+    """Run tasks on a pool of worker processes.
+
+    Args:
+        num_workers: Pool size; ``0`` means one worker per CPU.
+    """
+
+    name = "process"
+
+    def __init__(self, num_workers=0):
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
+        self.num_workers = num_workers or (os.cpu_count() or 1)
+
+    def run_invocations(self, invocations):
+        payloads = []
+        for invocation in invocations:
+            payloads.append(
+                serde.ensure_serializable(
+                    invocation,
+                    invocation.operator,
+                    what="task (closure + input partition)",
+                )
+            )
+        pool = _shared_pool(self.num_workers)
+        outcome_payloads = pool.map(_worker_run, payloads, chunksize=1)
+        return [serde.loads(payload) for payload in outcome_payloads]
+
+    def close(self):
+        # Pools are shared across contexts; they are reclaimed at
+        # interpreter exit (see shutdown_pools), not per backend.
+        pass
+
+
+def make_backend(config):
+    """Build the backend named by ``config.backend``."""
+    if config.backend == "serial":
+        return SerialBackend()
+    if config.backend == "process":
+        return ProcessPoolBackend(config.num_workers)
+    raise ValueError(
+        "unknown backend %r (expected 'serial' or 'process')"
+        % (config.backend,)
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+def _worker_run(payload):
+    """Pool entry point: bytes in, bytes out.
+
+    The invocation arrives pre-serialized (so closures survive the
+    trip on spawn-based platforms too); the outcome is serialized here,
+    with a structured fallback when a task *returns* something
+    unserializable.
+    """
+    invocation = serde.loads(payload)
+    outcome = execute_invocation(invocation)
+    try:
+        return serde.dumps(outcome)
+    except Exception as exc:
+        fallback = TaskOutcome(
+            task_index=outcome.task_index,
+            ok=False,
+            error=SerializationError(
+                "result of operator %r cannot be serialized back to "
+                "the driver: %s: %s"
+                % (invocation.operator, type(exc).__name__, exc)
+            ),
+            seconds=outcome.seconds,
+            worker_pid=outcome.worker_pid,
+            attempt=outcome.attempt,
+        )
+        return serde.dumps(fallback)
+
+
+# ----------------------------------------------------------------------
+# Shared pool management
+# ----------------------------------------------------------------------
+
+_POOLS = {}
+
+
+def _shared_pool(num_workers):
+    pool = _POOLS.get(num_workers)
+    if pool is None:
+        # Prefer fork: workers inherit imported modules, so the first
+        # dispatch does not pay an interpreter start per worker.
+        methods = multiprocessing.get_all_start_methods()
+        method = "fork" if "fork" in methods else methods[0]
+        context = multiprocessing.get_context(method)
+        pool = context.Pool(processes=num_workers)
+        _POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_pools():
+    """Terminate every shared worker pool (idempotent)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)

@@ -1,0 +1,182 @@
+"""The task scheduler: stage dispatch, retries, and straggler tracking.
+
+The executor hands the scheduler one *task set* per stage evaluation --
+the same task callable applied to each partition's arguments -- and the
+scheduler owns everything a Spark ``TaskSchedulerImpl`` would: running
+the set on the configured backend, retrying failed attempts within the
+retry budget, re-raising permanent failures, and recording per-task
+measured wall-clock (plus retry and straggler counts) into the stage's
+metrics, next to the simulated counters.
+
+Retry policy: only *transient* failures are retried -- injected faults
+(:class:`~repro.engine.runtime.faults.FaultInjector`) and any error
+whose ``retryable`` attribute is true.  Deterministic failures
+(:class:`~repro.errors.UdfError`, simulated OOM, plan errors) fail the
+job on first occurrence: rerunning a UDF bug ``max_task_attempts``
+times would only repeat its side effects.
+"""
+
+import statistics
+import time
+
+from ...errors import TaskFailedError
+from .backends import SerialBackend, make_backend
+from .faults import FaultInjector
+from .task import Invocation
+
+
+class TaskScheduler:
+    """Dispatches per-partition tasks for one engine context."""
+
+    def __init__(self, config, fault_injector=None, backend=None):
+        self.config = config
+        self.fault_injector = (
+            fault_injector if fault_injector is not None else FaultInjector()
+        )
+        self.backend = backend if backend is not None else make_backend(config)
+        #: Task sets dispatched so far (the fault injector's stage
+        #: addressing; deterministic given a deterministic plan).
+        self.dispatch_count = 0
+        #: Total task attempts ever run, split by outcome.
+        self.tasks_launched = 0
+        self.tasks_failed = 0
+        self.tasks_retried = 0
+
+    # ------------------------------------------------------------------
+
+    def run_stage(self, task, args_list, stage=None):
+        """Run ``task(*args)`` for every args tuple; return the values.
+
+        Args:
+            task: A picklable callable (see
+                :mod:`repro.engine.runtime.task`), shared by the set.
+            args_list: One argument tuple per task; task ``i`` is
+                partition ``i`` of the stage.
+            stage: Optional :class:`~repro.engine.metrics.StageMetrics`
+                to credit measured seconds / retries / stragglers to.
+
+        Returns:
+            The task return values, in task order.
+
+        Raises:
+            The reconstructed task error after a non-retryable failure,
+            or :class:`~repro.errors.TaskFailedError` when a task
+            exhausts ``config.max_task_attempts``.
+        """
+        ordinal = self.dispatch_count
+        self.dispatch_count += 1
+        if not self.fault_injector.pending and isinstance(
+            self.backend, SerialBackend
+        ):
+            # Hot path: a paper-scale stage dispatches >1000 tasks and
+            # the serial backend runs them right here, so skip the
+            # invocation/outcome machinery -- real failures are
+            # non-retryable under the retry policy anyway, and raising
+            # in place preserves the original traceback exactly.
+            return self._run_serial_fast(task, args_list, stage)
+        operator = getattr(task, "operator", type(task).__name__)
+        max_attempts = self.config.max_task_attempts
+
+        final = [None] * len(args_list)
+        pending = [
+            self._invocation(task, args_list[i], ordinal, operator, i, 1)
+            for i in range(len(args_list))
+        ]
+        while pending:
+            outcomes = self.backend.run_invocations(pending)
+            self.tasks_launched += len(pending)
+            pending = []
+            for outcome in outcomes:
+                if stage is not None:
+                    stage.add_task_seconds(
+                        outcome.task_index, outcome.seconds
+                    )
+                if outcome.ok:
+                    final[outcome.task_index] = outcome
+                    continue
+                self.tasks_failed += 1
+                if not outcome.retryable:
+                    self._reraise(outcome)
+                if outcome.attempt >= max_attempts:
+                    raise TaskFailedError(
+                        ordinal,
+                        outcome.task_index,
+                        outcome.attempt,
+                        outcome.error,
+                    )
+                self.tasks_retried += 1
+                if stage is not None:
+                    stage.task_retries += 1
+                pending.append(
+                    self._invocation(
+                        task,
+                        args_list[outcome.task_index],
+                        ordinal,
+                        operator,
+                        outcome.task_index,
+                        outcome.attempt + 1,
+                    )
+                )
+        if stage is not None:
+            stage.straggler_tasks += self._count_stragglers(final)
+        return [outcome.value for outcome in final]
+
+    # ------------------------------------------------------------------
+
+    def _run_serial_fast(self, task, args_list, stage):
+        """Inline execution with per-task timing but no retry plumbing."""
+        perf_counter = time.perf_counter
+        values = []
+        seconds = []
+        for args in args_list:
+            start = perf_counter()
+            values.append(task(*args))
+            seconds.append(perf_counter() - start)
+        self.tasks_launched += len(args_list)
+        if stage is not None:
+            for index, value in enumerate(seconds):
+                stage.add_task_seconds(index, value)
+            stage.straggler_tasks += self._straggler_count(seconds)
+        return values
+
+    def _invocation(self, task, args, ordinal, operator, index, attempt):
+        inject = self.fault_injector.should_fail(ordinal, operator, index)
+        return Invocation(
+            task=task,
+            args=tuple(args),
+            task_index=index,
+            attempt=attempt,
+            inject_fault=inject,
+        )
+
+    def _reraise(self, outcome):
+        error = outcome.error
+        if outcome.error_traceback and outcome.worker_pid != 0:
+            # Cross-process errors lose their original traceback; keep
+            # the worker-side rendering on the exception for debugging.
+            error.worker_traceback = outcome.error_traceback
+        raise error
+
+    def _count_stragglers(self, outcomes):
+        return self._straggler_count(
+            [outcome.seconds for outcome in outcomes]
+        )
+
+    def _straggler_count(self, seconds):
+        """Tasks that took disproportionately long within their set.
+
+        A task is a straggler when it exceeds both the configured
+        multiple of the set's median runtime and an absolute floor (so
+        microsecond-scale jitter never counts).
+        """
+        if len(seconds) < 2:
+            return 0
+        median = statistics.median(seconds)
+        threshold = max(
+            self.config.straggler_min_task_seconds,
+            self.config.straggler_factor * median,
+        )
+        return sum(1 for value in seconds if value > threshold)
+
+    def close(self):
+        self.backend.close()

@@ -1,0 +1,346 @@
+"""Task payloads: the self-contained unit of work a backend executes.
+
+A *task* is one partition's worth of a stage's work, packaged so it can
+run anywhere: in the driver process (:class:`SerialBackend`) or in a
+forked worker (:class:`ProcessPoolBackend`).  Tasks therefore hold only
+picklable state -- UDFs, operator names, scalar config values -- never
+plan nodes, contexts, or metrics objects.  All metrics accounting stays
+on the driver: a task returns its outputs (plus the per-operator record
+counts the cost model needs), and the executor credits the trace.
+
+The task classes mirror the executor's per-partition loops exactly;
+:mod:`repro.engine.executor` decides *what* runs where, these classes
+decide *how* one partition is processed.
+"""
+
+import os
+import time
+import traceback
+
+from ...errors import (
+    InjectedFault,
+    PlanError,
+    SimulatedOutOfMemory,
+    UdfError,
+)
+from ..work import unwrap
+
+_SENTINEL = object()
+
+#: Pipeline step tags for fused elementwise chains.
+STEP_MAP = 0
+STEP_FILTER = 1
+STEP_FLATMAP = 2
+
+
+def call_udf(operator, fn, *args):
+    """Invoke a UDF, wrapping user errors with the operator's name."""
+    try:
+        return fn(*args)
+    except (SimulatedOutOfMemory, UdfError):
+        raise
+    except Exception as exc:
+        raise UdfError(operator, exc) from exc
+
+
+class FusedPipelineTask:
+    """Stream one partition through a fused map/filter/flat_map chain.
+
+    ``steps`` is the chain bottom-up: ``(kind, fn, operator)`` triples.
+    Returns ``(records, counts, works)`` where ``counts[i]`` is the
+    number of records operator ``i`` processed and ``works[i]`` the
+    extra :class:`~repro.engine.work.Weighted` work it reported.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps):
+        self.steps = list(steps)
+
+    @property
+    def operator(self):
+        return "+".join(step[2] for step in self.steps)
+
+    def __call__(self, part):
+        steps = self.steps
+        num = len(steps)
+        counts = [0] * num
+        works = [[0] for _ in range(num)]
+        out = []
+        # An explicit iterator stack (one level per in-flight flat_map
+        # expansion) keeps evaluation depth independent of chain length.
+        stack = [(0, iter(part))]
+        while stack:
+            depth, iterator = stack[-1]
+            item = next(iterator, _SENTINEL)
+            if item is _SENTINEL:
+                stack.pop()
+                continue
+            i = depth
+            while i < num:
+                kind, fn, operator = steps[i]
+                counts[i] += 1
+                if kind == STEP_MAP:
+                    item = unwrap(call_udf(operator, fn, item), works[i])
+                elif kind == STEP_FILTER:
+                    if not unwrap(call_udf(operator, fn, item), works[i]):
+                        break
+                else:
+                    produced = unwrap(
+                        call_udf(operator, fn, item), works[i]
+                    )
+                    stack.append((i + 1, iter(produced)))
+                    break
+                i += 1
+            else:
+                out.append(item)
+        return out, counts, [work[0] for work in works]
+
+
+class MapPartitionsTask:
+    """Apply ``fn(items, partition_index)`` to one whole partition."""
+
+    __slots__ = ("fn", "operator")
+
+    def __init__(self, fn, operator):
+        self.fn = fn
+        self.operator = operator
+
+    def __call__(self, part, index):
+        return list(call_udf(self.operator, self.fn, part, index))
+
+
+class CombineTask:
+    """Per-partition combine for ``reduce_by_key`` (map or reduce side).
+
+    Folds ``(key, value)`` records into one record per key with the
+    user's reduce function; used unchanged on both sides of the
+    shuffle.
+    """
+
+    __slots__ = ("fn", "operator")
+
+    def __init__(self, fn, operator):
+        self.fn = fn
+        self.operator = operator
+
+    def __call__(self, records):
+        acc = {}
+        for record in records:
+            require_keyed(record)
+            key, value = record
+            if key in acc:
+                acc[key] = call_udf(self.operator, self.fn, acc[key], value)
+            else:
+                acc[key] = value
+        return list(acc.items())
+
+
+class GroupBucketTask:
+    """Materialize one reduce bucket's groups for ``group_by_key``.
+
+    Carries the scalar memory-model constants it needs (per-record
+    rate, overhead factor, per-task limit) so the memory check runs
+    wherever the task runs.
+    """
+
+    __slots__ = ("record_bytes", "overhead_factor", "limit", "operator")
+
+    def __init__(self, record_bytes, overhead_factor, limit, operator):
+        self.record_bytes = record_bytes
+        self.overhead_factor = overhead_factor
+        self.limit = limit
+        self.operator = operator
+
+    def _check_group(self, what, num_values):
+        needed = int(num_values * self.record_bytes * self.overhead_factor)
+        if needed > self.limit:
+            raise SimulatedOutOfMemory(what, needed, self.limit)
+
+    def __call__(self, bucket):
+        groups = {}
+        for record in bucket:
+            require_keyed(record)
+            key, value = record
+            groups.setdefault(key, []).append(value)
+        for key, values in groups.items():
+            self._check_group(
+                "materializing group %r" % (key,), len(values)
+            )
+        return list(groups.items())
+
+
+class CoGroupBucketTask(GroupBucketTask):
+    """Materialize one reduce bucket of a cogroup (two input sides)."""
+
+    __slots__ = ()
+
+    def __call__(self, left_bucket, right_bucket):
+        groups = {}
+        for key, value in left_bucket:
+            groups.setdefault(key, ([], []))[0].append(value)
+        for key, value in right_bucket:
+            groups.setdefault(key, ([], []))[1].append(value)
+        for key, (lvals, rvals) in groups.items():
+            self._check_group(
+                "cogrouping key %r" % (key,), len(lvals) + len(rvals)
+            )
+        return list(groups.items())
+
+
+class BroadcastJoinProbeTask:
+    """Probe one stream partition against a broadcast hash table."""
+
+    __slots__ = ("table", "operator")
+
+    def __init__(self, table, operator):
+        self.table = table
+        self.operator = operator
+
+    def __call__(self, part):
+        produced = []
+        for record in part:
+            require_keyed(record)
+            key, value = record
+            for other in self.table.get(key, ()):
+                produced.append((key, (value, other)))
+        return produced
+
+
+class CrossBroadcastTask:
+    """Pair one stream partition with a broadcast payload."""
+
+    __slots__ = ("payload", "broadcast_side", "operator")
+
+    def __init__(self, payload, broadcast_side, operator):
+        self.payload = payload
+        self.broadcast_side = broadcast_side
+        self.operator = operator
+
+    def __call__(self, part):
+        produced = []
+        payload = self.payload
+        if self.broadcast_side == "right":
+            for item in part:
+                for other in payload:
+                    produced.append((item, other))
+        else:
+            for item in part:
+                for other in payload:
+                    produced.append((other, item))
+        return produced
+
+
+def require_keyed(record):
+    if not isinstance(record, tuple) or len(record) != 2:
+        raise PlanError(
+            "keyed operator expects (key, value) records, got %r"
+            % (record,)
+        )
+
+
+# ----------------------------------------------------------------------
+# Invocation and outcome: what actually crosses the backend boundary
+# ----------------------------------------------------------------------
+
+
+class Invocation:
+    """One attempt of one task: the unit a backend runs.
+
+    ``inject_fault`` is set by the scheduler when the fault injector
+    planned a failure for this (stage, task, attempt); the task then
+    dies with :class:`~repro.errors.InjectedFault` exactly where a
+    killed worker would.
+
+    Plain ``__slots__`` classes, not dataclasses: a paper-scale stage
+    dispatches over a thousand of these, so construction is hot.
+    """
+
+    __slots__ = ("task", "args", "task_index", "attempt", "inject_fault")
+
+    def __init__(self, task, args, task_index, attempt=1,
+                 inject_fault=False):
+        self.task = task
+        self.args = args
+        self.task_index = task_index
+        self.attempt = attempt
+        self.inject_fault = inject_fault
+
+    @property
+    def operator(self):
+        return getattr(self.task, "operator", type(self.task).__name__)
+
+    def __reduce__(self):
+        return (
+            Invocation,
+            (self.task, self.args, self.task_index, self.attempt,
+             self.inject_fault),
+        )
+
+
+class TaskOutcome:
+    """What came back from running one invocation."""
+
+    __slots__ = ("task_index", "ok", "value", "error", "error_traceback",
+                 "seconds", "worker_pid", "attempt")
+
+    def __init__(self, task_index, ok, value=None, error=None,
+                 error_traceback="", seconds=0.0, worker_pid=0, attempt=1):
+        self.task_index = task_index
+        self.ok = ok
+        self.value = value
+        self.error = error
+        self.error_traceback = error_traceback
+        self.seconds = seconds
+        self.worker_pid = worker_pid
+        self.attempt = attempt
+
+    @property
+    def retryable(self):
+        """Transient failures are retried; deterministic bugs are not."""
+        return isinstance(self.error, InjectedFault) or bool(
+            getattr(self.error, "retryable", False)
+        )
+
+    def __reduce__(self):
+        return (
+            TaskOutcome,
+            (self.task_index, self.ok, self.value, self.error,
+             self.error_traceback, self.seconds, self.worker_pid,
+             self.attempt),
+        )
+
+
+def execute_invocation(invocation):
+    """Run one invocation, capturing outcome, error, and wall-clock.
+
+    Never raises (short of a ``BaseException`` like a keyboard
+    interrupt): failures come back as data so the scheduler on the
+    driver owns the retry policy regardless of backend.
+    """
+    start = time.perf_counter()
+    try:
+        if invocation.inject_fault:
+            raise InjectedFault(
+                "injected fault: task %d attempt %d"
+                % (invocation.task_index, invocation.attempt)
+            )
+        value = invocation.task(*invocation.args)
+    except Exception as exc:
+        return TaskOutcome(
+            task_index=invocation.task_index,
+            ok=False,
+            error=exc,
+            error_traceback=traceback.format_exc(),
+            seconds=time.perf_counter() - start,
+            worker_pid=os.getpid(),
+            attempt=invocation.attempt,
+        )
+    return TaskOutcome(
+        task_index=invocation.task_index,
+        ok=True,
+        value=value,
+        seconds=time.perf_counter() - start,
+        worker_pid=os.getpid(),
+        attempt=invocation.attempt,
+    )

@@ -24,6 +24,12 @@ Invariants checked per job:
   more records over the network than earlier stages of the job produced.
 * **Shuffle stages name their origin**: every scheduled reduce stage
   records the wide plan node that opened it.
+* **Runtime measurements are sane**: measured per-task seconds, retry
+  counts, and straggler counts are non-negative.
+
+This module also hosts :func:`assert_backend_parity`: the invariant
+that the serial and process-pool task runtimes are observationally
+identical -- same results, same trace shape -- for any program.
 """
 
 from ..errors import PlanError
@@ -63,6 +69,13 @@ def validate_stage(job, stage, upstream_records):
         _fail(job, stage, "negative shuffle write volume")
     if stage.spilled_records < 0:
         _fail(job, stage, "negative spill volume")
+    for seconds in stage.task_seconds:
+        if seconds < 0:
+            _fail(job, stage, "negative measured task seconds")
+    if stage.task_retries < 0:
+        _fail(job, stage, "negative task retry count")
+    if stage.straggler_tasks < 0:
+        _fail(job, stage, "negative straggler count")
     if stage.kind != "shuffle":
         if stage.shuffle_read_records or stage.shuffle_write_records:
             _fail(
@@ -120,3 +133,105 @@ def validate_trace(trace):
     for job in trace.jobs:
         validate_job(job)
     return trace
+
+
+# ----------------------------------------------------------------------
+# Backend parity
+# ----------------------------------------------------------------------
+
+
+class BackendParityError(PlanError):
+    """Two task-runtime backends disagreed on the same program."""
+
+
+def trace_signature(trace):
+    """The backend-independent shape of a trace.
+
+    Everything the cost model consumes -- stage kinds, per-task record
+    counts, shuffle/spill volumes, broadcast and action counters -- but
+    none of the measured quantities (wall-clock, retries, stragglers),
+    which legitimately differ between backends and runs.
+    """
+    signature = []
+    for job in trace.jobs:
+        stages = tuple(
+            (
+                stage.kind,
+                stage.meta,
+                stage.origin,
+                tuple(stage.task_records),
+                stage.shuffle_read_records,
+                stage.shuffle_write_records,
+                stage.spilled_records,
+            )
+            for stage in job.stages
+        )
+        signature.append(
+            (
+                job.action,
+                job.label,
+                stages,
+                job.broadcast_records,
+                job.broadcast_meta_records,
+                job.collected_records,
+                job.saved_records,
+                job.saved_meta_records,
+            )
+        )
+    return tuple(signature)
+
+
+def assert_backend_parity(program, config=None, backends=("serial",
+                                                          "process"),
+                          num_workers=2):
+    """Run ``program(ctx)`` under each backend and demand identity.
+
+    The invariant: a plan's collected results and its trace's record
+    accounting are properties of the *plan*, not of where tasks run.
+    Any divergence between backends is a runtime bug.
+
+    Args:
+        program: Callable taking a fresh ``EngineContext`` and
+            returning the value to compare (typically collected
+            results).
+        config: Base :class:`~repro.engine.config.ClusterConfig`
+            (default: ``laptop_config()``); its ``backend`` field is
+            overridden per run.
+        backends: Backend names to compare.
+        num_workers: Worker count for process-pool runs.
+
+    Returns:
+        The result from the first backend, for further assertions.
+
+    Raises:
+        BackendParityError: On any mismatch in results or trace shape.
+    """
+    from dataclasses import replace
+
+    from .config import laptop_config
+    from .context import EngineContext
+
+    if config is None:
+        config = laptop_config()
+    outputs = []
+    for backend in backends:
+        ctx = EngineContext(
+            replace(config, backend=backend, num_workers=num_workers)
+        )
+        result = program(ctx)
+        outputs.append((backend, result, trace_signature(ctx.trace)))
+    reference_backend, reference_result, reference_trace = outputs[0]
+    for backend, result, trace in outputs[1:]:
+        if result != reference_result:
+            raise BackendParityError(
+                "backends %r and %r returned different results:\n"
+                "%r\nvs\n%r"
+                % (reference_backend, backend, reference_result, result)
+            )
+        if trace != reference_trace:
+            raise BackendParityError(
+                "backends %r and %r produced different traces:\n"
+                "%r\nvs\n%r"
+                % (reference_backend, backend, reference_trace, trace)
+            )
+    return reference_result

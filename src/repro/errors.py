@@ -27,6 +27,12 @@ class UdfError(ExecutionError):
         self.operator = operator
         self.original = original
 
+    def __reduce__(self):
+        # Exceptions with non-message __init__ signatures do not pickle
+        # by default; task results cross process boundaries, so every
+        # engine error spells out how to rebuild itself.
+        return (type(self), (self.operator, self.original))
+
 
 class SimulatedOutOfMemory(ExecutionError):
     """An executor's working set exceeded the configured memory.
@@ -45,6 +51,47 @@ class SimulatedOutOfMemory(ExecutionError):
         self.what = what
         self.needed_bytes = needed_bytes
         self.limit_bytes = limit_bytes
+
+    def __reduce__(self):
+        return (
+            type(self), (self.what, self.needed_bytes, self.limit_bytes)
+        )
+
+
+class SerializationError(PlanError):
+    """A closure or task result could not cross a process boundary.
+
+    Raised with the name of the operator whose closure (or output)
+    failed to serialize, so the offending UDF is easy to find.
+    """
+
+
+class InjectedFault(ExecutionError):
+    """A deterministic fault planted by the test fault-injection hook.
+
+    The scheduler treats it as a transient task failure (a killed
+    worker) and retries the task, unlike deterministic UDF bugs.
+    """
+
+
+class TaskFailedError(ExecutionError):
+    """A task kept failing after exhausting its retry budget."""
+
+    def __init__(self, stage, task_index, attempts, last_error):
+        super().__init__(
+            "task %d of stage dispatch %d failed %d time(s); last error: %s"
+            % (task_index, stage, attempts, last_error)
+        )
+        self.stage = stage
+        self.task_index = task_index
+        self.attempts = attempts
+        self.last_error = last_error
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.stage, self.task_index, self.attempts, self.last_error),
+        )
 
 
 class FlatteningError(ReproError):

@@ -1,0 +1,142 @@
+"""The execution backends: serial, process pool, and their contract."""
+
+import os
+import types
+
+import pytest
+
+from repro.engine import laptop_config
+from repro.engine.runtime import (
+    ProcessPoolBackend,
+    SerialBackend,
+    make_backend,
+)
+from repro.engine.runtime.task import Invocation, MapPartitionsTask
+from repro.errors import SerializationError
+
+
+def _double_partition(part, _index):
+    return [x * 2 for x in part]
+
+
+class GeneratorResultTask:
+    """A task whose *result* cannot be serialized back to the driver."""
+
+    operator = "Gen[test]"
+
+    def __call__(self, part):
+        return (x for x in part)
+
+
+def invocations_for(task, parts, with_index=False):
+    return [
+        Invocation(task, (part, i) if with_index else (part,), i)
+        for i, part in enumerate(parts)
+    ]
+
+
+PARTS = [[1, 2], [3], [], [4, 5, 6]]
+
+
+class TestSerialBackend:
+    def test_runs_inline_in_order(self):
+        backend = SerialBackend()
+        task = MapPartitionsTask(_double_partition, "Map[x2]")
+        outcomes = backend.run_invocations(
+            invocations_for(task, PARTS, with_index=True)
+        )
+        assert [o.task_index for o in outcomes] == [0, 1, 2, 3]
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [
+            [2, 4], [6], [], [8, 10, 12]
+        ]
+        assert all(o.worker_pid == os.getpid() for o in outcomes)
+
+    def test_failure_comes_back_as_data(self):
+        backend = SerialBackend()
+
+        def boom(_part, _index):
+            raise ValueError("broken partition")
+
+        task = MapPartitionsTask(boom, "Map[boom]")
+        outcomes = backend.run_invocations(
+            invocations_for(task, [[1]], with_index=True)
+        )
+        (outcome,) = outcomes
+        assert not outcome.ok
+        assert "broken partition" in str(outcome.error)
+        assert "ValueError" in outcome.error_traceback
+        assert outcome.seconds >= 0
+
+
+class TestProcessPoolBackend:
+    def test_correct_results_in_task_order(self):
+        backend = ProcessPoolBackend(num_workers=2)
+        task = MapPartitionsTask(
+            lambda part, _i: [x * 2 for x in part], "Map[x2]"
+        )
+        outcomes = backend.run_invocations(
+            invocations_for(task, PARTS, with_index=True)
+        )
+        assert all(o.ok for o in outcomes)
+        assert [o.value for o in outcomes] == [
+            [2, 4], [6], [], [8, 10, 12]
+        ]
+
+    def test_tasks_run_in_other_processes(self):
+        backend = ProcessPoolBackend(num_workers=2)
+        task = MapPartitionsTask(lambda part, _i: list(part), "Map[id]")
+        outcomes = backend.run_invocations(
+            invocations_for(task, PARTS, with_index=True)
+        )
+        assert all(o.worker_pid != os.getpid() for o in outcomes)
+        assert all(o.worker_pid > 0 for o in outcomes)
+
+    def test_unserializable_closure_is_a_preflight_error(self):
+        import threading
+
+        lock = threading.Lock()
+        backend = ProcessPoolBackend(num_workers=2)
+        task = MapPartitionsTask(
+            lambda part, _i: (lock.acquire(), part), "Map[locked]"
+        )
+        with pytest.raises(SerializationError, match=r"Map\[locked\]"):
+            backend.run_invocations(
+                invocations_for(task, [[1]], with_index=True)
+            )
+
+    def test_unserializable_result_reported_per_task(self):
+        backend = ProcessPoolBackend(num_workers=2)
+        outcomes = backend.run_invocations(
+            invocations_for(GeneratorResultTask(), [[1, 2]])
+        )
+        (outcome,) = outcomes
+        assert not outcome.ok
+        assert isinstance(outcome.error, SerializationError)
+        assert "Gen[test]" in str(outcome.error)
+
+    def test_rejects_negative_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(num_workers=-1)
+
+    def test_zero_means_all_cores(self):
+        backend = ProcessPoolBackend(num_workers=0)
+        assert backend.num_workers == (os.cpu_count() or 1)
+
+
+class TestMakeBackend:
+    def test_serial(self):
+        backend = make_backend(laptop_config(backend="serial"))
+        assert isinstance(backend, SerialBackend)
+
+    def test_process_takes_worker_count(self):
+        backend = make_backend(
+            laptop_config(backend="process", num_workers=3)
+        )
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.num_workers == 3
+
+    def test_unknown_backend_rejected(self):
+        bogus = types.SimpleNamespace(backend="threads")
+        with pytest.raises(ValueError, match="threads"):
+            make_backend(bogus)

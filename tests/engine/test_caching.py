@@ -1,5 +1,17 @@
 """Caching and within-job memoization."""
 
+import pytest
+
+from repro.engine import laptop_config
+
+
+@pytest.fixture
+def config():
+    # These tests count UDF calls through driver-side list appends,
+    # which only works when tasks run in this process -- pin the serial
+    # backend so a $REPRO_BACKEND=process suite run cannot break them.
+    return laptop_config(backend="serial")
+
 
 class TestCache:
     def test_cached_bag_not_recomputed(self, ctx):

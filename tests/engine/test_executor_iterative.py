@@ -10,7 +10,18 @@ import sys
 
 import pytest
 
+from repro.engine import laptop_config
+
 DEEP = 20_000
+
+
+@pytest.fixture
+def config():
+    # Several tests here count UDF calls through driver-side list
+    # appends, which only works when tasks run in this process -- pin
+    # the serial backend so a $REPRO_BACKEND=process suite run cannot
+    # break them.
+    return laptop_config(backend="serial")
 
 
 class TestStackSafety:

@@ -5,7 +5,11 @@ import sys
 
 import pytest
 
-from repro.engine.partitioner import HashPartitioner, stable_hash
+from repro.engine.partitioner import (
+    HashPartitioner,
+    build_balanced_assignment,
+    stable_hash,
+)
 
 
 class TestStableHash:
@@ -68,3 +72,55 @@ class TestHashPartitioner:
     def test_equality(self):
         assert HashPartitioner(4) == HashPartitioner(4)
         assert HashPartitioner(4) != HashPartitioner(5)
+
+
+class TestBalancedAssignment:
+    def test_empty_counts(self):
+        assert build_balanced_assignment({}, 4) == {}
+
+    def test_single_partition_takes_everything(self):
+        assignment = build_balanced_assignment({"a": 5, "b": 1}, 1)
+        assert assignment == {"a": 0, "b": 0}
+
+    def test_more_partitions_than_keys(self):
+        assignment = build_balanced_assignment({"a": 3, "b": 2}, 8)
+        assert set(assignment) == {"a", "b"}
+        assert len(set(assignment.values())) == 2
+        assert all(0 <= index < 8 for index in assignment.values())
+
+    def test_rejects_non_positive_partition_count(self):
+        with pytest.raises(ValueError):
+            build_balanced_assignment({"a": 1}, 0)
+
+    def test_uniform_counts_balance_exactly(self):
+        counts = {i: 1 for i in range(100)}
+        assignment = build_balanced_assignment(counts, 4)
+        loads = [0] * 4
+        for key, index in assignment.items():
+            loads[index] += counts[key]
+        assert loads == [25, 25, 25, 25]
+
+    def test_deterministic(self):
+        counts = {"k%d" % i: (i * 7) % 13 + 1 for i in range(50)}
+        assert build_balanced_assignment(
+            counts, 6
+        ) == build_balanced_assignment(counts, 6)
+
+    def test_matches_linear_scan_reference(self):
+        # The heap-based LPT must reproduce the original linear scan
+        # exactly, tie-breaks included.
+        counts = {"k%d" % i: (i * 31) % 17 + 1 for i in range(200)}
+        num_partitions = 7
+        assignment = {}
+        loads = [0] * num_partitions
+        ordered = sorted(
+            counts.items(),
+            key=lambda item: (-item[1], stable_hash(item[0])),
+        )
+        for key, count in ordered:
+            index = loads.index(min(loads))
+            assignment[key] = index
+            loads[index] += count
+        assert build_balanced_assignment(
+            counts, num_partitions
+        ) == assignment
