@@ -26,6 +26,7 @@ from .engine import (
     paper_cluster_config,
 )
 from .errors import (
+    AnalysisError,
     ExecutionError,
     FlatteningError,
     InjectedFault,
@@ -36,12 +37,14 @@ from .errors import (
     SimulatedOutOfMemory,
     TaskFailedError,
     UdfError,
+    UnsupportedConstructError,
     UnsupportedFeatureError,
 )
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisError",
     "Bag",
     "ClusterConfig",
     "EngineContext",
@@ -58,6 +61,7 @@ __all__ = [
     "SimulatedOutOfMemory",
     "TaskFailedError",
     "UdfError",
+    "UnsupportedConstructError",
     "UnsupportedFeatureError",
     "Weighted",
     "cond",
@@ -79,8 +83,8 @@ def __getattr__(name):
     # handling and recurse forever.
     import importlib
 
-    for module_name in ("core", "lang", "engine", "baselines", "tasks",
-                        "data", "bench"):
+    for module_name in ("analysis", "core", "lang", "engine",
+                        "baselines", "tasks", "data", "bench"):
         if name == module_name:
             return importlib.import_module(
                 "." + module_name, __name__

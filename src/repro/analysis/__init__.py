@@ -1,0 +1,179 @@
+"""Static diagnostics for nested UDFs and dataflow plans.
+
+The analysis layer moves failures that used to surface mid-job (or not
+at all) to decoration / plan-build time, as flake8-style diagnostics:
+
+* **NPL1xx** (:mod:`udf_lint`) -- constructs in ``@nested_udf`` bodies
+  the parsing phase cannot lift (try/except, yield, global mutation,
+  captured-state mutation, staged-name shadowing), with precise source
+  locations.
+* **NPL2xx** (:mod:`closure_lint`) -- captured values the task
+  runtime's serde layer cannot ship: the launch-time
+  ``SerializationError`` reported at import time instead.
+* **NPL3xx** (:mod:`plan_lint`) -- plan smells and predicted failures:
+  uncached reuse, pushable filters, oversized broadcasts (simulated-OOM
+  prediction), redundant repartitions.
+
+Entry points::
+
+    python -m repro.analysis src/repro/tasks examples   # CLI / CI
+    nested_udf(strict=True)                             # at decoration
+    bag.collect(lint="error")                           # before a job
+    analyze_udf(fn); analyze_plan(bag.node, config)     # as a library
+"""
+
+import ast
+import inspect
+import textwrap
+
+from .closure_lint import analyze_closure
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    ERROR,
+    INFO,
+    WARNING,
+    count_by_severity,
+    filter_diagnostics,
+    make_diagnostic,
+    render_json,
+    render_text,
+    sort_key,
+)
+from .plan_lint import analyze_bag, analyze_plan
+from .udf_lint import first_unsupported, scan_function
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "ERROR",
+    "INFO",
+    "WARNING",
+    "analyze_bag",
+    "analyze_closure",
+    "analyze_plan",
+    "analyze_source",
+    "analyze_udf",
+    "count_by_severity",
+    "filter_diagnostics",
+    "first_unsupported",
+    "make_diagnostic",
+    "render_json",
+    "render_text",
+    "scan_function",
+    "sort_key",
+]
+
+
+def analyze_udf(fn, closure=True):
+    """All UDF-level diagnostics (NPL1xx + NPL2xx) for one function.
+
+    Accepts either a plain function or one already decorated with
+    ``@nested_udf`` (the pre-rewrite original is analyzed).  Locations
+    point at the defining file.
+    """
+    original = getattr(fn, "original", fn)
+    diags = []
+    located = _function_ast(original)
+    if located is None:
+        diags.append(
+            make_diagnostic(
+                "NPL001",
+                "source of %r is unavailable (lambda or interactively "
+                "defined); UDF construct checks skipped"
+                % getattr(original, "__name__", original),
+            )
+        )
+    else:
+        fndef, filename, line_offset, col_offset = located
+        diags.extend(
+            scan_function(fndef, filename, line_offset, col_offset)
+        )
+    if closure:
+        diags.extend(analyze_closure(original))
+    return sorted(diags, key=sort_key)
+
+
+def analyze_source(source, filename="<source>"):
+    """NPL1xx diagnostics for every decorated UDF in a source string.
+
+    Scans the module AST for functions decorated with ``nested_udf`` /
+    ``lifted`` (bare, attribute, or called form) and lints each body.
+    Line numbers are file-absolute.  Also the CLI's static pass.
+    """
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            make_diagnostic(
+                "NPL001",
+                "file could not be parsed: %s" % exc,
+                file=filename,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+            )
+        ]
+    diags = []
+    for fndef in _decorated_functions(tree):
+        diags.extend(scan_function(fndef, filename))
+    return sorted(diags, key=sort_key)
+
+
+_DECORATOR_NAMES = frozenset({"nested_udf", "lifted"})
+
+
+def _decorated_functions(tree):
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for decorator in node.decorator_list:
+            if _is_udf_decorator(decorator):
+                yield node
+                break
+
+
+def _is_udf_decorator(node):
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Name):
+        return node.id in _DECORATOR_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _DECORATOR_NAMES
+    return False
+
+
+def _function_ast(fn):
+    """``(fndef, filename, line_offset, col_offset)`` or None.
+
+    The offsets map positions in the dedented snippet back onto the
+    defining file, so diagnostics carry real file locations.
+    """
+    try:
+        lines, start_line = inspect.getsourcelines(fn)
+    except (OSError, TypeError):
+        return None
+    raw = "".join(lines)
+    source = textwrap.dedent(raw)
+    col_offset = _dedent_width(raw, source)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:  # pragma: no cover - getsource returned garbage
+        return None
+    fndef = tree.body[0] if tree.body else None
+    if not isinstance(fndef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return None
+    code = getattr(fn, "__code__", None)
+    # Snippet line L is file line L + start_line - 1; getsourcelines
+    # reports where the snippet (decorators included) begins.
+    line_offset = start_line - 1
+    filename = code.co_filename if code is not None else "<unknown>"
+    return fndef, filename, line_offset, col_offset
+
+
+def _dedent_width(raw, dedented):
+    for raw_line, ded_line in zip(
+        raw.splitlines(), dedented.splitlines()
+    ):
+        if ded_line.strip():
+            return len(raw_line) - len(ded_line)
+    return 0

@@ -1,0 +1,202 @@
+"""``python -m repro.analysis``: lint nested UDFs across source trees.
+
+Two layers per file:
+
+1. A **static pass** (always): parse the file, find every function
+   decorated with ``@nested_udf`` / ``@lifted``, and run the NPL1xx
+   construct lint with file-absolute line numbers.  Nothing is
+   imported or executed.
+2. An **import pass** (default, disable with ``--no-import``): import
+   the module and run the NPL2xx closure-serializability pass on each
+   decorated function found at module scope.  Files that cannot be
+   imported degrade to an NPL002 notice -- the static findings stand
+   either way.
+
+Exit status is 1 when any error-severity diagnostic survives
+``--select`` / ``--ignore`` filtering, else 0 -- so a CI job fails on
+errors but tolerates advisory warnings.
+"""
+
+import argparse
+import importlib
+import importlib.util
+import os
+import sys
+
+from . import analyze_source
+from .closure_lint import analyze_closure
+from .diagnostics import (
+    ERROR,
+    count_by_severity,
+    filter_diagnostics,
+    make_diagnostic,
+    render_json,
+    render_text,
+    sort_key,
+)
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    args = _parse_args(argv)
+    files = _collect_files(args.paths)
+    if not files:
+        print("repro.analysis: no Python files found", file=sys.stderr)
+        return 2
+    diagnostics = []
+    for path in files:
+        diagnostics.extend(_analyze_file(path, do_import=args.imports))
+    diagnostics = filter_diagnostics(
+        diagnostics, select=args.select, ignore=args.ignore
+    )
+    diagnostics.sort(key=sort_key)
+    if args.format == "json":
+        print(render_json(diagnostics))
+    else:
+        if diagnostics:
+            print(render_text(diagnostics))
+        counts = count_by_severity(diagnostics)
+        print(
+            "repro.analysis: %d file(s), %d error(s), %d warning(s)"
+            % (len(files), counts[ERROR], counts["warning"])
+        )
+    has_errors = any(d.severity == ERROR for d in diagnostics)
+    return 1 if has_errors else 0
+
+
+def _parse_args(argv):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static diagnostics for @nested_udf functions "
+        "(NPL1xx constructs, NPL2xx closure serializability).",
+    )
+    parser.add_argument(
+        "paths", nargs="+",
+        help="Python files or directories to analyze",
+    )
+    parser.add_argument(
+        "--select", type=_code_list, default=None,
+        help="comma-separated code prefixes to report (e.g. NPL1,NPL201)",
+    )
+    parser.add_argument(
+        "--ignore", type=_code_list, default=None,
+        help="comma-separated code prefixes to suppress",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-import", dest="imports", action="store_false",
+        help="skip the import-based closure pass (static checks only)",
+    )
+    return parser.parse_args(argv)
+
+
+def _code_list(text):
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        files.append(os.path.join(dirpath, name))
+        elif path.endswith(".py"):
+            files.append(path)
+        else:
+            files.append(path)  # let the open() below report it
+    return files
+
+
+def _analyze_file(path, do_import=True):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        return [
+            make_diagnostic(
+                "NPL001", "cannot read file: %s" % exc, file=path
+            )
+        ]
+    diagnostics = analyze_source(source, filename=path)
+    if do_import and ("nested_udf" in source or "lifted" in source):
+        diagnostics.extend(_closure_pass(path))
+    return diagnostics
+
+
+def _closure_pass(path):
+    """Import ``path`` and closure-check its decorated UDFs."""
+    module, problem = _import_module(path)
+    if module is None:
+        return [
+            make_diagnostic(
+                "NPL002",
+                "module could not be imported (%s); closure "
+                "serializability not checked" % problem,
+                file=path,
+            )
+        ]
+    diagnostics = []
+    target = os.path.abspath(path)
+    for name in sorted(vars(module)):
+        obj = vars(module)[name]
+        original = getattr(obj, "original", None)
+        if original is None or not callable(obj):
+            continue
+        code = getattr(original, "__code__", None)
+        if code is None or os.path.abspath(code.co_filename) != target:
+            continue  # re-exported from elsewhere; its own file reports
+        diagnostics.extend(
+            analyze_closure(original, filename=path)
+        )
+    return diagnostics
+
+
+def _import_module(path):
+    """Import the module at ``path``; returns ``(module, error_text)``.
+
+    Files inside a package (an ``__init__.py`` chain) are imported
+    under their real dotted name so relative imports work; standalone
+    scripts are loaded from their file location under a private name.
+    """
+    abspath = os.path.abspath(path)
+    dotted, root = _dotted_name(abspath)
+    try:
+        if dotted is not None:
+            added = root not in sys.path
+            if added:
+                sys.path.insert(0, root)
+            try:
+                return importlib.import_module(dotted), None
+            finally:
+                if added:
+                    sys.path.remove(root)
+        name = "_repro_analysis_%s" % (
+            os.path.splitext(os.path.basename(abspath))[0]
+        )
+        spec = importlib.util.spec_from_file_location(name, abspath)
+        if spec is None or spec.loader is None:
+            return None, "no import spec"
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module, None
+    except BaseException as exc:  # noqa: BLE001 - report, don't crash
+        return None, "%s: %s" % (type(exc).__name__, exc)
+
+
+def _dotted_name(abspath):
+    """``(dotted_module_name, sys_path_root)`` for package files."""
+    directory = os.path.dirname(abspath)
+    stem = os.path.splitext(os.path.basename(abspath))[0]
+    parts = [] if stem == "__init__" else [stem]
+    while os.path.exists(os.path.join(directory, "__init__.py")):
+        parts.insert(0, os.path.basename(directory))
+        directory = os.path.dirname(directory)
+    if len(parts) <= 1 and stem != "__init__":
+        return None, None
+    return ".".join(parts), directory

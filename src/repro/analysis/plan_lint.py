@@ -1,0 +1,238 @@
+"""NPL3xx: lint over :mod:`repro.engine.plan` DAGs.
+
+Four checks, all pre-execution (the point is to predict the failure or
+the waste *before* the job runs):
+
+* **NPL301** -- a node consumed by two or more parents without
+  ``cache()``: lineage recomputes it once per consumer.
+* **NPL302** -- a filter applied above a shuffle whose predicate
+  provably reads only the key: pushing it below the shuffle would cut
+  shuffle volume.  The predicate proof is best-effort source analysis
+  (a lambda reading only ``kv[0]``); anything unprovable is silent.
+* **NPL303** -- a broadcast join / cross whose build side's statically
+  known size exceeds the executor memory bound: the exact condition
+  the engine's :func:`~repro.engine.broadcast.check_broadcast_fits`
+  raises :class:`~repro.errors.SimulatedOutOfMemory` for at runtime,
+  predicted at plan-build time.
+* **NPL304** -- back-to-back repartitions where the first is wasted:
+  a coalesce immediately re-coalesced, or a shuffle whose input is
+  already hash-partitioned by key into the same partition count.
+
+Diagnostics carry the node's stable id (see
+:func:`repro.engine.plan.assign_node_ids`), so a finding can be matched
+by eye against ``Bag.explain()`` / ``explain_compact``.
+"""
+
+import ast
+import inspect
+import textwrap
+
+from ..engine import plan as p
+from .diagnostics import make_diagnostic
+
+_WIDE = (p.ReduceByKey, p.GroupByKey, p.CoGroup)
+
+
+def analyze_plan(root, config=None):
+    """Lint one plan DAG; returns a list of Diagnostics.
+
+    Args:
+        root: The root :class:`~repro.engine.plan.PlanNode` (e.g.
+            ``bag.node``).
+        config: The :class:`~repro.engine.config.ClusterConfig` whose
+            memory bounds the NPL303 prediction uses; without one the
+            memory check is skipped.
+    """
+    ids = p.assign_node_ids(root)
+    parts = p.partition_counts(root)
+    consumers = _consumer_counts(root)
+    diags = []
+
+    def ref(node):
+        return p.describe_node(node, ids, parts)
+
+    for node in p.iter_nodes_ordered(root):
+        _check_uncached_reuse(node, consumers, ref, diags)
+        _check_filter_pushdown(node, ref, diags)
+        if config is not None:
+            _check_broadcast_size(node, config, ref, diags)
+        _check_redundant_repartition(node, ref, diags)
+    return diags
+
+
+def analyze_bag(bag):
+    """Convenience wrapper: lint a Bag against its context's config."""
+    return analyze_plan(bag.node, bag.context.config)
+
+
+# ---------------------------------------------------------------------------
+# individual checks
+# ---------------------------------------------------------------------------
+
+
+def _consumer_counts(root):
+    """How many parent edges reference each node (``CoGroup(x, x)`` = 2)."""
+    counts = {}
+    for node in p.iter_nodes_ordered(root):
+        for child in node.children:
+            counts[id(child)] = counts.get(id(child), 0) + 1
+    return counts
+
+
+def _check_uncached_reuse(node, consumers, ref, diags):
+    uses = consumers.get(id(node), 0)
+    if uses < 2 or node.cached:
+        return
+    if isinstance(node, p.Parallelize):
+        # Driver-side data re-splits cheaply; no lineage recompute.
+        return
+    diags.append(
+        make_diagnostic(
+            "NPL301",
+            "%s is consumed %d times without cache(); lineage will "
+            "recompute it once per consumer -- call .cache() on the "
+            "shared bag" % (ref(node), uses),
+            node=ref(node),
+        )
+    )
+
+
+def _check_filter_pushdown(node, ref, diags):
+    if not isinstance(node, p.Filter):
+        return
+    child = node.child
+    if not isinstance(child, _WIDE):
+        return
+    if _reads_only_key(node.fn) is not True:
+        return
+    diags.append(
+        make_diagnostic(
+            "NPL302",
+            "%s reads only the key of %s's output; filtering before "
+            "the shuffle would drop those records from the shuffle "
+            "instead of after it" % (ref(node), ref(child)),
+            node=ref(node),
+        )
+    )
+
+
+def _check_broadcast_size(node, config, ref, diags):
+    if isinstance(node, p.BroadcastJoin):
+        build = node.right
+    elif isinstance(node, p.CrossBroadcast):
+        build = node.right if node.broadcast_side == "right" else node.left
+    else:
+        return
+    count = p.static_record_count(build)
+    if count is None:
+        return
+    record_bytes = (
+        config.result_record_bytes if build.meta
+        else config.bytes_per_record
+    )
+    needed = config.materialized_bytes(count, record_bytes)
+    limit = min(
+        config.executor_memory_limit_bytes, config.driver_memory_bytes
+    )
+    if needed <= limit:
+        return
+    diags.append(
+        make_diagnostic(
+            "NPL303",
+            "%s broadcasts %s (%d records, ~%d bytes materialized) "
+            "but the executor memory bound is %d bytes: the engine "
+            "will raise SimulatedOutOfMemory at execution -- use a "
+            "repartition join" % (ref(node), ref(build), count, needed,
+                                  limit),
+            node=ref(node),
+        )
+    )
+
+
+def _check_redundant_repartition(node, ref, diags):
+    if isinstance(node, p.Coalesce) and isinstance(node.child, p.Coalesce):
+        diags.append(
+            make_diagnostic(
+                "NPL304",
+                "%s immediately re-coalesces %s; the inner coalesce "
+                "does no enduring work -- coalesce once to the final "
+                "partition count" % (ref(node), ref(node.child)),
+                node=ref(node),
+            )
+        )
+        return
+    if isinstance(node, _WIDE):
+        child = node.left if isinstance(node, p.CoGroup) else node.child
+        if (
+            isinstance(child, _WIDE)
+            and not isinstance(child, p.CoGroup)
+            and child.num_partitions == node.num_partitions
+        ):
+            diags.append(
+                make_diagnostic(
+                    "NPL304",
+                    "%s re-shuffles the output of %s, which is already "
+                    "hash-partitioned by key into %d partitions; the "
+                    "back-to-back shuffle moves data that is already "
+                    "in place" % (ref(node), ref(child),
+                                  node.num_partitions),
+                    node=ref(node),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# predicate analysis for NPL302
+# ---------------------------------------------------------------------------
+
+
+def _reads_only_key(fn):
+    """True / False / None(unknown): does ``fn(kv)`` read only ``kv[0]``?
+
+    Best-effort: parses the predicate's source.  Multi-line lambdas,
+    builtins, and functions without retrievable source return ``None``
+    (the check stays silent rather than guessing).
+    """
+    lambda_node = _predicate_ast(fn)
+    if lambda_node is None:
+        return None
+    args = lambda_node.args
+    if len(args.args) != 1 or args.vararg or args.kwarg or args.kwonlyargs:
+        return None
+    param = args.args[0].arg
+    body = (
+        lambda_node.body
+        if isinstance(lambda_node, ast.Lambda)
+        else lambda_node
+    )
+    uses = []
+    key_uses = set()
+    for node in ast.walk(body):
+        if isinstance(node, ast.Name) and node.id == param:
+            uses.append(node)
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == param
+            and isinstance(node.slice, ast.Constant)
+            and node.slice.value == 0
+        ):
+            key_uses.add(id(node.value))
+    if not uses:
+        return None
+    return all(id(use) in key_uses for use in uses)
+
+
+def _predicate_ast(fn):
+    """The predicate's Lambda/FunctionDef AST node, or None."""
+    try:
+        source = textwrap.dedent(inspect.getsource(fn))
+        tree = ast.parse(source)
+    except (OSError, TypeError, SyntaxError):
+        return None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Lambda):
+            return node
+        if isinstance(node, ast.FunctionDef):
+            return node
+    return None

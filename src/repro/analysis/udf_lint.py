@@ -1,0 +1,401 @@
+"""NPL1xx: static lint of ``@nested_udf`` function bodies.
+
+The walker mirrors the statement-level semantics of the parsing phase
+(:mod:`repro.lang.ast_parser`): it descends exactly where the rewriter
+descends (while/if/for bodies), stops at nested function and class
+definitions (which the rewriter leaves as plain Python), and reports
+every construct the rewriter either rejects or would silently mishandle.
+
+``parse_udf`` runs :func:`first_unsupported` on every decoration, so the
+constructs that used to surface as confusing rewrite-time or staging
+failures now fail eagerly with a precise source location; the analysis
+CLI and ``analyze_udf`` run :func:`scan_function` to collect *all*
+findings, warnings included.
+"""
+
+import ast
+
+from .diagnostics import ERROR, make_diagnostic
+
+#: Method names whose call on a captured object mutates it in place.
+_MUTATING_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend",
+    "extendleft", "insert", "pop", "popitem", "remove", "reverse",
+    "setdefault", "sort", "update", "write",
+})
+
+_STAGED_PREFIX = "__mz_"
+
+_TRY_TYPES = (ast.Try,) + (
+    (ast.TryStar,) if hasattr(ast, "TryStar") else ()
+)
+_MATCH_TYPES = (ast.Match,) if hasattr(ast, "Match") else ()
+_CONTROL_FLOW = (ast.While, ast.For, ast.If)
+
+
+def scan_function(fndef, filename="<udf>", line_offset=0, col_offset=0):
+    """Lint one ``FunctionDef`` AST; returns a list of Diagnostics.
+
+    Args:
+        fndef: The (pre-rewrite) function definition node.
+        filename: Reported in each diagnostic's location.
+        line_offset: Added to AST line numbers, so findings on a
+            function parsed from a dedented snippet still point at the
+            real file position.
+        col_offset: Added to AST column offsets (the dedent width).
+    """
+    return _Scanner(filename, line_offset, col_offset).scan(fndef)
+
+
+def first_unsupported(fndef, filename="<udf>", line_offset=0,
+                      col_offset=0):
+    """The first error-severity finding, or ``None``.
+
+    This is the parsing phase's eager pre-check: warnings do not block
+    decoration, errors do.
+    """
+    for diag in scan_function(fndef, filename, line_offset, col_offset):
+        if diag.severity == ERROR:
+            return diag
+    return None
+
+
+class _Scanner:
+    def __init__(self, filename, line_offset, col_offset):
+        self.filename = filename
+        self.line_offset = line_offset
+        self.col_offset = col_offset
+        self.diags = []
+
+    # ------------------------------------------------------------------
+
+    def scan(self, fndef):
+        self.bound = _bound_names(fndef)
+        self.has_for_loop = any(
+            isinstance(node, ast.For) for node in ast.walk(fndef)
+        )
+        for stmt in fndef.body:
+            self._stmt(stmt, in_flow=False)
+        self.diags.sort(key=lambda d: (d.line, d.col, d.code))
+        return self.diags
+
+    def _emit(self, code, node, message):
+        self.diags.append(
+            make_diagnostic(
+                code,
+                message,
+                file=self.filename,
+                line=getattr(node, "lineno", 0) + self.line_offset,
+                col=getattr(node, "col_offset", 0) + self.col_offset + 1,
+            )
+        )
+
+    # -- statements ----------------------------------------------------
+
+    def _block(self, stmts, in_flow):
+        for stmt in stmts:
+            self._stmt(stmt, in_flow)
+
+    def _stmt(self, stmt, in_flow):
+        if isinstance(stmt, _TRY_TYPES):
+            self._emit(
+                "NPL101", stmt,
+                "try/except cannot be lifted to dataflow control flow; "
+                "restructure the UDF so failures are data (e.g. a "
+                "sentinel value)",
+            )
+            self._block(stmt.body, in_flow)
+            for handler in stmt.handlers:
+                self._block(handler.body, in_flow)
+            self._block(stmt.orelse, in_flow)
+            self._block(stmt.finalbody, in_flow)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._emit(
+                "NPL105", stmt,
+                "with-statements (context-manager side effects) are not "
+                "supported in lifted UDFs",
+            )
+            self._block(stmt.body, in_flow)
+            return
+        if isinstance(stmt, _MATCH_TYPES):
+            self._emit(
+                "NPL106", stmt,
+                "match-statements are not rewritten into staged "
+                "combinators; use if/elif chains",
+            )
+            for case in stmt.cases:
+                self._block(case.body, in_flow)
+            return
+        if isinstance(stmt, ast.Global):
+            self._emit(
+                "NPL104", stmt,
+                "global declaration mutates module state; lifted UDFs "
+                "must be side-effect free",
+            )
+            return
+        if isinstance(stmt, ast.Nonlocal):
+            self._emit(
+                "NPL104", stmt,
+                "nonlocal declaration mutates enclosing state; lifted "
+                "UDFs must be side-effect free",
+            )
+            return
+        if isinstance(stmt, ast.While):
+            if stmt.orelse:
+                self._emit(
+                    "NPL109", stmt, "while/else cannot be lifted"
+                )
+            self._exprs(stmt.test)
+            self._block(stmt.body, in_flow=True)
+            self._block(stmt.orelse, in_flow=True)
+            return
+        if isinstance(stmt, ast.If):
+            self._exprs(stmt.test)
+            self._block(stmt.body, in_flow=True)
+            self._block(stmt.orelse, in_flow=True)
+            return
+        if isinstance(stmt, ast.AsyncFor):
+            self._emit(
+                "NPL103", stmt, "async for cannot be lifted"
+            )
+            self._block(stmt.body, in_flow=True)
+            return
+        if isinstance(stmt, ast.For):
+            self._check_for_shape(stmt)
+            self._exprs(stmt.iter)
+            self._block(stmt.body, in_flow=True)
+            self._block(stmt.orelse, in_flow=True)
+            return
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            kind = "break" if isinstance(stmt, ast.Break) else "continue"
+            self._emit(
+                "NPL107", stmt,
+                "%s cannot be lifted; fold the exit condition into the "
+                "loop condition instead" % kind,
+            )
+            return
+        if isinstance(stmt, ast.Return):
+            if in_flow:
+                self._emit(
+                    "NPL108", stmt,
+                    "return inside a lifted control-flow construct is "
+                    "not supported; assign to a variable and return "
+                    "after the construct",
+                )
+            if stmt.value is not None:
+                self._exprs(stmt.value)
+            return
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            # The rewriter leaves nested definitions as plain Python:
+            # control flow inside them is *not* lifted and would loop on
+            # staged values.
+            if any(
+                isinstance(node, _CONTROL_FLOW)
+                for node in ast.walk(stmt)
+            ):
+                self._emit(
+                    "NPL122", stmt,
+                    "nested %s %r contains control flow that will not "
+                    "be lifted; it only works on plain (non-staged) "
+                    "values" % (
+                        "class" if isinstance(stmt, ast.ClassDef)
+                        else "function",
+                        stmt.name,
+                    ),
+                )
+            if stmt.name.startswith(_STAGED_PREFIX):
+                self._emit(
+                    "NPL111", stmt,
+                    "name %r shadows a reserved staged name" % stmt.name,
+                )
+            return
+        if isinstance(stmt, ast.Delete):
+            self._emit(
+                "NPL123", stmt,
+                "del removes a variable from the lifted state dict; "
+                "rebind it instead",
+            )
+            return
+        # Plain statement: only its expressions need scanning.
+        self._exprs(stmt)
+
+    def _check_for_shape(self, stmt):
+        if stmt.orelse:
+            self._emit("NPL109", stmt, "for/else cannot be lifted")
+        iter_node = stmt.iter
+        if not (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id == "range"
+            and not iter_node.keywords
+            and 1 <= len(iter_node.args) <= 3
+        ):
+            self._emit(
+                "NPL110", stmt,
+                "only `for name in range(...)` loops can be lifted; "
+                "use Bag operations for data-parallel iteration",
+            )
+            return
+        if len(iter_node.args) == 3 and _literal_int(
+            iter_node.args[2]
+        ) in (None, 0):
+            self._emit(
+                "NPL110", iter_node.args[2],
+                "range step must be a non-zero integer literal",
+            )
+        if not isinstance(stmt.target, ast.Name):
+            self._emit(
+                "NPL110", stmt.target,
+                "range loop target must be a simple name",
+            )
+
+    # -- expressions ---------------------------------------------------
+
+    def _exprs(self, root):
+        """Expression-level checks, stopping at nested def boundaries."""
+        for node in _walk_same_scope(root):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                self._emit(
+                    "NPL102", node,
+                    "yield makes the UDF a generator, which cannot be "
+                    "staged",
+                )
+            elif isinstance(node, ast.Await):
+                self._emit(
+                    "NPL103", node, "await cannot be lifted"
+                )
+            elif isinstance(node, ast.Name):
+                self._check_name(node)
+            elif isinstance(node, ast.Call):
+                self._check_call(node)
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    self._check_store_target(target)
+
+    def _check_name(self, node):
+        if node.id.startswith(_STAGED_PREFIX) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            self._emit(
+                "NPL111", node,
+                "name %r shadows a reserved staged name; the rewriter "
+                "injects __mz_* helpers into this scope" % node.id,
+            )
+        elif (
+            node.id == "range"
+            and isinstance(node.ctx, ast.Store)
+            and self.has_for_loop
+        ):
+            self._emit(
+                "NPL121", node,
+                "UDF rebinds 'range' but for-loop desugaring assumes "
+                "the builtin",
+            )
+
+    def _check_call(self, node):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATING_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id not in self.bound
+        ):
+            self._emit(
+                "NPL120", node,
+                "call to .%s() mutates captured variable %r; staging "
+                "may evaluate the UDF body more than once, so in-place "
+                "mutation of captured state is unsafe"
+                % (func.attr, func.value.id),
+            )
+
+    def _check_store_target(self, target):
+        """Subscript/attribute stores into captured objects (NPL120)."""
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            base = target.value
+            while isinstance(base, (ast.Subscript, ast.Attribute)):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id not in self.bound:
+                self._emit(
+                    "NPL120", target,
+                    "assignment into captured variable %r; lifted UDFs "
+                    "must not mutate captured state" % base.id,
+                )
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _bound_names(fndef):
+    """Names bound anywhere in the function (params + any assignment).
+
+    An over-approximation of local bindings is the right direction for
+    the captured-mutation check: a name bound *somewhere* in the UDF is
+    never reported as captured.
+    """
+    bound = set()
+    args = fndef.args
+    for arg in args.posonlyargs + args.args + args.kwonlyargs:
+        bound.add(arg.arg)
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    for node in ast.walk(fndef):
+        if isinstance(node, ast.Name) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            bound.add(node.id)
+        elif isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+    return bound
+
+
+def _walk_same_scope(root):
+    """Pre-order walk that does not descend into nested scopes.
+
+    Nested function/class bodies and lambda bodies are plain Python to
+    the rewriter, so constructs inside them are not this scope's
+    problem (NPL122 covers the risky case).  The nested node itself is
+    still yielded so statement handlers can inspect it.
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+             ast.Lambda),
+        ) and node is not root:
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _literal_int(node):
+    """The value of an integer literal node (incl. negatives), or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+    ):
+        return -node.operand.value
+    return None

@@ -344,17 +344,70 @@ class Bag:
         self.node.label = label
         return self
 
-    def explain(self):
-        """Textual rendering of this bag's plan tree."""
-        return self.node.explain()
+    def explain(self, compact=False):
+        """Textual rendering of this bag's plan tree.
+
+        Every node carries a stable ``#id`` and an inferred partition
+        count; ``compact=True`` renders one line per node with child
+        references instead of the indented tree.  The same ids appear
+        in ``repro.analysis`` plan diagnostics.
+        """
+        if compact:
+            return p.explain_compact(self.node)
+        ids = p.assign_node_ids(self.node)
+        parts = p.partition_counts(self.node)
+        return self.node.explain(ids=ids, parts=parts)
 
     # ------------------------------------------------------------------
     # Actions (each runs one job)
     # ------------------------------------------------------------------
 
-    def collect(self, label=""):
-        """Materialize all elements to the driver as a list."""
+    def collect(self, label="", lint=None):
+        """Materialize all elements to the driver as a list.
+
+        Args:
+            label: Optional job label for traces.
+            lint: Run the ``repro.analysis`` plan lint before
+                submitting.  ``"warn"`` emits findings as warnings;
+                ``"error"`` (or ``True``) additionally raises
+                :class:`~repro.errors.AnalysisError` on error-severity
+                findings; ``"strict"`` raises on any finding.  Default
+                ``None`` skips the lint.
+        """
+        if lint:
+            self._lint_plan(lint)
         return self.context.executor.collect(self.node, label)
+
+    def _lint_plan(self, mode):
+        import warnings
+
+        from ..analysis import analyze_bag
+        from ..analysis.diagnostics import ERROR
+        from ..errors import AnalysisError
+
+        if mode is True:
+            mode = "error"
+        if mode not in ("warn", "error", "strict"):
+            raise PlanError(
+                "lint must be 'warn', 'error', 'strict', or True; "
+                "got %r" % (mode,)
+            )
+        diags = analyze_bag(self)
+        if not diags:
+            return
+        fatal = (
+            diags if mode == "strict"
+            else [d for d in diags if d.severity == ERROR]
+        )
+        if mode != "strict":
+            for diag in diags:
+                if diag.severity != ERROR:
+                    warnings.warn(str(diag), stacklevel=3)
+        if fatal and mode != "warn":
+            raise AnalysisError(fatal)
+        if mode == "warn":
+            for diag in fatal:
+                warnings.warn(str(diag), stacklevel=3)
 
     def collect_as_map(self, label=""):
         """Collect a keyed bag into a ``dict`` (last write wins)."""
@@ -441,15 +494,10 @@ def _known_count(node):
     """Record count of a plan node when statically known, else None.
 
     Driver-provided data has an exact count; size-preserving narrow
-    chains propagate it.
+    chains propagate it.  Shared with the plan lint's broadcast-size
+    prediction (:func:`repro.engine.plan.static_record_count`).
     """
-    while True:
-        if isinstance(node, p.Parallelize):
-            return len(node.data)
-        if isinstance(node, (p.Map, p.ZipWithUniqueId)):
-            node = node.child
-            continue
-        return None
+    return p.static_record_count(node)
 
 
 def _swap_pair(vw):

@@ -44,17 +44,32 @@ class PlanNode:
     def name(self):
         return type(self).__name__
 
-    def explain(self, indent=0):
-        """Multi-line textual rendering of the plan tree."""
-        pad = "  " * indent
-        line = pad + self.name
+    def describe(self, ids=None, parts=None):
+        """One-line description: ``Name#id [label] parts=N (cached)``.
+
+        ``ids`` / ``parts`` are the dicts produced by
+        :func:`assign_node_ids` and :func:`partition_counts`; either may
+        be omitted.  The id is *stable*: it depends only on the plan
+        shape (pre-order position), so diagnostics and repeated
+        ``explain()`` calls agree.
+        """
+        line = self.name
+        if ids is not None and id(self) in ids:
+            line += "#%d" % ids[id(self)]
         if self.label:
             line += " [%s]" % self.label
+        if parts is not None and parts.get(id(self)) is not None:
+            line += " parts=%d" % parts[id(self)]
         if self.cached:
             line += " (cached)"
-        lines = [line]
+        return line
+
+    def explain(self, indent=0, ids=None, parts=None):
+        """Multi-line textual rendering of the plan tree."""
+        pad = "  " * indent
+        lines = [pad + self.describe(ids, parts)]
         for child in self.children:
-            lines.append(child.explain(indent + 1))
+            lines.append(child.explain(indent + 1, ids, parts))
         return "\n".join(lines)
 
 
@@ -243,6 +258,154 @@ def iter_nodes(root):
         seen.add(id(node))
         yield node
         stack.extend(node.children)
+
+
+def iter_nodes_ordered(root):
+    """Depth-first pre-order traversal visiting children left-to-right.
+
+    Unlike :func:`iter_nodes` (whose stack order is an implementation
+    detail), this order is the one a reader sees in ``explain()`` --
+    node ids are assigned along it.  Iterative, so arbitrarily deep
+    plans (the reason the executor itself is iterative) do not overflow
+    the Python stack.
+    """
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def assign_node_ids(root):
+    """Stable small integer ids: ``{id(node): ordinal}`` (1-based).
+
+    Ids follow :func:`iter_nodes_ordered`, i.e. the ``explain()``
+    reading order, so the same plan always yields the same numbering
+    and a diagnostic's ``#n`` can be found by eye in the explain
+    output.
+    """
+    return {
+        id(node): ordinal
+        for ordinal, node in enumerate(iter_nodes_ordered(root), start=1)
+    }
+
+
+def partition_counts(root):
+    """Per-node output partition counts: ``{id(node): int}``.
+
+    Mirrors how the Bag layer threads ``num_partitions``: sources and
+    shuffles fix their own count, unions add their inputs, narrow nodes
+    inherit from the (streamed) child.
+    """
+    counts = {}
+    # Iterative post-order: children resolved before parents.
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            counts[id(node)] = _own_partitions(node, counts)
+            continue
+        if id(node) in counts:
+            continue
+        stack.append((node, True))
+        for child in node.children:
+            if id(child) not in counts:
+                stack.append((child, False))
+    return counts
+
+
+def _own_partitions(node, counts):
+    if hasattr(node, "num_partitions"):
+        return node.num_partitions
+    if isinstance(node, Union):
+        child_counts = [counts.get(id(c)) for c in node.children]
+        if any(count is None for count in child_counts):
+            return None
+        return sum(child_counts)
+    if isinstance(node, BroadcastJoin):
+        return counts.get(id(node.left))
+    if isinstance(node, CrossBroadcast):
+        stream = node.left if node.broadcast_side == "right" else node.right
+        return counts.get(id(stream))
+    if isinstance(node, UnaryNode):
+        return counts.get(id(node.child))
+    return None
+
+
+def explain_compact(root):
+    """One line per node: ``#1 Name [label] parts=N <- #2 #3``.
+
+    The compact rendering used by plan-lint diagnostics: each line
+    names the node's stable id, its partition count, and the ids of its
+    inputs, so a diagnostic can reference an exact node without
+    reproducing the whole tree.
+    """
+    ids = assign_node_ids(root)
+    parts = partition_counts(root)
+    by_ordinal = sorted(
+        iter_nodes_ordered(root), key=lambda node: ids[id(node)]
+    )
+    lines = []
+    for node in by_ordinal:
+        line = "#%d %s" % (ids[id(node)], node.name)
+        if node.label:
+            line += " [%s]" % node.label
+        count = parts.get(id(node))
+        if count is not None:
+            line += " parts=%d" % count
+        if node.cached:
+            line += " (cached)"
+        if node.children:
+            line += " <- " + " ".join(
+                "#%d" % ids[id(child)] for child in node.children
+            )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def describe_node(node, ids=None, parts=None):
+    """Compact reference to one node: ``#3 GroupByKey [label] parts=8``.
+
+    Used in diagnostic messages to point at the exact plan node.
+    """
+    text = node.name
+    if ids is not None and id(node) in ids:
+        text = "#%d %s" % (ids[id(node)], node.name)
+    if node.label:
+        text += " [%s]" % node.label
+    if parts is not None and parts.get(id(node)) is not None:
+        text += " parts=%d" % parts[id(node)]
+    return text
+
+
+def static_record_count(node):
+    """Record count of a plan node when statically known, else None.
+
+    Driver-provided data has an exact count; size-preserving narrow
+    chains (map, zip-with-id, coalesce) propagate it, and unions add
+    their inputs.  Anything data-dependent (filters, shuffles) is
+    unknown: the analyses that use this value must treat ``None`` as
+    "large".
+    """
+    while True:
+        if isinstance(node, Parallelize):
+            return len(node.data)
+        if isinstance(node, (Map, ZipWithUniqueId, Coalesce)):
+            node = node.child
+            continue
+        if isinstance(node, Union):
+            total = 0
+            for child in node.children:
+                count = static_record_count(child)
+                if count is None:
+                    return None
+                total += count
+            return total
+        return None
 
 
 def count_nodes(root):

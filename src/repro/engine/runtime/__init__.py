@@ -26,7 +26,7 @@ from .backends import (
 )
 from .faults import FaultInjector
 from .scheduler import TaskScheduler
-from .serde import dumps, ensure_serializable, loads
+from .serde import check_serializable, dumps, ensure_serializable, loads
 from .task import Invocation, TaskOutcome
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "SerialBackend",
     "TaskOutcome",
     "TaskScheduler",
+    "check_serializable",
     "dumps",
     "ensure_serializable",
     "loads",

@@ -62,17 +62,86 @@ def ensure_serializable(obj, operator, what="closure"):
     """Serialize ``obj`` or raise a diagnostic naming the operator.
 
     Returns the serialized bytes on success, so pre-flight checks do
-    not pay for serialization twice.
+    not pay for serialization twice.  On failure the error message
+    includes the per-capture findings of :func:`check_serializable`, so
+    the launch-time error and the static NPL2xx analysis pass describe
+    the same root cause in the same words.
     """
     try:
         return dumps(obj)
     except Exception as exc:
+        probe = getattr(obj, "task", obj)
+        details = check_serializable(probe)
+        detail_text = ("; ".join(details)) if details else ""
         raise SerializationError(
             "%s for operator %r cannot be serialized for the process "
             "backend: %s: %s (use picklable UDFs, or "
-            "backend='serial')"
-            % (what, operator, type(exc).__name__, exc)
+            "backend='serial')%s"
+            % (
+                what,
+                operator,
+                type(exc).__name__,
+                exc,
+                (" [%s]" % detail_text) if detail_text else "",
+            )
         ) from exc
+
+
+def check_serializable(fn):
+    """Probe whether ``fn`` (typically a closure) can be shipped.
+
+    Returns a list of human-readable problem descriptions -- empty when
+    the object serializes cleanly.  When the top-level dump fails, the
+    probe drills into the function's closure cells and defaults to name
+    exactly which captured values cannot cross a process boundary.
+
+    This is the single source of truth for "can this closure be
+    serialized": the scheduler's pre-flight error path
+    (:func:`ensure_serializable`) and the static analysis NPL2xx pass
+    (:mod:`repro.analysis.closure_lint`) both call it, so the two can
+    never disagree.
+    """
+    try:
+        dumps(fn)
+        return []
+    except Exception as exc:
+        top_level = "%s: %s" % (type(exc).__name__, exc)
+    problems = []
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure:
+        for name, cell in zip(code.co_freevars, closure):
+            try:
+                value = cell.cell_contents
+            except ValueError:  # pragma: no cover - empty cell
+                continue
+            problem = _probe_value(value)
+            if problem is not None:
+                problems.append(
+                    "captured variable %r (%s) is not serializable: %s"
+                    % (name, type(value).__name__, problem)
+                )
+    for index, default in enumerate(
+        getattr(fn, "__defaults__", None) or ()
+    ):
+        problem = _probe_value(default)
+        if problem is not None:
+            problems.append(
+                "default argument %d (%s) is not serializable: %s"
+                % (index, type(default).__name__, problem)
+            )
+    if not problems:
+        problems.append(top_level)
+    return problems
+
+
+def _probe_value(value):
+    """Error description if ``value`` fails to serialize, else None."""
+    try:
+        dumps(value)
+        return None
+    except Exception as exc:
+        return "%s: %s" % (type(exc).__name__, exc)
 
 
 # ----------------------------------------------------------------------

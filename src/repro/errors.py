@@ -102,6 +102,51 @@ class ParsingError(ReproError):
     """The parsing phase (AST rewriter) could not translate a UDF."""
 
 
+class UnsupportedConstructError(ParsingError):
+    """A ``@nested_udf`` body uses a construct the rewriter cannot lift.
+
+    Raised eagerly at decoration time, before any rewriting happens, so
+    the failure points at the offending source construct instead of a
+    downstream rewrite or staging error.
+
+    Attributes:
+        code: The diagnostic code (``NPL1xx``) of the construct.
+        line / col: 1-based source location in the defining file.
+    """
+
+    def __init__(self, message, code=None, line=None, col=None):
+        super().__init__(message)
+        self.code = code
+        self.line = line
+        self.col = col
+
+    def __reduce__(self):
+        return (
+            type(self), (self.args[0], self.code, self.line, self.col)
+        )
+
+
+class AnalysisError(ReproError):
+    """Static analysis (:mod:`repro.analysis`) found error diagnostics.
+
+    The structured findings are available as ``diagnostics`` (a list of
+    :class:`repro.analysis.Diagnostic`).
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        super().__init__(
+            "static analysis found %d problem(s):\n%s"
+            % (
+                len(self.diagnostics),
+                "\n".join(str(d) for d in self.diagnostics),
+            )
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.diagnostics,))
+
+
 class UnsupportedFeatureError(ReproError):
     """A baseline system does not support the requested feature.
 

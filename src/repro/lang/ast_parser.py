@@ -28,10 +28,12 @@ import ast
 import functools
 import inspect
 import textwrap
+import warnings
 
+from ..analysis.udf_lint import first_unsupported
 from ..core.control_flow import cond as _cond
 from ..core.control_flow import while_loop as _while_loop
-from ..errors import ParsingError
+from ..errors import ParsingError, UnsupportedConstructError
 from .staged import staged_and, staged_not, staged_or, staged_select
 
 _HELPERS = {
@@ -46,13 +48,29 @@ _HELPERS = {
 _STATE_ARG = "__mz_s"
 
 
-def nested_udf(fn):
+def nested_udf(fn=None, *, strict=False):
     """Decorator: run the parsing phase on a plain Python UDF.
 
     Returns a function with the same signature whose control flow has
     been rewritten into lifted combinators.  The rewritten source is
     available as ``fn.transformed_source``.
+
+    Unsupported constructs (try/except, yield, global mutation, ...)
+    are rejected eagerly with an
+    :class:`~repro.errors.UnsupportedConstructError` pointing at the
+    offending line, before any rewriting happens.
+
+    Args:
+        strict: Also run the full static analysis
+            (:func:`repro.analysis.analyze_udf`), including the NPL2xx
+            closure-serializability pass: error diagnostics raise an
+            :class:`~repro.errors.AnalysisError` at decoration time,
+            warnings are emitted through :mod:`warnings`.
     """
+    if fn is None:
+        return functools.partial(nested_udf, strict=strict)
+    if strict:
+        _check_strict(fn)
     rewritten, source = parse_udf(fn)
     rewritten = functools.wraps(fn)(rewritten)
     rewritten.transformed_source = source
@@ -60,27 +78,63 @@ def nested_udf(fn):
     return rewritten
 
 
+def _check_strict(fn):
+    """The ``strict=True`` pre-flight: full analysis, errors fatal."""
+    from ..analysis import analyze_udf
+    from ..errors import AnalysisError
+
+    diagnostics = analyze_udf(fn)
+    errors = [d for d in diagnostics if d.severity == "error"]
+    for diag in diagnostics:
+        if diag.severity != "error":
+            warnings.warn(str(diag), stacklevel=3)
+    if errors:
+        raise AnalysisError(errors)
+
+
 # `lifted` is the name users see in examples; `nested_udf` is descriptive.
 lifted = nested_udf
 
 
 def parse_udf(fn):
-    """Rewrite ``fn``; returns ``(new_function, transformed_source)``."""
+    """Rewrite ``fn``; returns ``(new_function, transformed_source)``.
+
+    Before rewriting, the body is checked against the shared
+    unsupported-construct walker (:mod:`repro.analysis.udf_lint`): the
+    first error-severity finding raises
+    :class:`~repro.errors.UnsupportedConstructError` with the
+    construct's real ``file:line:col``, instead of a downstream
+    rewrite- or staging-time failure.
+    """
     try:
-        source = textwrap.dedent(inspect.getsource(fn))
+        lines, start_line = inspect.getsourcelines(fn)
     except (OSError, TypeError) as exc:
         raise ParsingError(
             "cannot read source of %r (lambdas and interactively defined "
             "functions cannot be parsed): %s" % (fn, exc)
         ) from exc
+    raw = "".join(lines)
+    source = textwrap.dedent(raw)
     tree = ast.parse(source)
     fndef = tree.body[0]
     if not isinstance(fndef, (ast.FunctionDef, ast.AsyncFunctionDef)):
         raise ParsingError("expected a function definition")
     if isinstance(fndef, ast.AsyncFunctionDef):
         raise ParsingError("async UDFs are not supported")
+    line_offset = start_line - 1
+    filename = getattr(
+        getattr(fn, "__code__", None), "co_filename", "<udf>"
+    )
+    blocker = first_unsupported(
+        fndef, filename, line_offset, _dedent_width(raw, source)
+    )
+    if blocker is not None:
+        raise UnsupportedConstructError(
+            str(blocker), code=blocker.code,
+            line=blocker.line, col=blocker.col,
+        )
     fndef.decorator_list = []
-    _Rewriter().rewrite_function(fndef)
+    _Rewriter(line_offset).rewrite_function(fndef)
     module = ast.Module(body=[fndef], type_ignores=[])
     ast.fix_missing_locations(module)
     transformed_source = ast.unparse(module)
@@ -102,11 +156,26 @@ def _closure_bindings(fn):
     }
 
 
+def _dedent_width(raw, dedented):
+    """How many leading columns ``textwrap.dedent`` removed."""
+    for raw_line, ded_line in zip(
+        raw.splitlines(), dedented.splitlines()
+    ):
+        if ded_line.strip():
+            return len(raw_line) - len(ded_line)
+    return 0
+
+
 class _Rewriter:
     """Statement-level rewriting with sequential name-binding tracking."""
 
-    def __init__(self):
+    def __init__(self, line_offset=0):
         self._counter = 0
+        self._line_offset = line_offset
+
+    def _line(self, node):
+        """File-absolute line number of a (dedented-snippet) AST node."""
+        return getattr(node, "lineno", 0) + self._line_offset
 
     def _fresh(self, base):
         self._counter += 1
@@ -138,15 +207,17 @@ class _Rewriter:
         if isinstance(stmt, ast.For):
             return self._rewrite_for(stmt, bound)
         if isinstance(stmt, (ast.Break, ast.Continue)):
-            raise ParsingError(
+            raise UnsupportedConstructError(
                 "break/continue cannot be lifted; restructure the loop "
-                "condition instead (line %d)" % stmt.lineno
+                "condition instead (line %d)" % self._line(stmt),
+                code="NPL107", line=self._line(stmt),
             )
         if isinstance(stmt, ast.Return) and not top:
-            raise ParsingError(
+            raise UnsupportedConstructError(
                 "return inside a lifted control-flow construct is not "
                 "supported; assign to a variable and return after "
-                "(line %d)" % stmt.lineno
+                "(line %d)" % self._line(stmt),
+                code="NPL108", line=self._line(stmt),
             )
         stmt = _ExprRewriter().visit(stmt)
         bound.update(_assigned_names(stmt))
@@ -156,8 +227,9 @@ class _Rewriter:
 
     def _rewrite_while(self, stmt, bound):
         if stmt.orelse:
-            raise ParsingError(
-                "while/else cannot be lifted (line %d)" % stmt.lineno
+            raise UnsupportedConstructError(
+                "while/else cannot be lifted (line %d)" % self._line(stmt),
+                code="NPL109", line=self._line(stmt),
             )
         read = _read_names(stmt.test) | _read_names_block(stmt.body)
         assigned = _assigned_names_block(stmt.body)
@@ -165,7 +237,7 @@ class _Rewriter:
         if not state_names:
             raise ParsingError(
                 "while loop at line %d uses no variables bound before "
-                "it; nothing to lift" % stmt.lineno
+                "it; nothing to lift" % self._line(stmt)
             )
         state_var = self._fresh("state")
         cond_name = self._fresh("cond")
@@ -219,7 +291,7 @@ class _Rewriter:
                 raise ParsingError(
                     "variable %r is assigned in only one branch of the "
                     "if at line %d and not bound before it; initialize "
-                    "it before the if" % (name, stmt.lineno)
+                    "it before the if" % (name, self._line(stmt))
                 )
         in_names = sorted((read | set(out_names)) & bound)
         state_var = self._fresh("state")
@@ -257,8 +329,9 @@ class _Rewriter:
 
     def _rewrite_for(self, stmt, bound):
         if stmt.orelse:
-            raise ParsingError(
-                "for/else cannot be lifted (line %d)" % stmt.lineno
+            raise UnsupportedConstructError(
+                "for/else cannot be lifted (line %d)" % self._line(stmt),
+                code="NPL109", line=self._line(stmt),
             )
         if not (
             isinstance(stmt.iter, ast.Call)
@@ -267,15 +340,17 @@ class _Rewriter:
             and not stmt.iter.keywords
             and 1 <= len(stmt.iter.args) <= 3
         ):
-            raise ParsingError(
+            raise UnsupportedConstructError(
                 "only `for _ in range(...)` loops can be lifted; use Bag "
                 "operations for data-parallel iteration (line %d)"
-                % stmt.lineno
+                % self._line(stmt),
+                code="NPL110", line=self._line(stmt),
             )
         if not isinstance(stmt.target, ast.Name):
-            raise ParsingError(
+            raise UnsupportedConstructError(
                 "range loop target must be a simple name (line %d)"
-                % stmt.lineno
+                % self._line(stmt),
+                code="NPL110", line=self._line(stmt),
             )
         args = stmt.iter.args
         if len(args) == 1:
@@ -286,9 +361,10 @@ class _Rewriter:
             start, stop = args[0], args[1]
             step = _literal_int(args[2])
             if step is None or step == 0:
-                raise ParsingError(
+                raise UnsupportedConstructError(
                     "range step must be a non-zero integer literal "
-                    "(line %d)" % stmt.lineno
+                    "(line %d)" % self._line(stmt),
+                    code="NPL110", line=self._line(stmt),
                 )
         target = stmt.target.id
         stop_var = self._fresh("stop")

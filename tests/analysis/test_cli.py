@@ -1,0 +1,152 @@
+"""The ``python -m repro.analysis`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.analysis import cli
+
+CLEAN = """\
+from repro.lang import nested_udf
+
+
+@nested_udf
+def clean(x):
+    total = 0
+    while total < x:
+        total = total + 1
+    return total
+"""
+
+DIRTY = """\
+from repro.lang import nested_udf
+
+
+@nested_udf
+def broken(x):
+    try:
+        y = x
+    except ValueError:
+        y = 0
+    return y
+
+
+@nested_udf
+def mutator(x):
+    global x
+    return x
+"""
+
+
+@pytest.fixture
+def clean_file(tmp_path):
+    path = tmp_path / "clean_udfs.py"
+    path.write_text(CLEAN)
+    return str(path)
+
+
+@pytest.fixture
+def dirty_file(tmp_path):
+    path = tmp_path / "dirty_udfs.py"
+    path.write_text(DIRTY)
+    return str(path)
+
+
+def run(argv, capsys):
+    code = cli.main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_clean_file_exits_zero(clean_file, capsys):
+    code, out = run([clean_file], capsys)
+    assert code == 0
+    assert "0 error(s)" in out
+
+
+def test_dirty_file_exits_one_with_locations(dirty_file, capsys):
+    code, out = run([dirty_file, "--no-import"], capsys)
+    assert code == 1
+    assert "NPL101" in out
+    assert "NPL104" in out
+    # flake8-style file:line:col prefixes
+    assert "dirty_udfs.py:6:5: NPL101" in out
+    assert "dirty_udfs.py:15:5: NPL104" in out
+
+
+def test_json_format(dirty_file, capsys):
+    code, out = run(
+        [dirty_file, "--no-import", "--format", "json"], capsys
+    )
+    assert code == 1
+    payload = json.loads(out)
+    assert payload["summary"]["error"] == 2
+    found = {d["code"] for d in payload["diagnostics"]}
+    assert found == {"NPL101", "NPL104"}
+    for entry in payload["diagnostics"]:
+        assert entry["line"] > 0
+        assert entry["severity"] == "error"
+
+
+def test_select_filters_codes(dirty_file, capsys):
+    code, out = run(
+        [dirty_file, "--no-import", "--select", "NPL104"], capsys
+    )
+    assert code == 1
+    assert "NPL104" in out
+    assert "NPL101" not in out
+
+
+def test_ignore_suppresses_codes(dirty_file, capsys):
+    code, out = run(
+        [dirty_file, "--no-import", "--ignore", "NPL1"], capsys
+    )
+    assert code == 0
+    assert "NPL101" not in out
+
+
+def test_directory_walk(dirty_file, tmp_path, capsys):
+    code, out = run([str(tmp_path), "--no-import"], capsys)
+    assert code == 1
+    assert "NPL101" in out
+
+
+def test_no_files_exits_two(tmp_path, capsys):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert cli.main([str(empty)]) == 2
+
+
+def test_import_failure_degrades_to_npl002(dirty_file, capsys):
+    # Importing the dirty module raises UnsupportedConstructError at
+    # decoration; the static findings must survive with an NPL002 note.
+    code, out = run([dirty_file], capsys)
+    assert code == 1
+    assert "NPL101" in out
+    assert "NPL002" in out
+
+
+def test_import_pass_reports_closure_problems(tmp_path, capsys):
+    path = tmp_path / "capturing.py"
+    path.write_text(
+        "import threading\n"
+        "\n"
+        "from repro.lang import nested_udf\n"
+        "\n"
+        "\n"
+        "def make():\n"
+        "    lock = threading.Lock()\n"
+        "\n"
+        "    @nested_udf\n"
+        "    def locked(x):\n"
+        "        y = lock.locked()\n"
+        "        return x + y\n"
+        "\n"
+        "    return locked\n"
+        "\n"
+        "\n"
+        "udf = make()\n"
+    )
+    code, out = run([str(path)], capsys)
+    assert code == 1
+    assert "NPL201" in out
+    assert "'lock'" in out

@@ -1,0 +1,30 @@
+"""Regression: the repo's own UDF code stays lint-clean.
+
+This mirrors the CI ``lint-nested`` job, so a PR that introduces a
+construct the parsing phase cannot lift -- or an unserializable capture
+-- fails here before it fails in CI.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import cli
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def test_tasks_and_examples_are_lint_clean(capsys):
+    code = cli.main(
+        [
+            str(REPO / "src" / "repro" / "tasks"),
+            str(REPO / "examples"),
+            "--format",
+            "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    errors = [
+        d for d in payload["diagnostics"] if d["severity"] == "error"
+    ]
+    assert errors == []
+    assert code == 0

@@ -1,0 +1,388 @@
+"""NPL1xx construct lint: one positive and one clean case per code."""
+
+import pytest
+
+from repro.analysis import analyze_source
+
+HEADER = "from repro.lang import nested_udf\n\n\n"
+
+MARK = "# !"
+
+
+def lint(body):
+    return analyze_source(HEADER + body, filename="case.py")
+
+
+def marked_line(body):
+    """1-based line (in the full source) of the statement under test."""
+    for index, text in enumerate((HEADER + body).splitlines(), start=1):
+        if MARK in text:
+            return index
+    raise AssertionError("no marked line in case body")
+
+
+POSITIVE_CASES = {
+    "NPL101-try": (
+        "NPL101",
+        """\
+@nested_udf
+def f(x):
+    try:  # !
+        y = x
+    except ValueError:
+        y = 0
+    return y
+""",
+    ),
+    "NPL102-yield": (
+        "NPL102",
+        """\
+@nested_udf
+def f(x):
+    yield x  # !
+""",
+    ),
+    "NPL103-await": (
+        "NPL103",
+        """\
+@nested_udf
+async def f(x):
+    return await x  # !
+""",
+    ),
+    "NPL103-async-for": (
+        "NPL103",
+        """\
+@nested_udf
+async def f(xs):
+    y = 0
+    async for x in xs:  # !
+        y = x
+    return y
+""",
+    ),
+    "NPL104-global": (
+        "NPL104",
+        """\
+COUNTER = 0
+
+@nested_udf
+def f(x):
+    global COUNTER  # !
+    COUNTER = x
+    return x
+""",
+    ),
+    "NPL104-nonlocal": (
+        "NPL104",
+        """\
+def outer():
+    total = 0
+
+    @nested_udf
+    def f(x):
+        nonlocal total  # !
+        total = x
+        return x
+
+    return f
+""",
+    ),
+    "NPL105-with": (
+        "NPL105",
+        """\
+@nested_udf
+def f(path):
+    with open(path) as handle:  # !
+        data = handle.read()
+    return data
+""",
+    ),
+    "NPL106-match": (
+        "NPL106",
+        """\
+@nested_udf
+def f(x):
+    match x:  # !
+        case 0:
+            y = 1
+        case _:
+            y = 2
+    return y
+""",
+    ),
+    "NPL107-break": (
+        "NPL107",
+        """\
+@nested_udf
+def f(x):
+    while x > 0:
+        x = x - 1
+        break  # !
+    return x
+""",
+    ),
+    "NPL107-continue": (
+        "NPL107",
+        """\
+@nested_udf
+def f(x):
+    total = 0
+    for i in range(3):
+        continue  # !
+    return total
+""",
+    ),
+    "NPL108-return-in-if": (
+        "NPL108",
+        """\
+@nested_udf
+def f(x):
+    if x > 0:
+        return x  # !
+    return 0
+""",
+    ),
+    "NPL109-while-else": (
+        "NPL109",
+        """\
+@nested_udf
+def f(x):
+    while x > 0:  # !
+        x = x - 1
+    else:
+        x = -1
+    return x
+""",
+    ),
+    "NPL109-for-else": (
+        "NPL109",
+        """\
+@nested_udf
+def f(x):
+    for i in range(3):  # !
+        x = x + i
+    else:
+        x = -1
+    return x
+""",
+    ),
+    "NPL110-non-range": (
+        "NPL110",
+        """\
+@nested_udf
+def f(xs):
+    total = 0
+    for x in xs:  # !
+        total = total + x
+    return total
+""",
+    ),
+    "NPL110-zero-step": (
+        "NPL110",
+        """\
+@nested_udf
+def f(x):
+    total = 0
+    for i in range(0, 10, 0):  # !
+        total = total + i
+    return total
+""",
+    ),
+    "NPL110-tuple-target": (
+        "NPL110",
+        """\
+@nested_udf
+def f(x):
+    total = 0
+    for a, b in range(3):  # !
+        total = total + a
+    return total
+""",
+    ),
+    "NPL111-staged-name": (
+        "NPL111",
+        """\
+@nested_udf
+def f(x):
+    __mz_s = x  # !
+    return __mz_s
+""",
+    ),
+    "NPL120-captured-method": (
+        "NPL120",
+        """\
+@nested_udf
+def f(x):
+    seen.add(x)  # !
+    return x
+""",
+    ),
+    "NPL120-captured-subscript": (
+        "NPL120",
+        """\
+@nested_udf
+def f(x):
+    table[x] = 1  # !
+    return x
+""",
+    ),
+    "NPL121-range-rebind": (
+        "NPL121",
+        """\
+@nested_udf
+def f(x):
+    range = x  # !
+    total = 0
+    for i in range(3):
+        total = total + i
+    return total
+""",
+    ),
+    "NPL122-nested-def-flow": (
+        "NPL122",
+        """\
+@nested_udf
+def f(x):
+    def countdown(y):  # !
+        while y > 0:
+            y = y - 1
+        return y
+    return countdown(x)
+""",
+    ),
+    "NPL123-del": (
+        "NPL123",
+        """\
+@nested_udf
+def f(x):
+    y = x
+    del y  # !
+    return x
+""",
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "expected_code,body",
+    list(POSITIVE_CASES.values()),
+    ids=list(POSITIVE_CASES),
+)
+def test_positive_case_reports_code_at_marked_line(expected_code, body):
+    diags = lint(body)
+    matching = [d for d in diags if d.code == expected_code]
+    assert matching, "expected %s, got %r" % (expected_code, diags)
+    diag = matching[0]
+    assert diag.line == marked_line(body)
+    assert diag.col >= 1
+    assert diag.file == "case.py"
+
+
+CLEAN_CASES = {
+    "while-accumulation": """\
+@nested_udf
+def f(x):
+    total = 0
+    while total < x:
+        total = total + 1
+    return total
+""",
+    "if-both-branches": """\
+@nested_udf
+def f(x):
+    if x > 0:
+        y = x
+    else:
+        y = -x
+    return y
+""",
+    "for-range-with-step": """\
+@nested_udf
+def f(x):
+    total = 0
+    for i in range(0, x, 2):
+        total = total + i
+    return total
+""",
+    "lambda-is-own-scope": """\
+@nested_udf
+def f(x):
+    double = lambda y: y * 2
+    return double(x)
+""",
+    "local-list-mutation": """\
+@nested_udf
+def f(x):
+    acc = []
+    acc.append(x)
+    return acc
+""",
+    "nested-def-without-flow": """\
+@nested_udf
+def f(x):
+    def double(y):
+        return y * 2
+    return double(x)
+""",
+    "undecorated-function-not-scanned": """\
+def helper(x):
+    try:
+        return x
+    except ValueError:
+        return 0
+""",
+}
+
+
+@pytest.mark.parametrize(
+    "body", list(CLEAN_CASES.values()), ids=list(CLEAN_CASES)
+)
+def test_clean_case_has_no_diagnostics(body):
+    assert lint(body) == []
+
+
+def test_multiple_findings_are_sorted_by_position():
+    body = """\
+@nested_udf
+def f(x):
+    global x  # first
+    yield x  # second
+"""
+    diags = lint(body)
+    assert [d.code for d in diags] == ["NPL104", "NPL102"]
+    assert diags[0].line < diags[1].line
+
+
+def test_syntax_error_degrades_to_npl001():
+    diags = analyze_source("def broken(:\n", filename="bad.py")
+    assert [d.code for d in diags] == ["NPL001"]
+    assert diags[0].severity == "info"
+
+
+# ---------------------------------------------------------------------------
+# analyze_udf on a live function: locations must be file-absolute.
+# ---------------------------------------------------------------------------
+
+
+def _udf_with_try(x):
+    try:  # npl101-live-marker
+        return x
+    except ValueError:
+        return 0
+
+
+def test_analyze_udf_reports_absolute_file_positions():
+    import inspect
+
+    from repro.analysis import analyze_udf
+
+    diags = analyze_udf(_udf_with_try, closure=False)
+    assert [d.code for d in diags] == ["NPL101"]
+    lines, start = inspect.getsourcelines(_udf_with_try)
+    marker_offset = next(
+        index for index, text in enumerate(lines)
+        if "npl101-live" + "-marker" in text
+    )
+    assert diags[0].line == start + marker_offset
+    assert diags[0].file.endswith("test_udf_lint.py")

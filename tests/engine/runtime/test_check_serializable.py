@@ -1,0 +1,60 @@
+"""check_serializable: the shared closure-probing primitive."""
+
+import threading
+
+import pytest
+
+from repro.engine.runtime import check_serializable
+from repro.engine.runtime.serde import ensure_serializable
+from repro.errors import SerializationError
+
+
+def _closure_over(value):
+    def fn(x):
+        return (value, x)
+
+    return fn
+
+
+def test_clean_closure_returns_empty():
+    assert check_serializable(_closure_over(41)) == []
+
+
+def test_plain_lambda_is_clean():
+    assert check_serializable(lambda x: x + 1) == []
+
+
+def test_unpicklable_capture_names_the_variable():
+    problems = check_serializable(_closure_over(threading.Lock()))
+    assert len(problems) == 1
+    assert "captured variable 'value'" in problems[0]
+    assert "lock" in problems[0]
+
+
+def test_multiple_bad_captures_all_reported():
+    lock = threading.Lock()
+    event = threading.Event()
+
+    def fn(x):
+        return (lock, event, x)
+
+    problems = check_serializable(fn)
+    text = "\n".join(problems)
+    assert "'lock'" in text
+    assert "'event'" in text
+
+
+def test_unpicklable_default_argument():
+    def fn(x, out=threading.Lock()):
+        return (x, out)
+
+    problems = check_serializable(fn)
+    assert any("default argument 0" in p for p in problems)
+
+
+def test_ensure_serializable_message_includes_details():
+    fn = _closure_over(threading.Lock())
+    with pytest.raises(SerializationError) as err:
+        ensure_serializable(fn, "map")
+    assert "captured variable 'value'" in str(err.value)
+    assert "'map'" in str(err.value)

@@ -1,0 +1,102 @@
+"""Stable node ids, partition inference, and the compact explain mode."""
+
+from repro.engine import plan as p
+
+
+def _keyed(ctx):
+    return ctx.bag_of(list(range(32))).map(lambda x: (x % 4, x))
+
+
+def test_assign_node_ids_is_preorder_left_to_right(ctx):
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    root = reduced.node
+    ids = p.assign_node_ids(root)
+    ordered = list(p.iter_nodes_ordered(root))
+    assert [ids[id(node)] for node in ordered] == [1, 2, 3]
+    assert [node.name for node in ordered] == [
+        "ReduceByKey", "Map", "Parallelize",
+    ]
+
+
+def test_shared_node_gets_one_id(ctx):
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    merged = reduced.keys().union(reduced.values())
+    ids = p.assign_node_ids(merged.node)
+    # Union, Map(keys), ReduceByKey, Map(keyed), Parallelize, Map(values)
+    assert len(ids) == 6
+    assert sorted(ids.values()) == [1, 2, 3, 4, 5, 6]
+
+
+def test_ids_are_stable_across_calls(ctx):
+    root = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4).node
+    first = p.assign_node_ids(root)
+    second = p.assign_node_ids(root)
+    assert first == second
+
+
+def test_partition_counts_mirror_bag_layer(ctx):
+    left = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    merged = left.keys().union(left.values())
+    parts = p.partition_counts(merged.node)
+    assert parts[id(merged.node)] == 8  # union adds its inputs
+    assert parts[id(left.node)] == 4
+    assert merged.num_partitions == 8
+
+
+def test_partition_counts_broadcast_join_follows_stream_side(ctx):
+    left = ctx.bag_of(list(range(10))).map(lambda x: (x, x))
+    right = ctx.bag_of(list(range(5))).map(lambda x: (x, -x))
+    joined = left.join(right, strategy="broadcast")
+    parts = p.partition_counts(joined.node)
+    assert parts[id(joined.node)] == left.num_partitions
+
+
+def test_explain_shows_ids_and_partitions(ctx):
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    text = reduced.explain()
+    lines = text.splitlines()
+    assert lines[0].startswith("ReduceByKey#1")
+    assert "parts=4" in lines[0]
+    assert "Parallelize#3" in text
+
+
+def test_plain_node_explain_is_unchanged(ctx):
+    # The no-argument PlanNode.explain() keeps its historical format.
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    text = reduced.node.explain()
+    assert "#" not in text
+    assert "parts=" not in text
+
+
+def test_explain_compact_one_line_per_node(ctx):
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b, 4)
+    merged = reduced.keys().union(reduced.values())
+    text = merged.explain(compact=True)
+    lines = text.splitlines()
+    assert len(lines) == 6
+    assert lines[0].startswith("#1 Union")
+    assert lines[0].endswith("<- #2 #6")
+    # The shared ReduceByKey appears once, referenced by both parents.
+    assert sum("ReduceByKey" in line for line in lines) == 1
+
+
+def test_describe_node_includes_label(ctx):
+    bag = ctx.bag_of([1, 2]).with_label("input")
+    ids = p.assign_node_ids(bag.node)
+    parts = p.partition_counts(bag.node)
+    text = p.describe_node(bag.node, ids, parts)
+    assert text.startswith("#1 Parallelize")
+    assert "[input]" in text
+
+
+def test_static_record_count_propagation(ctx):
+    base = ctx.bag_of(list(range(7)))
+    assert p.static_record_count(base.node) == 7
+    mapped = base.map(lambda x: x + 1).zip_with_unique_id()
+    assert p.static_record_count(mapped.node) == 7
+    both = base.union(ctx.bag_of([1, 2, 3]))
+    assert p.static_record_count(both.node) == 10
+    filtered = base.filter(lambda x: x > 2)
+    assert p.static_record_count(filtered.node) is None
+    reduced = _keyed(ctx).reduce_by_key(lambda a, b: a + b)
+    assert p.static_record_count(reduced.node) is None

@@ -1,0 +1,104 @@
+"""Decoration-time rejection: UnsupportedConstructError with location."""
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ParsingError, UnsupportedConstructError
+from repro.lang import nested_udf
+
+HERE = Path(__file__)
+
+
+def _marker_line(marker):
+    """1-based line of the unique marker comment in this file."""
+    lines = HERE.read_text().splitlines()
+    hits = [
+        index
+        for index, text in enumerate(lines, start=1)
+        if text.rstrip().endswith("# " + marker)
+    ]
+    assert len(hits) == 1, "marker %r must appear exactly once" % marker
+    return hits[0]
+
+
+def test_try_except_raises_with_code_and_location():
+    with pytest.raises(UnsupportedConstructError) as err:
+
+        @nested_udf
+        def bad(x):
+            try:  # loc-try
+                return x
+            except ValueError:
+                return 0
+
+    exc = err.value
+    assert exc.code == "NPL101"
+    assert exc.line == _marker_line("loc-try")
+    assert exc.col >= 1
+    assert str(HERE) in str(exc)
+
+
+def test_break_raises_npl107_at_the_break():
+    with pytest.raises(UnsupportedConstructError) as err:
+
+        @nested_udf
+        def bad(x):
+            while x > 0:
+                x = x - 1
+                break  # loc-break
+
+    assert err.value.code == "NPL107"
+    assert err.value.line == _marker_line("loc-break")
+
+
+def test_for_over_iterable_raises_npl110():
+    with pytest.raises(UnsupportedConstructError) as err:
+
+        @nested_udf
+        def bad(xs):
+            total = 0
+            for x in xs:  # loc-for
+                total = total + x
+            return total
+
+    assert err.value.code == "NPL110"
+    assert err.value.line == _marker_line("loc-for")
+
+
+def test_is_a_parsing_error_subclass():
+    # Callers catching the historical ParsingError keep working.
+    assert issubclass(UnsupportedConstructError, ParsingError)
+    with pytest.raises(ParsingError):
+
+        @nested_udf
+        def bad(x):
+            yield x
+
+
+def test_error_survives_pickling():
+    exc = UnsupportedConstructError(
+        "no yield", code="NPL102", line=12, col=5
+    )
+    clone = pickle.loads(pickle.dumps(exc))
+    assert clone.code == "NPL102"
+    assert clone.line == 12
+    assert clone.col == 5
+    assert str(clone) == str(exc)
+
+
+def test_warning_constructs_still_decorate():
+    # NPL12x findings are advisory: decoration must succeed.
+    seen = []
+
+    @nested_udf
+    def counts(x):
+        seen.append(x)
+        total = 0
+        while total < x:
+            total = total + 1
+        return total
+
+    assert counts(3) == 3
+    assert seen == [3]
