@@ -6,6 +6,15 @@ Regenerate the paper's figures without pytest::
     python -m repro.bench fig1 fig5 --scale quick
     python -m repro.bench all --scale full
     python -m repro.bench fig5 --backend process --workers 4 --measured
+
+Observability (:mod:`repro.observe`)::
+
+    # per-experiment trace (JSONL + Chrome JSON) and RunReport
+    python -m repro.bench fig1 --trace
+    # regression gate against the committed BENCH_engine.json
+    python -m repro.bench --check-regressions
+    # refresh the committed baseline after an intentional cost change
+    python -m repro.bench --emit-baseline
 """
 
 import argparse
@@ -13,7 +22,14 @@ import os
 import sys
 import time
 
+from ..observe import RunReport, write_chrome
+from ..observe.sinks import read_events
 from . import figures
+from .baseline import BASELINE_FILENAME, run_baseline
+
+#: Exit status when --check-regressions finds one (2, so argparse's own
+#: usage errors keep their conventional meaning).
+EXIT_REGRESSION = 2
 
 #: Short names -> (callable, extra args) for every experiment.
 EXPERIMENTS = {
@@ -70,6 +86,41 @@ def main(argv=None):
         action="store_true",
         help="add real wall-clock columns next to simulated seconds",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="trace each experiment; write JSONL + Chrome traces and a "
+        "RunReport under --report-dir",
+    )
+    parser.add_argument(
+        "--report-dir",
+        default=os.path.join("benchmarks", "reports"),
+        help="where --trace artifacts go (default: benchmarks/reports)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_FILENAME,
+        help="baseline report for --check-regressions / --emit-baseline "
+        "(default: %s)" % BASELINE_FILENAME,
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative growth that counts as a regression "
+        "(default: 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--check-regressions",
+        action="store_true",
+        help="run the engine baseline matrix and diff it against "
+        "--baseline; exit %d on regression" % EXIT_REGRESSION,
+    )
+    parser.add_argument(
+        "--emit-baseline",
+        action="store_true",
+        help="run the engine baseline matrix and (re)write --baseline",
+    )
     args = parser.parse_args(argv)
 
     # Experiments build their own ClusterConfigs, so backend selection
@@ -78,6 +129,9 @@ def main(argv=None):
         os.environ["REPRO_BACKEND"] = args.backend
     if args.workers is not None:
         os.environ["REPRO_NUM_WORKERS"] = str(args.workers)
+
+    if args.emit_baseline or args.check_regressions:
+        return _run_baseline_gate(args)
 
     if args.list or not args.experiments:
         print("Available experiments:")
@@ -94,13 +148,85 @@ def main(argv=None):
         parser.error(
             "unknown experiments: %s (use --list)" % ", ".join(unknown)
         )
+    if args.trace:
+        os.makedirs(args.report_dir, exist_ok=True)
     for name in names:
         fn, extra = EXPERIMENTS[name]
         started = time.time()
-        sweep = fn(args.scale, *extra)
+        if args.trace:
+            sweep = _run_traced(name, fn, extra, args)
+        else:
+            sweep = fn(args.scale, *extra)
         sweep.print_table(measured=args.measured)
         print("[%s: %.1fs wall]" % (name, time.time() - started))
     return 0
+
+
+def _run_traced(name, fn, extra, args):
+    """Run one experiment with tracing on; leave three artifacts.
+
+    Contexts resolve ``REPRO_TRACE`` when they are built, so pointing it
+    at one JSONL file per experiment makes every measured run of the
+    sweep append to a shared timeline (epoch timestamps keep the runs
+    ordered).  The JSONL is then exported to Chrome trace-event JSON,
+    and the sweep's :class:`~repro.observe.RunReport` is saved next to
+    both.
+    """
+    trace_path = os.path.join(args.report_dir, name + ".trace.jsonl")
+    if os.path.exists(trace_path):
+        os.remove(trace_path)
+    previous = os.environ.get("REPRO_TRACE")
+    os.environ["REPRO_TRACE"] = trace_path
+    try:
+        sweep = fn(args.scale, *extra)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_TRACE"]
+        else:
+            os.environ["REPRO_TRACE"] = previous
+    chrome_path = os.path.join(args.report_dir, name + ".trace.json")
+    report_path = os.path.join(args.report_dir, name + ".report.json")
+    write_chrome(read_events(trace_path), chrome_path, label=name)
+    sweep.to_report(name, meta={"scale": args.scale}).save(report_path)
+    print(
+        "[%s: trace %s + %s, report %s]"
+        % (name, trace_path, chrome_path, report_path)
+    )
+    return sweep
+
+
+def _run_baseline_gate(args):
+    """Run the baseline matrix; emit or diff the committed snapshot."""
+
+    def progress(result):
+        print(
+            "  %-22s x=%-4s %s  (%.2fs wall)"
+            % (result.system, result.x, result.cell(),
+               result.measured_seconds)
+        )
+
+    print("engine baseline matrix:")
+    report = run_baseline(progress=progress)
+    if args.emit_baseline:
+        report.save(args.baseline)
+        print("baseline written: %s" % args.baseline)
+        return 0
+    if not os.path.exists(args.baseline):
+        print(
+            "no baseline at %s (generate one with --emit-baseline)"
+            % args.baseline,
+            file=sys.stderr,
+        )
+        return 1
+    kwargs = {"metric": "simulated"}
+    if args.threshold is not None:
+        kwargs["threshold"] = args.threshold
+    diff = RunReport.compare(
+        RunReport.load(args.baseline), report, **kwargs
+    )
+    print()
+    print(diff.render())
+    return EXIT_REGRESSION if diff.has_regressions else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,123 @@
+"""The engine baseline matrix behind ``--check-regressions``.
+
+A small, fast, fixed grid of (task, scale) cells -- K-means, PageRank,
+and Bounce Rate, each in the Matryoshka and inner-parallel formulations
+at two group counts -- measured into one
+:class:`~repro.observe.RunReport`.  The committed snapshot lives at
+``BENCH_engine.json`` in the repo root.
+
+The regression gate compares **simulated** seconds: the cost model is a
+deterministic function of the execution trace, so the committed numbers
+are stable across machines and the diff flags genuine cost-model or
+planner changes rather than host noise.  Measured wall-clock is stored
+in every entry too, for eyeballing, but is not gated by default.
+
+Regenerate the snapshot after an intentional cost change::
+
+    python -m repro.bench --emit-baseline
+
+and check the working tree against it::
+
+    python -m repro.bench --check-regressions
+"""
+
+from ..baselines.inner_parallel import group_locally
+from ..data import grouped_edges, grouped_points, initial_centroids, visits_log
+from ..observe import RunReport
+from ..tasks import bounce_rate, kmeans, pagerank
+from .figures import _cluster
+from .harness import run_measured
+
+#: Where the committed snapshot lives, relative to the repo root.
+BASELINE_FILENAME = "BENCH_engine.json"
+
+_K = 4
+_KMEANS_ITERS = 4
+_PAGERANK_ITERS = 4
+_GROUP_COUNTS = (4, 16)
+
+
+def _kmeans_cell(system, groups):
+    config = _cluster(2.0, 512, overhead=2.0)
+    records = grouped_points(groups, 512, _K, seed=11)
+    configs = initial_centroids(_K, groups, seed=11)
+    kwargs = {"max_iterations": _KMEANS_ITERS, "tolerance": None}
+    if system == "kmeans-matryoshka":
+        return run_measured(
+            config, system, groups,
+            lambda ctx: kmeans.kmeans_nested_grouped(
+                ctx.bag_of(records), configs, **kwargs
+            ).save(),
+        )
+    local = group_locally(records)
+    return run_measured(
+        config, system, groups,
+        lambda ctx: kmeans.kmeans_inner(ctx, local, configs, **kwargs),
+    )
+
+
+def _pagerank_cell(system, groups):
+    config = _cluster(20.0, 1024)
+    records = grouped_edges(groups, 1024, seed=13)
+    if system == "pagerank-matryoshka":
+        return run_measured(
+            config, system, groups,
+            lambda ctx: pagerank.pagerank_nested(
+                ctx.bag_of(records), iterations=_PAGERANK_ITERS
+            ).save(),
+        )
+    local = group_locally(records)
+    return run_measured(
+        config, system, groups,
+        lambda ctx: pagerank.pagerank_inner(
+            ctx, local, iterations=_PAGERANK_ITERS
+        ),
+    )
+
+
+def _bounce_rate_cell(system, groups):
+    config = _cluster(48.0, 2048, overhead=8.0)
+    records = visits_log(groups, 2048, seed=23)
+    if system == "bounce-matryoshka":
+        return run_measured(
+            config, system, groups,
+            lambda ctx: bounce_rate.bounce_rate_nested(
+                ctx.bag_of(records)
+            ).save(),
+        )
+    local = group_locally(records)
+    return run_measured(
+        config, system, groups,
+        lambda ctx: bounce_rate.bounce_rate_inner(ctx, local),
+    )
+
+
+#: The full matrix: system name -> cell runner; every system runs at
+#: every group count in ``_GROUP_COUNTS``.
+CELLS = {
+    "kmeans-matryoshka": _kmeans_cell,
+    "kmeans-inner": _kmeans_cell,
+    "pagerank-matryoshka": _pagerank_cell,
+    "pagerank-inner": _pagerank_cell,
+    "bounce-matryoshka": _bounce_rate_cell,
+    "bounce-inner": _bounce_rate_cell,
+}
+
+
+def run_baseline(label="engine-baseline", progress=None):
+    """Run the whole matrix; return a :class:`RunReport`."""
+    report = RunReport(
+        label,
+        meta={
+            "matrix": sorted(CELLS),
+            "group_counts": list(_GROUP_COUNTS),
+            "metric": "simulated",
+        },
+    )
+    for system, cell in CELLS.items():
+        for groups in _GROUP_COUNTS:
+            result = cell(system, groups)
+            report.add(result.entry)
+            if progress is not None:
+                progress(result)
+    return report

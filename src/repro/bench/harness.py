@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from ..engine import EngineContext
 from ..errors import SimulatedOutOfMemory
+from ..observe import RunReport, entry_from_context
 
 OOM = "OOM"
 
@@ -37,6 +38,9 @@ class RunResult:
     measured_seconds: float = math.nan
     #: Summed per-task wall-clock reported by the task runtime.
     task_seconds: float = math.nan
+    #: Full :mod:`repro.observe` report entry (per-job / per-stage
+    #: breakdown) for this run; ``None`` for hand-built results.
+    entry: dict = None
 
     @property
     def failed(self):
@@ -62,27 +66,40 @@ def run_measured(config, system, x, fn):
     ctx = EngineContext(config)
     start = time.perf_counter()
     try:
-        fn(ctx)
-    except SimulatedOutOfMemory as oom:
+        try:
+            fn(ctx)
+        except SimulatedOutOfMemory as oom:
+            elapsed = time.perf_counter() - start
+            return RunResult(
+                system=system,
+                x=x,
+                status="oom",
+                jobs=ctx.trace.num_jobs,
+                detail=str(oom),
+                measured_seconds=elapsed,
+                task_seconds=ctx.measured_task_seconds(),
+                entry=entry_from_context(
+                    ctx, system, x, status="oom",
+                    measured_wall_seconds=elapsed, detail=str(oom),
+                ),
+            )
+        elapsed = time.perf_counter() - start
+        ctx.validate_trace()
         return RunResult(
             system=system,
             x=x,
-            status="oom",
+            seconds=ctx.simulated_seconds(),
             jobs=ctx.trace.num_jobs,
-            detail=str(oom),
-            measured_seconds=time.perf_counter() - start,
+            measured_seconds=elapsed,
             task_seconds=ctx.measured_task_seconds(),
+            entry=entry_from_context(
+                ctx, system, x, measured_wall_seconds=elapsed,
+            ),
         )
-    elapsed = time.perf_counter() - start
-    ctx.validate_trace()
-    return RunResult(
-        system=system,
-        x=x,
-        seconds=ctx.simulated_seconds(),
-        jobs=ctx.trace.num_jobs,
-        measured_seconds=elapsed,
-        task_seconds=ctx.measured_task_seconds(),
-    )
+    finally:
+        # Flush the run's trace sink (contexts resolve REPRO_TRACE on
+        # construction, so traced bench runs append to a shared file).
+        ctx.close()
 
 
 @dataclass
@@ -178,6 +195,18 @@ class Sweep:
     def print_table(self, measured=False):
         print()
         print(self.to_table(measured=measured))
+
+    def to_report(self, label, meta=None):
+        """The sweep as a :class:`repro.observe.RunReport`.
+
+        One report entry per collected result (hand-built results
+        without an entry are skipped); diffable against a saved
+        baseline with :meth:`repro.observe.RunReport.compare`.
+        """
+        report = RunReport(label, meta=meta)
+        for result in self.results:
+            report.add(result.entry)
+        return report
 
     def to_csv(self, measured=False):
         """The sweep as CSV text (x column + one column per system).

@@ -29,6 +29,10 @@ def _default_num_workers():
     return int(os.environ.get("REPRO_NUM_WORKERS", "0"))
 
 
+def _default_straggler_factor():
+    return float(os.environ.get("REPRO_STRAGGLER_FACTOR", "1.5"))
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the simulated cluster.
@@ -116,8 +120,11 @@ class ClusterConfig:
     max_task_attempts: int = 4
     #: A task is counted as a straggler when its measured runtime
     #: exceeds this multiple of its task set's median (Spark's
-    #: speculation multiplier) ...
-    straggler_factor: float = 1.5
+    #: speculation multiplier).  Defaults to the
+    #: ``REPRO_STRAGGLER_FACTOR`` environment variable, else 1.5 ...
+    straggler_factor: float = field(
+        default_factory=_default_straggler_factor
+    )
     #: ... and this absolute floor, so scheduling jitter on
     #: microsecond-scale tasks never registers.
     straggler_min_task_seconds: float = 0.01
@@ -138,6 +145,8 @@ class ClusterConfig:
             raise ValueError("num_workers must be >= 0")
         if self.max_task_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
+        if self.straggler_factor < 1.0:
+            raise ValueError("straggler_factor must be >= 1.0")
 
     @property
     def total_cores(self):

@@ -8,6 +8,8 @@ trace into simulated seconds.
 
 import time
 
+from ..observe import resolve_tracer
+from ..observe.events import KIND_BROADCAST
 from .bag import Bag
 from .broadcast import Broadcast, check_broadcast_fits
 from .config import ClusterConfig, laptop_config
@@ -25,15 +27,24 @@ class EngineContext:
     Args:
         config: The simulated cluster; defaults to a small laptop-friendly
             configuration suitable for tests.
+        trace: Tracing spec for :mod:`repro.observe` -- ``None`` (follow
+            the ``REPRO_TRACE`` environment variable; unset means off),
+            ``True``/``"memory"`` (in-memory ring buffer), a file path
+            (JSON-lines sink), ``"null"`` (enabled but discarding), a
+            sink, or a ready :class:`~repro.observe.Tracer`.  The
+            resolved tracer is available as ``ctx.tracer``.
     """
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, trace=None):
         self.config = config if config is not None else laptop_config()
         if not isinstance(self.config, ClusterConfig):
             raise TypeError("config must be a ClusterConfig")
         self.trace = ExecutionTrace()
-        self.runtime = TaskScheduler(self.config)
-        self.executor = Executor(self.config, self.trace, self.runtime)
+        self.tracer = resolve_tracer(trace)
+        self.runtime = TaskScheduler(self.config, tracer=self.tracer)
+        self.executor = Executor(
+            self.config, self.trace, self.runtime, tracer=self.tracer
+        )
         self.cost_model = CostModel(self.config)
 
     @property
@@ -82,6 +93,12 @@ class EngineContext:
         check_broadcast_fits(num_records, self.config)
         if self.trace.jobs:
             self.trace.jobs[-1].broadcast_records += num_records
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "broadcast:driver", KIND_BROADCAST,
+                what="explicit broadcast", records=num_records,
+                bytes=int(num_records * self.config.bytes_per_record),
+            )
         return Broadcast(value, num_records)
 
     # ------------------------------------------------------------------
@@ -134,10 +151,11 @@ class EngineContext:
         return _Measurement(self)
 
     def close(self):
-        """Release runtime resources (worker pools are process-shared
-        and survive; this exists for API symmetry and future dedicated
-        backends)."""
+        """Release runtime resources and flush/close the tracer's sink
+        (worker pools are process-shared and survive; closing them is
+        handled at interpreter exit)."""
         self.runtime.close()
+        self.tracer.close()
 
     def __enter__(self):
         return self

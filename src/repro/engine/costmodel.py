@@ -69,43 +69,55 @@ class CostModel:
     config: object
     _cache: dict = field(default_factory=dict, repr=False)
 
+    def stage_cost(self, stage):
+        """Cost breakdown for one :class:`StageMetrics` in isolation.
+
+        Covers the per-stage terms only (scheduling overhead, compute
+        makespan, shuffle, spill); job-level terms (launch, broadcast,
+        collect) live in :meth:`job_cost`.
+        """
+        cfg = self.config
+        cost = CostBreakdown()
+        slots = cfg.total_cores
+        if stage.kind not in ("union", "coalesce", "cached"):
+            # Unions, coalesces and cache reads are narrow
+            # continuations, not scheduled task sets of their own;
+            # their tasks belong to the stages that consume them.
+            cost.stage_overhead_s += cfg.stage_overhead_s
+            # Task scheduling is serial at the driver [24, 37]: many
+            # tiny tasks cost real time regardless of cluster size.
+            # This is both why inner-parallel degrades with more
+            # machines (Fig. 4) and why Sec. 8.1 sizes partition
+            # counts to InnerScalar cardinalities.
+            cost.task_overhead_s += (
+                cfg.task_overhead_s * max(1, stage.num_tasks)
+            )
+        record_bytes = (
+            cfg.result_record_bytes if stage.meta
+            else cfg.bytes_per_record
+        )
+        cost.compute_s += (
+            _makespan(stage.task_records, slots)
+            * record_bytes
+            / cfg.cpu_bytes_per_s
+        )
+        shuffle_bytes = stage.shuffle_read_records * record_bytes
+        cost.shuffle_s += shuffle_bytes / (
+            cfg.network_bytes_per_s * cfg.machines
+        )
+        spill_bytes = stage.spilled_records * record_bytes
+        # Spilled data is written once and read once.
+        cost.spill_s += 2 * spill_bytes / (
+            cfg.disk_bytes_per_s * cfg.machines
+        )
+        return cost
+
     def job_cost(self, job):
         """Cost breakdown for a single :class:`JobMetrics`."""
         cfg = self.config
         cost = CostBreakdown(job_launch_s=cfg.job_launch_overhead_s)
-        slots = cfg.total_cores
         for stage in job.stages:
-            if stage.kind not in ("union", "coalesce", "cached"):
-                # Unions, coalesces and cache reads are narrow
-                # continuations, not scheduled task sets of their own;
-                # their tasks belong to the stages that consume them.
-                cost.stage_overhead_s += cfg.stage_overhead_s
-                # Task scheduling is serial at the driver [24, 37]: many
-                # tiny tasks cost real time regardless of cluster size.
-                # This is both why inner-parallel degrades with more
-                # machines (Fig. 4) and why Sec. 8.1 sizes partition
-                # counts to InnerScalar cardinalities.
-                cost.task_overhead_s += (
-                    cfg.task_overhead_s * max(1, stage.num_tasks)
-                )
-            record_bytes = (
-                cfg.result_record_bytes if stage.meta
-                else cfg.bytes_per_record
-            )
-            cost.compute_s += (
-                _makespan(stage.task_records, slots)
-                * record_bytes
-                / cfg.cpu_bytes_per_s
-            )
-            shuffle_bytes = stage.shuffle_read_records * record_bytes
-            cost.shuffle_s += shuffle_bytes / (
-                cfg.network_bytes_per_s * cfg.machines
-            )
-            spill_bytes = stage.spilled_records * record_bytes
-            # Spilled data is written once and read once.
-            cost.spill_s += 2 * spill_bytes / (
-                cfg.disk_bytes_per_s * cfg.machines
-            )
+            cost.add(self.stage_cost(stage))
         broadcast_bytes = (
             job.broadcast_records * cfg.bytes_per_record
             + job.broadcast_meta_records * cfg.result_record_bytes

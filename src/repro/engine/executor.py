@@ -32,7 +32,16 @@ trace next to the simulated counters.  Driver-side data movement
 inline: it is the simulated cluster's fabric, not task work.
 """
 
+import contextlib
+
 from ..errors import PlanError, SimulatedOutOfMemory
+from ..observe import NULL_TRACER
+from ..observe.events import (
+    KIND_BROADCAST,
+    KIND_DRIVER,
+    KIND_JOB,
+    KIND_SHUFFLE,
+)
 from . import plan as p
 from .partitioner import build_balanced_assignment
 from .runtime.scheduler import TaskScheduler
@@ -71,32 +80,61 @@ class _Result:
 class Executor:
     """Evaluates plan nodes for one :class:`EngineContext`."""
 
-    def __init__(self, config, trace, scheduler=None):
+    def __init__(self, config, trace, scheduler=None, tracer=None):
         self.config = config
         self.trace = trace
         self.scheduler = (
             scheduler if scheduler is not None else TaskScheduler(config)
         )
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
     # ------------------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _job_scope(self, action, label):
+        """Open a job (and, when tracing, its driver + job spans).
+
+        The ``driver`` span covers the whole action call -- plan
+        evaluation plus driver-side result assembly -- and the ``job``
+        span nests just inside it, so traces show the four-level
+        hierarchy driver > job > stage > task.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            yield self.trace.new_job(action, label)
+            return
+        suffix = "[%s]" % label if label else ""
+        with tracer.span(
+            "driver:%s%s" % (action, suffix), KIND_DRIVER, action=action,
+        ):
+            job = self.trace.new_job(action, label)
+            with tracer.span(
+                "job#%d:%s%s" % (job.job_id, action, suffix),
+                KIND_JOB,
+                job=job.job_id,
+                action=action,
+            ) as args:
+                yield job
+                args["stages"] = len(job.stages)
+                args["records"] = job.total_records
+
     def collect(self, node, label=""):
         """Run a job and return all elements as a list."""
-        job = self.trace.new_job("collect", label)
-        partitions = self._run(node, job)
-        result = [item for part in partitions for item in part]
-        self._check_driver_memory(len(result))
-        job.collected_records += len(result)
-        self._finish(job)
+        with self._job_scope("collect", label) as job:
+            partitions = self._run(node, job)
+            result = [item for part in partitions for item in part]
+            self._check_driver_memory(len(result))
+            job.collected_records += len(result)
+            self._finish(job)
         return result
 
     def count(self, node, label=""):
-        job = self.trace.new_job("count", label)
-        partitions = self._run(node, job)
-        job.collected_records += len(partitions)
-        self._finish(job)
+        with self._job_scope("count", label) as job:
+            partitions = self._run(node, job)
+            job.collected_records += len(partitions)
+            self._finish(job)
         return sum(len(part) for part in partitions)
 
     def save(self, node, label=""):
@@ -105,47 +143,47 @@ class Executor:
         The data never passes through the driver; the job is charged a
         parallel disk write.  Returns the number of records written.
         """
-        job = self.trace.new_job("save", label)
-        partitions = self._run(node, job)
-        written = sum(len(part) for part in partitions)
-        if node.meta:
-            job.saved_meta_records += written
-        else:
-            job.saved_records += written
-        self._finish(job)
+        with self._job_scope("save", label) as job:
+            partitions = self._run(node, job)
+            written = sum(len(part) for part in partitions)
+            if node.meta:
+                job.saved_meta_records += written
+            else:
+                job.saved_records += written
+            self._finish(job)
         return written
 
     def reduce(self, node, fn, label=""):
-        job = self.trace.new_job("reduce", label)
-        partitions = self._run(node, job)
-        partials = []
-        for part in partitions:
-            iterator = iter(part)
-            try:
-                acc = next(iterator)
-            except StopIteration:
-                continue
-            for item in iterator:
+        with self._job_scope("reduce", label) as job:
+            partitions = self._run(node, job)
+            partials = []
+            for part in partitions:
+                iterator = iter(part)
+                try:
+                    acc = next(iterator)
+                except StopIteration:
+                    continue
+                for item in iterator:
+                    acc = fn(acc, item)
+                partials.append(acc)
+            job.collected_records += len(partials)
+            if not partials:
+                raise PlanError("reduce of an empty bag")
+            acc = partials[0]
+            for item in partials[1:]:
                 acc = fn(acc, item)
-            partials.append(acc)
-        job.collected_records += len(partials)
-        if not partials:
-            raise PlanError("reduce of an empty bag")
-        acc = partials[0]
-        for item in partials[1:]:
-            acc = fn(acc, item)
-        self._finish(job)
+            self._finish(job)
         return acc
 
     def fold(self, node, zero, fn, label=""):
-        job = self.trace.new_job("fold", label)
-        partitions = self._run(node, job)
-        acc = zero
-        for part in partitions:
-            for item in part:
-                acc = fn(acc, item)
-        job.collected_records += len(partitions)
-        self._finish(job)
+        with self._job_scope("fold", label) as job:
+            partitions = self._run(node, job)
+            acc = zero
+            for part in partitions:
+                for item in part:
+                    acc = fn(acc, item)
+            job.collected_records += len(partitions)
+            self._finish(job)
         return acc
 
     def _finish(self, job):
@@ -437,6 +475,7 @@ class Executor:
         stage.shuffle_write_records = moved
         for bucket in buckets:
             stage.task_records.append(len(bucket))
+        self._trace_shuffle(stage, origin)
         return buckets, stage
 
     def _key_assignment(self, partition_lists, num_partitions):
@@ -523,6 +562,7 @@ class Executor:
                 len(left_buckets[bucket_index])
                 + len(right_buckets[bucket_index])
             )
+        self._trace_shuffle(stage, _origin(node))
         limit = self._task_limit(
             [
                 left_buckets[i] + right_buckets[i]
@@ -565,6 +605,9 @@ class Executor:
             job.broadcast_meta_records += count
         else:
             job.broadcast_records += count
+        self._trace_broadcast(
+            "join build side", _origin(node), count, node.right.meta
+        )
         stage = self._scale_corrected(left.stage, node, job)
         task = BroadcastJoinProbeTask(table, _origin(node))
         out = self.scheduler.run_stage(
@@ -594,6 +637,10 @@ class Executor:
             job.broadcast_meta_records += len(payload)
         else:
             job.broadcast_records += len(payload)
+        self._trace_broadcast(
+            "cross-product side", _origin(node), len(payload),
+            small_node.meta,
+        )
         stage = self._scale_corrected(stream.stage, node, job)
         task = CrossBroadcastTask(
             payload, node.broadcast_side, _origin(node)
@@ -610,6 +657,39 @@ class Executor:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+
+    def _trace_shuffle(self, stage, origin):
+        """Emit a ``shuffle`` instant for a freshly bucketized stage."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.instant(
+            "shuffle:%s" % origin,
+            KIND_SHUFFLE,
+            records=stage.shuffle_read_records,
+            bytes=int(
+                stage.shuffle_read_records * self._stage_rate(stage)
+            ),
+            partitions=stage.num_tasks,
+            origin=origin,
+        )
+
+    def _trace_broadcast(self, what, origin, num_records, meta):
+        """Emit a ``broadcast`` instant for a shipped payload."""
+        if not self.tracer.enabled:
+            return
+        rate = (
+            self.config.result_record_bytes
+            if meta
+            else self.config.bytes_per_record
+        )
+        self.tracer.instant(
+            "broadcast:%s" % origin,
+            KIND_BROADCAST,
+            what=what,
+            records=num_records,
+            bytes=int(num_records * rate),
+            origin=origin,
+        )
 
     def _require_keyed(self, record):
         if not isinstance(record, tuple) or len(record) != 2:

@@ -35,11 +35,17 @@ class StageMetrics:
             validator can prove it.
         spilled_records: Records spilled to disk during the shuffle because
             the in-memory working set was too large.
-        task_seconds: *Measured* wall-clock seconds per task (all
-            attempts summed), recorded by the task runtime next to the
-            simulated counters.  Task ``i`` corresponds to partition
-            ``i``; driver-inline work (unions, shuffle bucketing) is
-            not timed.
+        task_seconds: *Measured* wall-clock seconds per task, recorded
+            by the task runtime next to the simulated counters.  Task
+            ``i`` corresponds to partition ``i``; driver-inline work
+            (unions, shuffle bucketing) is not timed.  Only the
+            *successful* attempt of each task is credited here, so
+            retried tasks are never double-counted; time burned in
+            failed attempts accrues to ``failed_attempt_seconds``.
+        failed_attempt_seconds: Wall-clock spent in task attempts that
+            failed (and were retried or gave up).  Kept separate from
+            ``task_seconds`` so per-stage measured totals stay
+            comparable across runs with and without faults.
         task_retries: Task attempts beyond the first that the scheduler
             launched for this stage (each recovery from a fault adds
             one).
@@ -59,6 +65,7 @@ class StageMetrics:
     #: Name (and label, if set) of the plan node that opened this stage.
     origin: str = ""
     task_seconds: list = field(default_factory=list)
+    failed_attempt_seconds: float = 0.0
     task_retries: int = 0
     straggler_tasks: int = 0
 
@@ -73,7 +80,11 @@ class StageMetrics:
 
     @property
     def measured_seconds(self):
-        """Total measured task wall-clock for this stage."""
+        """Total measured task wall-clock for this stage.
+
+        Successful attempts only; see ``failed_attempt_seconds`` for
+        time lost to faults.
+        """
         return sum(self.task_seconds)
 
     def add_task_records(self, partition_index, count):
@@ -125,6 +136,10 @@ class JobMetrics:
         return sum(stage.measured_seconds for stage in self.stages)
 
     @property
+    def failed_attempt_seconds(self):
+        return sum(stage.failed_attempt_seconds for stage in self.stages)
+
+    @property
     def task_retries(self):
         return sum(stage.task_retries for stage in self.stages)
 
@@ -167,8 +182,18 @@ class ExecutionTrace:
 
     @property
     def measured_task_seconds(self):
-        """Measured task wall-clock summed over every job."""
+        """Measured task wall-clock summed over every job.
+
+        Successful attempts only: a retried task contributes the time
+        of the attempt that produced its result, never the failed ones
+        (those are in :attr:`failed_attempt_seconds`).
+        """
         return sum(job.measured_task_seconds for job in self.jobs)
+
+    @property
+    def failed_attempt_seconds(self):
+        """Wall-clock lost to failed task attempts across every job."""
+        return sum(job.failed_attempt_seconds for job in self.jobs)
 
     @property
     def task_retries(self):

@@ -19,8 +19,11 @@ raising, so the scheduler's retry policy is backend-independent.
 import atexit
 import multiprocessing
 import os
+import time
 
 from ...errors import SerializationError
+from ...observe import NULL_TRACER
+from ...observe.events import KIND_SERDE
 from . import serde
 from .task import TaskOutcome, execute_invocation
 
@@ -29,6 +32,10 @@ class SerialBackend:
     """Run every task inline on the driver thread."""
 
     name = "serial"
+    #: Set by the scheduler when its context traces; serial execution
+    #: emits nothing itself (the scheduler anchors task spans from the
+    #: outcomes), so this exists for interface symmetry.
+    tracer = NULL_TRACER
 
     def run_invocations(self, invocations):
         return [execute_invocation(invocation) for invocation in invocations]
@@ -45,6 +52,9 @@ class ProcessPoolBackend:
     """
 
     name = "process"
+    #: Set by the scheduler when its context traces; serde spans around
+    #: the dispatch are emitted through it.
+    tracer = NULL_TRACER
 
     def __init__(self, num_workers=0):
         if num_workers < 0:
@@ -52,6 +62,8 @@ class ProcessPoolBackend:
         self.num_workers = num_workers or (os.cpu_count() or 1)
 
     def run_invocations(self, invocations):
+        tracer = self.tracer
+        serde_start = time.perf_counter()
         payloads = []
         for invocation in invocations:
             payloads.append(
@@ -61,9 +73,25 @@ class ProcessPoolBackend:
                     what="task (closure + input partition)",
                 )
             )
+        if tracer.enabled:
+            tracer.instant(
+                "serde:dump-tasks", KIND_SERDE,
+                tasks=len(payloads),
+                seconds=time.perf_counter() - serde_start,
+                bytes=sum(len(p) for p in payloads),
+            )
         pool = _shared_pool(self.num_workers)
         outcome_payloads = pool.map(_worker_run, payloads, chunksize=1)
-        return [serde.loads(payload) for payload in outcome_payloads]
+        serde_start = time.perf_counter()
+        outcomes = [serde.loads(payload) for payload in outcome_payloads]
+        if tracer.enabled:
+            tracer.instant(
+                "serde:load-outcomes", KIND_SERDE,
+                tasks=len(outcomes),
+                seconds=time.perf_counter() - serde_start,
+                bytes=sum(len(p) for p in outcome_payloads),
+            )
+        return outcomes
 
     def close(self):
         # Pools are shared across contexts; they are reclaimed at
@@ -96,8 +124,22 @@ def _worker_run(payload):
     with a structured fallback when a task *returns* something
     unserializable.
     """
+    load_start = time.perf_counter()
     invocation = serde.loads(payload)
+    load_seconds = time.perf_counter() - load_start
     outcome = execute_invocation(invocation)
+    if outcome.events is not None:
+        # The closure was deserialized before the task body started:
+        # carry it back as a worker-side serde span anchored just
+        # before the attempt (negative offset on the task timeline).
+        outcome.events.insert(
+            0,
+            (
+                "serde:load-task", KIND_SERDE,
+                -load_seconds, load_seconds,
+                {"task": invocation.task_index},
+            ),
+        )
     try:
         return serde.dumps(outcome)
     except Exception as exc:
@@ -112,6 +154,8 @@ def _worker_run(payload):
             seconds=outcome.seconds,
             worker_pid=outcome.worker_pid,
             attempt=outcome.attempt,
+            start_epoch=outcome.start_epoch,
+            events=outcome.events,
         )
         return serde.dumps(fallback)
 

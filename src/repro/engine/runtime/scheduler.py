@@ -8,18 +8,42 @@ retry budget, re-raising permanent failures, and recording per-task
 measured wall-clock (plus retry and straggler counts) into the stage's
 metrics, next to the simulated counters.
 
+Measured-time accounting: only the *successful* attempt of a task is
+credited to ``stage.task_seconds`` -- a retried task is never counted
+twice.  Time burned in failed attempts accrues separately to
+``stage.failed_attempt_seconds``.
+
 Retry policy: only *transient* failures are retried -- injected faults
 (:class:`~repro.engine.runtime.faults.FaultInjector`) and any error
 whose ``retryable`` attribute is true.  Deterministic failures
 (:class:`~repro.errors.UdfError`, simulated OOM, plan errors) fail the
 job on first occurrence: rerunning a UDF bug ``max_task_attempts``
 times would only repeat its side effects.
+
+Tracing (:mod:`repro.observe`): when the context traces, every
+dispatch emits a ``stage`` span wrapping one ``task_set`` span per
+retry wave, ``task`` spans re-anchored from worker outcomes onto the
+driver timeline, and ``fault`` / ``task_retry`` / ``straggler``
+instants.  All hooks are guarded by ``tracer.enabled``; with tracing
+off the only cost is one attribute read per dispatch.
 """
 
+import os
 import statistics
 import time
 
 from ...errors import TaskFailedError
+from ...observe import NULL_TRACER
+from ...observe.events import (
+    DRIVER_LANE,
+    KIND_FAULT,
+    KIND_STAGE,
+    KIND_STRAGGLER,
+    KIND_TASK,
+    KIND_TASK_RETRY,
+    KIND_TASK_SET,
+    worker_lane,
+)
 from .backends import SerialBackend, make_backend
 from .faults import FaultInjector
 from .task import Invocation
@@ -28,12 +52,17 @@ from .task import Invocation
 class TaskScheduler:
     """Dispatches per-partition tasks for one engine context."""
 
-    def __init__(self, config, fault_injector=None, backend=None):
+    def __init__(self, config, fault_injector=None, backend=None,
+                 tracer=None):
         self.config = config
         self.fault_injector = (
             fault_injector if fault_injector is not None else FaultInjector()
         )
         self.backend = backend if backend is not None else make_backend(config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Backends emit their own serde spans through the context's
+        # tracer (plain attribute: backends default to NULL_TRACER).
+        self.backend.tracer = self.tracer
         #: Task sets dispatched so far (the fault injector's stage
         #: addressing; deterministic given a deterministic plan).
         self.dispatch_count = 0
@@ -65,8 +94,11 @@ class TaskScheduler:
         """
         ordinal = self.dispatch_count
         self.dispatch_count += 1
-        if not self.fault_injector.pending and isinstance(
-            self.backend, SerialBackend
+        tracer = self.tracer
+        if (
+            not tracer.enabled
+            and not self.fault_injector.pending
+            and isinstance(self.backend, SerialBackend)
         ):
             # Hot path: a paper-scale stage dispatches >1000 tasks and
             # the serial backend runs them right here, so skip the
@@ -75,6 +107,39 @@ class TaskScheduler:
             # in place preserves the original traceback exactly.
             return self._run_serial_fast(task, args_list, stage)
         operator = getattr(task, "operator", type(task).__name__)
+        if not tracer.enabled:
+            return self._run_outcomes(
+                task, args_list, stage, ordinal, operator
+            )
+        stage_id = stage.stage_id if stage is not None else ordinal
+        with tracer.span(
+            "stage#%s:%s" % (stage_id, operator),
+            KIND_STAGE,
+            dispatch=ordinal,
+            operator=operator,
+            tasks=len(args_list),
+            backend=self.backend.name,
+        ) as span_args:
+            before = stage.measured_seconds if stage is not None else 0.0
+            values = self._run_outcomes(
+                task, args_list, stage, ordinal, operator
+            )
+            if stage is not None:
+                # Task spans are capped per stage, so the span carries
+                # the *full* measured per-task total itself -- reports
+                # and traces agree exactly on stage measured seconds.
+                span_args["task_seconds"] = (
+                    stage.measured_seconds - before
+                )
+            return values
+
+    # ------------------------------------------------------------------
+
+    def _run_outcomes(self, task, args_list, stage, ordinal, operator):
+        """The outcome-mediated dispatch loop (retries, tracing)."""
+        tracer = self.tracer
+        collect = tracer.enabled
+        span_cap = tracer.max_task_spans
         max_attempts = self.config.max_task_attempts
 
         final = [None] * len(args_list)
@@ -82,19 +147,55 @@ class TaskScheduler:
             self._invocation(task, args_list[i], ordinal, operator, i, 1)
             for i in range(len(args_list))
         ]
+        wave = 0
         while pending:
+            window_start = tracer.now()
             outcomes = self.backend.run_invocations(pending)
+            window_end = tracer.now()
+            if collect:
+                tracer.emit_anchored(
+                    "taskset#%d.%d:%s" % (ordinal, wave, operator),
+                    KIND_TASK_SET, window_start, 0.0,
+                    window_end - window_start, DRIVER_LANE,
+                    dispatch=ordinal, wave=wave, tasks=len(pending),
+                )
             self.tasks_launched += len(pending)
+            wave += 1
             pending = []
             for outcome in outcomes:
-                if stage is not None:
-                    stage.add_task_seconds(
-                        outcome.task_index, outcome.seconds
+                # Per-task spans are capped per stage (failures and
+                # retries always emit); see Tracer.max_task_spans.
+                if collect and (
+                    outcome.task_index < span_cap
+                    or not outcome.ok
+                    or outcome.attempt > 1
+                ):
+                    self._emit_task_events(
+                        outcome, operator, ordinal, window_start,
+                        window_end,
                     )
                 if outcome.ok:
+                    if stage is not None:
+                        stage.add_task_seconds(
+                            outcome.task_index, outcome.seconds
+                        )
                     final[outcome.task_index] = outcome
                     continue
+                # A failed attempt never counts toward the stage's
+                # task_seconds (retried work must not be double-billed);
+                # it is tracked separately.
+                if stage is not None:
+                    stage.failed_attempt_seconds += outcome.seconds
                 self.tasks_failed += 1
+                if collect:
+                    tracer.instant(
+                        "fault:%s#%d" % (operator, outcome.task_index),
+                        KIND_FAULT,
+                        dispatch=ordinal,
+                        task=outcome.task_index,
+                        attempt=outcome.attempt,
+                        error=type(outcome.error).__name__,
+                    )
                 if not outcome.retryable:
                     self._reraise(outcome)
                 if outcome.attempt >= max_attempts:
@@ -107,6 +208,15 @@ class TaskScheduler:
                 self.tasks_retried += 1
                 if stage is not None:
                     stage.task_retries += 1
+                if collect:
+                    tracer.instant(
+                        "retry:%s#%d" % (operator, outcome.task_index),
+                        KIND_TASK_RETRY,
+                        dispatch=ordinal,
+                        task=outcome.task_index,
+                        next_attempt=outcome.attempt + 1,
+                        error=type(outcome.error).__name__,
+                    )
                 pending.append(
                     self._invocation(
                         task,
@@ -117,9 +227,54 @@ class TaskScheduler:
                         outcome.attempt + 1,
                     )
                 )
+        stragglers = self._straggler_indices(
+            [outcome.seconds for outcome in final]
+        )
         if stage is not None:
-            stage.straggler_tasks += self._count_stragglers(final)
+            stage.straggler_tasks += len(stragglers)
+        if collect:
+            for index in stragglers:
+                tracer.instant(
+                    "straggler:%s#%d" % (operator, index),
+                    KIND_STRAGGLER,
+                    dispatch=ordinal,
+                    partition=index,
+                    seconds=final[index].seconds,
+                )
         return [outcome.value for outcome in final]
+
+    def _emit_task_events(self, outcome, operator, ordinal, window_start,
+                          window_end):
+        """Re-anchor one attempt (and its worker events) to the driver.
+
+        The attempt's ``start_epoch`` was read from the machine's shared
+        wall clock inside the worker; clamping it into the dispatch
+        window guards against clock adjustments between the driver's
+        and the worker's reads.
+        """
+        tracer = self.tracer
+        anchor = min(
+            max(outcome.start_epoch, window_start),
+            max(window_start, window_end - outcome.seconds),
+        )
+        lane = (
+            DRIVER_LANE
+            if outcome.worker_pid in (0, os.getpid())
+            else worker_lane(outcome.worker_pid)
+        )
+        tracer.emit_anchored(
+            "task:%s#%d" % (operator, outcome.task_index),
+            KIND_TASK, anchor, 0.0, outcome.seconds, lane,
+            dispatch=ordinal,
+            task=outcome.task_index,
+            attempt=outcome.attempt,
+            ok=outcome.ok,
+            pid=outcome.worker_pid,
+        )
+        for name, kind, offset, dur, args in outcome.events or ():
+            tracer.emit_anchored(
+                name, kind, anchor, offset, dur, lane, **args
+            )
 
     # ------------------------------------------------------------------
 
@@ -136,17 +291,21 @@ class TaskScheduler:
         if stage is not None:
             for index, value in enumerate(seconds):
                 stage.add_task_seconds(index, value)
-            stage.straggler_tasks += self._straggler_count(seconds)
+            stage.straggler_tasks += len(self._straggler_indices(seconds))
         return values
 
     def _invocation(self, task, args, ordinal, operator, index, attempt):
         inject = self.fault_injector.should_fail(ordinal, operator, index)
+        collect = self.tracer.enabled and (
+            index < self.tracer.max_task_spans or attempt > 1
+        )
         return Invocation(
             task=task,
             args=tuple(args),
             task_index=index,
             attempt=attempt,
             inject_fault=inject,
+            collect_events=collect,
         )
 
     def _reraise(self, outcome):
@@ -157,26 +316,26 @@ class TaskScheduler:
             error.worker_traceback = outcome.error_traceback
         raise error
 
-    def _count_stragglers(self, outcomes):
-        return self._straggler_count(
-            [outcome.seconds for outcome in outcomes]
-        )
-
-    def _straggler_count(self, seconds):
-        """Tasks that took disproportionately long within their set.
+    def _straggler_indices(self, seconds):
+        """Indices of tasks that took disproportionately long.
 
         A task is a straggler when it exceeds both the configured
-        multiple of the set's median runtime and an absolute floor (so
-        microsecond-scale jitter never counts).
+        multiple of the set's median runtime
+        (``config.straggler_factor``, settable via the
+        ``REPRO_STRAGGLER_FACTOR`` environment variable) and an
+        absolute floor (so microsecond-scale jitter never counts).
         """
         if len(seconds) < 2:
-            return 0
+            return []
         median = statistics.median(seconds)
         threshold = max(
             self.config.straggler_min_task_seconds,
             self.config.straggler_factor * median,
         )
-        return sum(1 for value in seconds if value > threshold)
+        return [
+            index for index, value in enumerate(seconds)
+            if value > threshold
+        ]
 
     def close(self):
         self.backend.close()

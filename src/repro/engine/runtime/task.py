@@ -252,19 +252,26 @@ class Invocation:
     dies with :class:`~repro.errors.InjectedFault` exactly where a
     killed worker would.
 
+    ``collect_events`` is set when the dispatching context has tracing
+    enabled: the attempt then records worker-side trace events (see
+    :func:`record_worker_event`) into its outcome, to be re-anchored
+    onto the driver timeline by the scheduler.
+
     Plain ``__slots__`` classes, not dataclasses: a paper-scale stage
     dispatches over a thousand of these, so construction is hot.
     """
 
-    __slots__ = ("task", "args", "task_index", "attempt", "inject_fault")
+    __slots__ = ("task", "args", "task_index", "attempt", "inject_fault",
+                 "collect_events")
 
     def __init__(self, task, args, task_index, attempt=1,
-                 inject_fault=False):
+                 inject_fault=False, collect_events=False):
         self.task = task
         self.args = args
         self.task_index = task_index
         self.attempt = attempt
         self.inject_fault = inject_fault
+        self.collect_events = collect_events
 
     @property
     def operator(self):
@@ -274,18 +281,30 @@ class Invocation:
         return (
             Invocation,
             (self.task, self.args, self.task_index, self.attempt,
-             self.inject_fault),
+             self.inject_fault, self.collect_events),
         )
 
 
 class TaskOutcome:
-    """What came back from running one invocation."""
+    """What came back from running one invocation.
+
+    ``start_epoch`` is the attempt's start on the machine's shared
+    wall clock (``time.time()``); ``events`` are worker-side trace
+    events as ``(name, kind, offset_s, dur_s, args)`` tuples with
+    offsets relative to ``start_epoch`` (negative offsets are allowed:
+    deserializing the task's closure happens before its body runs).
+    Both exist so the driver can re-anchor what happened inside a
+    worker process onto its own timeline; ``events`` is ``None``
+    unless the invocation asked for collection.
+    """
 
     __slots__ = ("task_index", "ok", "value", "error", "error_traceback",
-                 "seconds", "worker_pid", "attempt")
+                 "seconds", "worker_pid", "attempt", "start_epoch",
+                 "events")
 
     def __init__(self, task_index, ok, value=None, error=None,
-                 error_traceback="", seconds=0.0, worker_pid=0, attempt=1):
+                 error_traceback="", seconds=0.0, worker_pid=0, attempt=1,
+                 start_epoch=0.0, events=None):
         self.task_index = task_index
         self.ok = ok
         self.value = value
@@ -294,6 +313,8 @@ class TaskOutcome:
         self.seconds = seconds
         self.worker_pid = worker_pid
         self.attempt = attempt
+        self.start_epoch = start_epoch
+        self.events = events
 
     @property
     def retryable(self):
@@ -307,8 +328,33 @@ class TaskOutcome:
             TaskOutcome,
             (self.task_index, self.ok, self.value, self.error,
              self.error_traceback, self.seconds, self.worker_pid,
-             self.attempt),
+             self.attempt, self.start_epoch, self.events),
         )
+
+
+#: Worker-side event buffer, active only while an event-collecting
+#: attempt runs in this process.  Each entry is
+#: ``(name, kind, offset_s, dur_s, args)`` with the offset relative to
+#: the running attempt's start (set by :func:`execute_invocation`).
+_worker_events = None
+_worker_anchor = 0.0
+
+
+def record_worker_event(name, kind, dur=None, **args):
+    """Record a trace event from inside a running task.
+
+    A no-op unless the current attempt was dispatched with tracing
+    enabled, so task code may call it unconditionally.  The event is
+    carried back to the driver in the attempt's
+    :class:`TaskOutcome.events` and re-anchored onto the driver
+    timeline there.
+    """
+    if _worker_events is None:
+        return
+    offset = time.perf_counter() - _worker_anchor
+    if dur is not None:
+        offset -= dur
+    _worker_events.append((name, kind, offset, dur, args))
 
 
 def execute_invocation(invocation):
@@ -318,7 +364,14 @@ def execute_invocation(invocation):
     interrupt): failures come back as data so the scheduler on the
     driver owns the retry policy regardless of backend.
     """
+    global _worker_events, _worker_anchor
+    events = None
     start = time.perf_counter()
+    start_epoch = time.time()
+    if invocation.collect_events:
+        events = []
+        _worker_events = events
+        _worker_anchor = start
     try:
         if invocation.inject_fault:
             raise InjectedFault(
@@ -335,7 +388,12 @@ def execute_invocation(invocation):
             seconds=time.perf_counter() - start,
             worker_pid=os.getpid(),
             attempt=invocation.attempt,
+            start_epoch=start_epoch,
+            events=events,
         )
+    finally:
+        if events is not None:
+            _worker_events = None
     return TaskOutcome(
         task_index=invocation.task_index,
         ok=True,
@@ -343,4 +401,6 @@ def execute_invocation(invocation):
         seconds=time.perf_counter() - start,
         worker_pid=os.getpid(),
         attempt=invocation.attempt,
+        start_epoch=start_epoch,
+        events=events,
     )

@@ -1,0 +1,66 @@
+"""``repro.observe`` -- tracing, metrics export, and run comparison.
+
+The measurement layer of the engine (see ``docs/observability.md``):
+
+* :class:`Tracer` + sinks -- span-based structured tracing through
+  driver, jobs, stages, task sets, and tasks, including worker-side
+  events re-anchored onto the driver timeline.  Enable per context
+  (``EngineContext(trace=...)``) or globally (``REPRO_TRACE``).
+* :func:`to_chrome` / :func:`write_chrome` -- Chrome trace-event JSON,
+  loadable in Perfetto or ``chrome://tracing``.
+* :func:`summarize_events` / :func:`timeline` -- terminal rendering.
+* :class:`RunReport` -- schema-versioned JSON merging simulated
+  seconds, measured wall-clock, shuffle volume, retries, and straggler
+  flags, with :func:`RunReport.compare` producing per-stage deltas and
+  regression verdicts.
+* ``python -m repro.observe`` -- ``render`` / ``summarize`` / ``diff``.
+
+This package deliberately imports nothing from :mod:`repro.engine`:
+the engine depends on it, never the other way around.
+"""
+
+from .chrome import to_chrome, write_chrome
+from .events import (
+    ALL_KINDS,
+    DRIVER_LANE,
+    SPAN_KINDS,
+    TraceEvent,
+    worker_lane,
+)
+from .render import (
+    summarize_events,
+    summarize_report,
+    timeline,
+    top_stages,
+)
+from .report import (
+    ReportDiff,
+    RunReport,
+    entry_from_context,
+)
+from .sinks import JsonlSink, MemorySink, NullSink, read_events
+from .tracer import NULL_TRACER, Tracer, resolve_tracer
+
+__all__ = [
+    "ALL_KINDS",
+    "DRIVER_LANE",
+    "JsonlSink",
+    "MemorySink",
+    "NULL_TRACER",
+    "NullSink",
+    "ReportDiff",
+    "RunReport",
+    "SPAN_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "entry_from_context",
+    "read_events",
+    "resolve_tracer",
+    "summarize_events",
+    "summarize_report",
+    "timeline",
+    "to_chrome",
+    "top_stages",
+    "worker_lane",
+    "write_chrome",
+]

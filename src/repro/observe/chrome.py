@@ -1,0 +1,104 @@
+"""Export a trace to the Chrome trace-event JSON format.
+
+The output loads in Perfetto (https://ui.perfetto.dev) and in
+``chrome://tracing``: one process row for the engine, one thread row
+per lane (the driver plus each worker pid), spans as complete (``"X"``)
+events and instants as ``"i"`` events.  Nesting needs no explicit
+parent pointers -- the trace viewers nest complete events on a thread
+by time containment, which our driver -> job -> stage -> task set ->
+task spans satisfy by construction.
+
+Reference: the Trace Event Format document (the ``ph``/``ts``/``dur``
+field names below are its vocabulary).
+"""
+
+import json
+
+from .events import DRIVER_LANE
+
+#: Synthetic pid for the one "process" row all lanes live under.
+ENGINE_PID = 1
+
+#: Chrome sorts thread rows by ``thread_sort_index``; the driver lane
+#: goes on top, workers below in pid order.
+_DRIVER_TID = 0
+
+
+def _lane_tids(events):
+    """Stable lane -> tid mapping with the driver first."""
+    lanes = {DRIVER_LANE: _DRIVER_TID}
+    for event in events:
+        if event.lane not in lanes:
+            lanes[event.lane] = len(lanes)
+    return lanes
+
+
+def to_chrome(events, label="repro"):
+    """Convert events to a Chrome trace dict (``json.dump``-able).
+
+    Args:
+        events: Iterable of :class:`~repro.observe.events.TraceEvent`.
+        label: Process name shown in the viewer.
+    """
+    events = sorted(events, key=lambda e: (e.ts, -(e.dur or 0.0)))
+    origin = events[0].ts if events else 0.0
+    lanes = _lane_tids(events)
+
+    trace_events = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": ENGINE_PID,
+            "tid": _DRIVER_TID,
+            "args": {"name": label},
+        }
+    ]
+    for lane, tid in lanes.items():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": ENGINE_PID,
+                "tid": tid,
+                "args": {"name": lane},
+            }
+        )
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": ENGINE_PID,
+                "tid": tid,
+                "args": {"sort_index": tid},
+            }
+        )
+
+    for event in events:
+        record = {
+            "name": event.name,
+            "cat": event.kind,
+            "pid": ENGINE_PID,
+            "tid": lanes[event.lane],
+            "ts": round((event.ts - origin) * 1e6, 3),
+            "args": event.args,
+        }
+        if event.is_span:
+            record["ph"] = "X"
+            record["dur"] = round(event.dur * 1e6, 3)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        trace_events.append(record)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.observe"},
+    }
+
+
+def write_chrome(events, path, label="repro"):
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(to_chrome(events, label=label), handle)
+    return path

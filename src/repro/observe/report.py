@@ -1,0 +1,431 @@
+"""Run reports: one schema-versioned JSON per measured engine run.
+
+A :class:`RunReport` merges, per run ("entry") and per stage, the three
+views the rest of the repo keeps separately:
+
+* **simulated** seconds -- the cost model over the execution trace (the
+  paper's figures);
+* **measured** seconds -- real wall-clock: driver elapsed time per run
+  and the task runtime's summed per-task seconds per stage;
+* **volume and robustness** counters -- shuffle records/bytes, spills,
+  broadcast volume, retries, straggler flags.
+
+Reports persist as JSON (``save``/``load``, ``schema_version`` checked
+on load) and diff structurally: :func:`RunReport.compare` matches
+entries by ``(system, x)`` and stages positionally within each job,
+producing per-stage deltas and a regression verdict per entry --
+the contract ``python -m repro.bench --check-regressions`` and
+``python -m repro.observe diff`` are built on.
+"""
+
+import json
+import math
+
+SCHEMA_VERSION = 1
+
+#: Default regression gate: fail when a metric grows by more than 25%...
+DEFAULT_THRESHOLD = 0.25
+#: ... and by more than this many absolute seconds (guards tiny stages).
+DEFAULT_MIN_SECONDS = 1e-3
+
+
+def _entry_key(entry):
+    return (str(entry.get("system")), str(entry.get("x")))
+
+
+def _stage_bytes(stage, config):
+    rate = (
+        config.result_record_bytes if stage.meta
+        else config.bytes_per_record
+    )
+    return int(stage.shuffle_read_records * rate)
+
+
+def _stage_entry(stage, cost_model):
+    cost = cost_model.stage_cost(stage)
+    return {
+        "stage_id": stage.stage_id,
+        "kind": stage.kind,
+        "origin": stage.origin,
+        "meta": stage.meta,
+        "tasks": stage.num_tasks,
+        "records": stage.total_records,
+        "shuffle_records": stage.shuffle_read_records,
+        "shuffle_bytes": _stage_bytes(stage, cost_model.config),
+        "spilled_records": stage.spilled_records,
+        "measured_seconds": stage.measured_seconds,
+        "failed_attempt_seconds": stage.failed_attempt_seconds,
+        "simulated_seconds": cost.total_s,
+        "retries": stage.task_retries,
+        "stragglers": stage.straggler_tasks,
+    }
+
+
+def entry_from_context(ctx, system, x, status="ok",
+                       measured_wall_seconds=None, detail=""):
+    """Summarize everything ``ctx`` ran as one report entry (a dict).
+
+    The entry is self-contained JSON data: per-job and per-stage
+    breakdowns plus run-level totals.  ``status`` mirrors the bench
+    harness (``"ok"`` / ``"oom"`` / ``"skipped"``).
+    """
+    trace = ctx.trace
+    cost_model = ctx.cost_model
+    jobs = []
+    for job in trace.jobs:
+        jobs.append(
+            {
+                "job_id": job.job_id,
+                "action": job.action,
+                "label": job.label,
+                "simulated_seconds": cost_model.job_cost(job).total_s,
+                "measured_task_seconds": job.measured_task_seconds,
+                "broadcast_records": job.broadcast_records,
+                "collected_records": job.collected_records,
+                "stages": [
+                    _stage_entry(stage, cost_model)
+                    for stage in job.stages
+                ],
+            }
+        )
+    entry = {
+        "system": system,
+        "x": x,
+        "status": status,
+        "detail": detail,
+        "backend": ctx.config.backend,
+        "simulated_seconds": (
+            ctx.simulated_seconds() if status == "ok" else None
+        ),
+        "measured_task_seconds": trace.measured_task_seconds,
+        "measured_wall_seconds": measured_wall_seconds,
+        "totals": {
+            "jobs": trace.num_jobs,
+            "stages": trace.num_stages,
+            "tasks": trace.num_tasks,
+            "records": trace.total_records,
+            "shuffle_records": sum(
+                job.total_shuffle_records for job in trace.jobs
+            ),
+            "shuffle_bytes": sum(
+                stage["shuffle_bytes"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+            "spilled_records": sum(
+                stage["spilled_records"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+            "retries": trace.task_retries,
+            "stragglers": sum(
+                stage["stragglers"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+            "failed_attempt_seconds": sum(
+                stage["failed_attempt_seconds"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+        },
+        "jobs": jobs,
+    }
+    return entry
+
+
+class RunReport:
+    """A labelled collection of run entries, persistable and diffable."""
+
+    def __init__(self, label, entries=None, meta=None):
+        self.label = label
+        self.entries = list(entries) if entries else []
+        self.meta = dict(meta) if meta else {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def from_context(cls, ctx, label, system="engine", x=None,
+                     measured_wall_seconds=None, meta=None):
+        """One-entry report for everything ``ctx`` has run so far."""
+        report = cls(label, meta=meta)
+        report.add(
+            entry_from_context(
+                ctx, system, x,
+                measured_wall_seconds=measured_wall_seconds,
+            )
+        )
+        return report
+
+    def add(self, entry):
+        if entry is not None:
+            self.entries.append(entry)
+        return self
+
+    def entry_for(self, system, x):
+        for entry in self.entries:
+            if _entry_key(entry) == (str(system), str(x)):
+                return entry
+        return None
+
+    # -- persistence ---------------------------------------------------
+
+    def to_dict(self):
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "label": self.label,
+            "meta": self.meta,
+            "entries": self.entries,
+        }
+
+    def save(self, path):
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data):
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                "unsupported report schema_version %r (this build "
+                "reads version %d)" % (version, SCHEMA_VERSION)
+            )
+        return cls(
+            data.get("label", ""),
+            entries=data.get("entries", []),
+            meta=data.get("meta", {}),
+        )
+
+    @classmethod
+    def load(cls, path):
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))
+
+    # -- comparison ----------------------------------------------------
+
+    @staticmethod
+    def compare(baseline, candidate, threshold=DEFAULT_THRESHOLD,
+                min_seconds=DEFAULT_MIN_SECONDS, metric="simulated"):
+        """Diff two reports; see :class:`ReportDiff`.
+
+        Args:
+            baseline: The reference :class:`RunReport`.
+            candidate: The report under test.
+            threshold: Relative growth beyond which a matched entry or
+                stage is a regression (0.25 = 25% slower).
+            min_seconds: Absolute growth floor below which nothing is
+                flagged (protects sub-millisecond stages from noise).
+            metric: ``"simulated"`` (deterministic; the default),
+                ``"measured"`` (summed task wall-clock), or ``"wall"``
+                (driver wall-clock; entry-level only).
+        """
+        return ReportDiff(baseline, candidate, threshold=threshold,
+                          min_seconds=min_seconds, metric=metric)
+
+
+def _metric_of(record, metric, stage=False):
+    if metric == "simulated":
+        value = record.get("simulated_seconds")
+    elif metric == "measured":
+        value = record.get(
+            "measured_seconds" if stage else "measured_task_seconds"
+        )
+    elif metric == "wall":
+        value = None if stage else record.get("measured_wall_seconds")
+    else:
+        raise ValueError(
+            "metric must be 'simulated', 'measured' or 'wall', got %r"
+            % (metric,)
+        )
+    return value
+
+
+class Delta:
+    """One before/after pair with its verdict."""
+
+    __slots__ = ("key", "before", "after", "regression", "improvement")
+
+    def __init__(self, key, before, after, threshold, min_seconds):
+        self.key = key
+        self.before = before
+        self.after = after
+        self.regression = False
+        self.improvement = False
+        if before is None or after is None:
+            return
+        if math.isnan(before) or math.isnan(after):
+            return
+        if after > before * (1 + threshold) and (
+            after - before
+        ) > min_seconds:
+            self.regression = True
+        elif before > after * (1 + threshold) and (
+            before - after
+        ) > min_seconds:
+            self.improvement = True
+
+    @property
+    def delta(self):
+        if self.before is None or self.after is None:
+            return None
+        return self.after - self.before
+
+    @property
+    def percent(self):
+        if self.before in (None, 0) or self.after is None:
+            return None
+        return 100.0 * (self.after - self.before) / self.before
+
+    def verdict(self):
+        if self.regression:
+            return "REGRESSION"
+        if self.improvement:
+            return "improved"
+        return "ok"
+
+
+class ReportDiff:
+    """Structural diff of two :class:`RunReport` objects.
+
+    Attributes:
+        entry_deltas: One :class:`Delta` per entry present in both
+            reports (keyed ``system@x``).
+        stage_deltas: Per-stage :class:`Delta` rows for matched entries
+            (keyed ``system@x job<j>/stage<s>:<kind><-origin``).
+        missing: Entry keys only in the baseline.
+        added: Entry keys only in the candidate.
+    """
+
+    def __init__(self, baseline, candidate, threshold=DEFAULT_THRESHOLD,
+                 min_seconds=DEFAULT_MIN_SECONDS, metric="simulated"):
+        self.baseline = baseline
+        self.candidate = candidate
+        self.threshold = threshold
+        self.min_seconds = min_seconds
+        self.metric = metric
+        self.entry_deltas = []
+        self.stage_deltas = []
+        self.missing = []
+        self.added = []
+        self._build()
+
+    def _build(self):
+        before = {
+            _entry_key(entry): entry for entry in self.baseline.entries
+        }
+        after = {
+            _entry_key(entry): entry for entry in self.candidate.entries
+        }
+        self.missing = sorted(
+            "%s@%s" % key for key in before if key not in after
+        )
+        self.added = sorted(
+            "%s@%s" % key for key in after if key not in before
+        )
+        for key, entry_a in before.items():
+            entry_b = after.get(key)
+            if entry_b is None:
+                continue
+            label = "%s@%s" % key
+            self.entry_deltas.append(
+                Delta(
+                    label,
+                    _metric_of(entry_a, self.metric),
+                    _metric_of(entry_b, self.metric),
+                    self.threshold,
+                    self.min_seconds,
+                )
+            )
+            if self.metric == "wall":
+                continue
+            self._build_stages(label, entry_a, entry_b)
+
+    def _build_stages(self, label, entry_a, entry_b):
+        jobs_a = entry_a.get("jobs") or []
+        jobs_b = entry_b.get("jobs") or []
+        for j, (job_a, job_b) in enumerate(zip(jobs_a, jobs_b)):
+            stages_a = job_a.get("stages") or []
+            stages_b = job_b.get("stages") or []
+            for s, (stage_a, stage_b) in enumerate(
+                zip(stages_a, stages_b)
+            ):
+                origin = stage_a.get("origin") or stage_b.get("origin")
+                key = "%s job%d/stage%d:%s%s" % (
+                    label, j, s, stage_a.get("kind", "?"),
+                    "<-%s" % origin if origin else "",
+                )
+                self.stage_deltas.append(
+                    Delta(
+                        key,
+                        _metric_of(stage_a, self.metric, stage=True),
+                        _metric_of(stage_b, self.metric, stage=True),
+                        self.threshold,
+                        self.min_seconds,
+                    )
+                )
+
+    # -- verdicts ------------------------------------------------------
+
+    @property
+    def regressions(self):
+        return [d for d in self.entry_deltas if d.regression]
+
+    @property
+    def stage_regressions(self):
+        return [d for d in self.stage_deltas if d.regression]
+
+    @property
+    def has_regressions(self):
+        return bool(self.regressions or self.stage_regressions)
+
+    # -- rendering -----------------------------------------------------
+
+    def render(self, show_ok_stages=False):
+        """Human-readable diff: entry table plus flagged stage rows."""
+        lines = [
+            "report diff: %s -> %s  (metric=%s, threshold=+%d%%)"
+            % (
+                self.baseline.label, self.candidate.label, self.metric,
+                round(self.threshold * 100),
+            )
+        ]
+        for name in self.missing:
+            lines.append("  missing in candidate: %s" % name)
+        for name in self.added:
+            lines.append("  new in candidate: %s" % name)
+        for delta in self.entry_deltas:
+            lines.append("  %s" % _format_delta(delta))
+        flagged = [
+            d for d in self.stage_deltas
+            if show_ok_stages or d.regression or d.improvement
+        ]
+        if flagged:
+            lines.append("  per-stage deltas:")
+            for delta in flagged:
+                lines.append("    %s" % _format_delta(delta))
+        if not self.entry_deltas:
+            lines.append("  (no comparable entries)")
+        lines.append(
+            "verdict: %s"
+            % (
+                "REGRESSION (%d entry, %d stage)"
+                % (len(self.regressions), len(self.stage_regressions))
+                if self.has_regressions
+                else "ok"
+            )
+        )
+        return "\n".join(lines)
+
+
+def _format_delta(delta):
+    def fmt(value):
+        return "-" if value is None else "%.3fs" % value
+
+    percent = delta.percent
+    change = "" if percent is None else " (%+.1f%%)" % percent
+    return "%-60s %s -> %s%s  [%s]" % (
+        delta.key, fmt(delta.before), fmt(delta.after), change,
+        delta.verdict(),
+    )

@@ -1,0 +1,116 @@
+"""Trace sinks: where emitted events go.
+
+Three implementations of the one-method contract
+(``emit(event)``, plus ``close()``):
+
+* :class:`MemorySink` -- a bounded ring buffer; the default for
+  ``REPRO_TRACE=1`` and for programmatic inspection in tests.
+* :class:`JsonlSink` -- one JSON object per line, append-mode, so
+  several contexts (e.g. every run of a benchmark sweep) can share one
+  timeline file.  :func:`read_events` loads it back.
+* :class:`NullSink` -- drops everything; exists so the full tracing
+  code path can be exercised (and its overhead measured) without
+  retaining or writing anything.
+
+Sinks never see engine objects, only :class:`~repro.observe.events.
+TraceEvent`; the :class:`~repro.observe.tracer.Tracer` serializes access,
+so sinks themselves need no locking.
+"""
+
+import collections
+import json
+
+from .events import TraceEvent
+
+#: Default ring-buffer capacity: enough for a full quick-scale figure
+#: sweep (tens of thousands of task spans) without unbounded growth.
+DEFAULT_CAPACITY = 100_000
+
+
+class NullSink:
+    """Discard every event (the tracing analog of ``/dev/null``)."""
+
+    def emit(self, event):
+        pass
+
+    def close(self):
+        pass
+
+
+class MemorySink:
+    """Keep the last ``capacity`` events in memory.
+
+    Args:
+        capacity: Ring size; ``None`` keeps everything (use only for
+            short runs).
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self._buffer = collections.deque(maxlen=capacity)
+        self.dropped = 0
+
+    def emit(self, event):
+        if (
+            self._buffer.maxlen is not None
+            and len(self._buffer) == self._buffer.maxlen
+        ):
+            self.dropped += 1
+        self._buffer.append(event)
+
+    def events(self):
+        """The retained events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self):
+        self._buffer.clear()
+        self.dropped = 0
+
+    def __len__(self):
+        return len(self._buffer)
+
+    def close(self):
+        pass
+
+
+class JsonlSink:
+    """Append events to a JSON-lines file, one event per line.
+
+    Args:
+        path: Target file; parent directory must exist.
+        append: Open in append mode (default) so sequential contexts
+            extend one shared timeline; pass ``False`` to truncate.
+    """
+
+    def __init__(self, path, append=True):
+        self.path = path
+        self._file = open(path, "a" if append else "w")
+        self.emitted = 0
+
+    def emit(self, event):
+        json.dump(event.to_dict(), self._file, separators=(",", ":"))
+        self._file.write("\n")
+        self.emitted += 1
+
+    def flush(self):
+        if not self._file.closed:
+            self._file.flush()
+
+    def close(self):
+        if not self._file.closed:
+            self._file.close()
+
+
+def read_events(path):
+    """Load a JSON-lines trace back into :class:`TraceEvent` objects.
+
+    Blank lines are skipped, so concatenated or hand-edited files load
+    fine.
+    """
+    events = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            events.append(TraceEvent.from_dict(json.loads(line)))
+    return events

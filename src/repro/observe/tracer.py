@@ -1,0 +1,222 @@
+"""The tracer: thread-safe event emission over a pluggable sink.
+
+Engine components hold a tracer and guard every hook with
+``tracer.enabled`` -- the disabled singleton :data:`NULL_TRACER` makes
+tracing-off cost one attribute read per *stage*, nothing per task and
+nothing per record.
+
+Driver-side spans are recorded with :meth:`Tracer.span` (a context
+manager yielding the span's mutable ``args`` dict); worker-side facts
+arrive as (offset, duration) pairs relative to a task's start and are
+re-anchored onto the driver timeline with :meth:`Tracer.emit_anchored`.
+
+Timestamps are epoch seconds (see :mod:`repro.observe.events`), so the
+events of consecutive contexts -- a whole benchmark sweep appending to
+one JSON-lines file -- compose into a single coherent timeline.
+"""
+
+import contextlib
+import os
+import threading
+import time
+
+from .events import DRIVER_LANE, TraceEvent
+from .sinks import JsonlSink, MemorySink, NullSink
+
+#: Per-stage cap on successful-task spans (see :class:`Tracer`).
+DEFAULT_MAX_TASK_SPANS = 64
+
+
+def _default_max_task_spans():
+    raw = os.environ.get("REPRO_TRACE_MAX_TASKS", "").strip()
+    if not raw:
+        return DEFAULT_MAX_TASK_SPANS
+    value = int(raw)
+    return float("inf") if value <= 0 else value
+
+
+class Tracer:
+    """Emits :class:`~repro.observe.events.TraceEvent` to one sink.
+
+    Thread-safe: emission is serialized with a lock (the engine driver
+    is single-threaded today, but worker callbacks and user threads may
+    not be).
+
+    ``max_task_spans`` bounds how many *successful first-attempt* task
+    spans the scheduler emits per stage (failed and retried attempts
+    are always emitted, and stragglers are always flagged with a
+    ``straggler`` instant): a paper-scale stage dispatches ~1000 tasks
+    and an iterative sweep runs thousands of stages, so unbounded task
+    spans produce traces no viewer can load.  Defaults to
+    :data:`DEFAULT_MAX_TASK_SPANS`, overridable with the
+    ``REPRO_TRACE_MAX_TASKS`` environment variable (``0`` or negative
+    means unlimited).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, max_task_spans=None):
+        self.sink = sink if sink is not None else MemorySink()
+        self.max_task_spans = (
+            _default_max_task_spans()
+            if max_task_spans is None
+            else (float("inf") if max_task_spans <= 0 else max_task_spans)
+        )
+        self._lock = threading.Lock()
+        self.emitted = 0
+
+    # -- clock ---------------------------------------------------------
+
+    @staticmethod
+    def now():
+        """Current trace time: epoch seconds."""
+        return time.time()
+
+    # -- emission ------------------------------------------------------
+
+    def emit(self, event):
+        with self._lock:
+            self.emitted += 1
+            self.sink.emit(event)
+
+    def instant(self, name, kind, lane=DRIVER_LANE, **args):
+        """Record a zero-duration event at the current time."""
+        self.emit(TraceEvent(name, kind, self.now(), None, lane, args))
+
+    @contextlib.contextmanager
+    def span(self, name, kind, lane=DRIVER_LANE, **args):
+        """Record a span covering the ``with`` block.
+
+        Yields the span's ``args`` dict so the block can attach results
+        (record counts, statuses) before the event is emitted.  If the
+        block raises, the span is still emitted with an ``error`` arg
+        naming the exception type.
+        """
+        start = self.now()
+        try:
+            yield args
+        except BaseException as exc:
+            args.setdefault("error", type(exc).__name__)
+            raise
+        finally:
+            self.emit(
+                TraceEvent(name, kind, start, self.now() - start, lane,
+                           args)
+            )
+
+    def emit_anchored(self, name, kind, anchor, offset, dur, lane,
+                      **args):
+        """Record a span reported by a worker, re-anchored to ``anchor``.
+
+        Args:
+            anchor: Driver-timeline epoch seconds of the task's start
+                (the attempt's ``start_epoch``, clamped by the caller
+                into its dispatch window if the clocks drifted).
+            offset: Event start relative to the anchor, seconds (may be
+                negative for work that preceded the task body, e.g.
+                deserializing its closure).
+            dur: Span duration in seconds, or ``None`` for an instant.
+        """
+        self.emit(TraceEvent(name, kind, anchor + offset, dur, lane,
+                             args))
+
+    def close(self):
+        self.sink.close()
+
+    # -- conveniences --------------------------------------------------
+
+    def events(self):
+        """The retained events, when the sink keeps them (memory sink)."""
+        getter = getattr(self.sink, "events", None)
+        return getter() if getter is not None else []
+
+
+class _NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    A distinct class (rather than a ``Tracer`` with a ``NullSink``) so
+    the disabled check is a plain class-attribute read and misuse --
+    emitting through a disabled tracer -- still works but costs nothing
+    measurable.
+    """
+
+    enabled = False
+    sink = NullSink()
+    max_task_spans = 0
+
+    def emit(self, event):
+        pass
+
+    def instant(self, name, kind, lane=DRIVER_LANE, **args):
+        pass
+
+    def span(self, name, kind, lane=DRIVER_LANE, **args):
+        return contextlib.nullcontext(args)
+
+    def emit_anchored(self, name, kind, anchor, offset, dur, lane,
+                      **args):
+        pass
+
+    def events(self):
+        return []
+
+    def close(self):
+        pass
+
+    @staticmethod
+    def now():
+        return time.time()
+
+
+#: The shared disabled tracer; safe to use as a default everywhere.
+NULL_TRACER = _NullTracer()
+
+#: ``REPRO_TRACE`` values that mean "off".
+_OFF_VALUES = ("", "0", "off", "false", "no")
+#: Values that mean "trace into a memory ring buffer".
+_MEMORY_VALUES = ("1", "memory", "on", "true", "yes")
+
+
+def resolve_tracer(spec=None):
+    """Build (or pass through) a tracer from a user-facing spec.
+
+    Accepted specs, in the order they are tried:
+
+    * ``None`` -- consult the ``REPRO_TRACE`` environment variable and
+      re-resolve its value (unset means off).
+    * an existing :class:`Tracer` (or the null tracer) -- returned as is;
+    * ``True`` / ``"1"`` / ``"memory"`` -- memory ring buffer;
+    * ``False`` / ``"0"`` / ``"off"`` -- disabled;
+    * ``"null"`` -- enabled tracer over a :class:`NullSink` (full code
+      path, nothing retained: the overhead-measurement configuration);
+    * any other string -- treated as a path; events append to it as
+      JSON lines;
+    * a sink object (anything with ``emit``) -- wrapped in a tracer.
+    """
+    if spec is None:
+        env = os.environ.get("REPRO_TRACE", "")
+        if env.strip().lower() in _OFF_VALUES:
+            return NULL_TRACER
+        return resolve_tracer(env)
+    if isinstance(spec, (Tracer, _NullTracer)):
+        return spec
+    if spec is True:
+        return Tracer(MemorySink())
+    if spec is False:
+        return NULL_TRACER
+    if isinstance(spec, str):
+        value = spec.strip()
+        lowered = value.lower()
+        if lowered in _OFF_VALUES:
+            return NULL_TRACER
+        if lowered in _MEMORY_VALUES:
+            return Tracer(MemorySink())
+        if lowered == "null":
+            return Tracer(NullSink())
+        return Tracer(JsonlSink(value))
+    if hasattr(spec, "emit"):
+        return Tracer(spec)
+    raise TypeError(
+        "cannot build a tracer from %r (expected None, bool, str, "
+        "a sink, or a Tracer)" % (spec,)
+    )

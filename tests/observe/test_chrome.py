@@ -1,0 +1,107 @@
+"""Chrome trace-event export: structure Perfetto can load."""
+
+import json
+
+from repro.observe import TraceEvent, to_chrome, write_chrome
+from repro.observe.chrome import ENGINE_PID
+from repro.observe.events import DRIVER_LANE, worker_lane
+
+
+def small_trace():
+    return [
+        TraceEvent("driver:collect", "driver", 100.0, 1.0),
+        TraceEvent("job#0:collect", "job", 100.1, 0.8),
+        TraceEvent("stage#0:Map", "stage", 100.2, 0.5),
+        TraceEvent(
+            "task:Map#0", "task", 100.25, 0.1, worker_lane(7),
+            {"task": 0},
+        ),
+        TraceEvent("shuffle:ReduceByKey", "shuffle", 100.7, None,
+                   DRIVER_LANE, {"records": 5}),
+    ]
+
+
+class TestToChrome:
+    def test_document_shape(self):
+        doc = to_chrome(small_trace(), label="unit")
+        assert set(doc) == {
+            "traceEvents", "displayTimeUnit", "otherData"
+        }
+        assert doc["displayTimeUnit"] == "ms"
+        assert all("ph" in e for e in doc["traceEvents"])
+
+    def test_metadata_names_process_and_lanes(self):
+        doc = to_chrome(small_trace(), label="unit")
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["name"], e["args"].get("name"))
+            for e in meta
+            if e["name"] in ("process_name", "thread_name")
+        }
+        assert ("process_name", "unit") in names
+        assert ("thread_name", DRIVER_LANE) in names
+        assert ("thread_name", worker_lane(7)) in names
+
+    def test_driver_lane_is_tid_zero_and_sorted_first(self):
+        doc = to_chrome(small_trace())
+        thread_names = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert thread_names[DRIVER_LANE] == 0
+        assert thread_names[worker_lane(7)] > 0
+
+    def test_spans_are_complete_events_in_microseconds(self):
+        doc = to_chrome(small_trace())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        by_name = {e["name"]: e for e in spans}
+        driver = by_name["driver:collect"]
+        # Timestamps are relative to the trace origin, in microseconds.
+        assert driver["ts"] == 0.0
+        assert driver["dur"] == 1_000_000.0
+        task = by_name["task:Map#0"]
+        assert task["ts"] == 250_000.0
+        assert task["args"] == {"task": 0}
+
+    def test_instants_are_i_events(self):
+        doc = to_chrome(small_trace())
+        (instant,) = [
+            e for e in doc["traceEvents"] if e["ph"] == "i"
+        ]
+        assert instant["name"] == "shuffle:ReduceByKey"
+        assert instant["s"] == "t"
+        assert "dur" not in instant
+
+    def test_nesting_by_time_containment(self):
+        """Driver contains job contains stage on the same tid."""
+        doc = to_chrome(small_trace())
+        spans = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        driver = spans["driver:collect"]
+        job = spans["job#0:collect"]
+        stage = spans["stage#0:Map"]
+        assert driver["tid"] == job["tid"] == stage["tid"]
+        assert driver["ts"] <= job["ts"]
+        assert job["ts"] + job["dur"] <= driver["ts"] + driver["dur"]
+        assert stage["ts"] + stage["dur"] <= job["ts"] + job["dur"]
+
+    def test_all_events_share_the_engine_pid(self):
+        doc = to_chrome(small_trace())
+        assert {e["pid"] for e in doc["traceEvents"]} == {ENGINE_PID}
+
+    def test_empty_trace_has_only_metadata(self):
+        doc = to_chrome([])
+        assert doc["traceEvents"]
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+class TestWriteChrome:
+    def test_writes_loadable_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_chrome(small_trace(), path, label="x") == path
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["otherData"]["producer"] == "repro.observe"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])

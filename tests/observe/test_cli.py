@@ -1,0 +1,126 @@
+"""The ``python -m repro.observe`` command line."""
+
+import json
+
+import pytest
+
+from repro.engine import EngineContext, laptop_config
+from repro.observe import RunReport, entry_from_context
+from repro.observe.cli import EXIT_REGRESSION, main
+
+
+@pytest.fixture
+def trace_path(tmp_path):
+    """A real JSONL trace from a small traced run."""
+    path = str(tmp_path / "run.trace.jsonl")
+    with EngineContext(laptop_config(), trace=path) as ctx:
+        (
+            ctx.bag_of(range(50))
+            .map(lambda x: (x % 3, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+    return path
+
+
+def save_report(tmp_path, name, seconds):
+    entry = {
+        "system": "engine",
+        "x": 1,
+        "status": "ok",
+        "simulated_seconds": seconds,
+        "measured_task_seconds": seconds / 10.0,
+        "measured_wall_seconds": seconds / 5.0,
+        "jobs": [],
+    }
+    path = str(tmp_path / name)
+    RunReport(name, entries=[entry]).save(path)
+    return path
+
+
+class TestRender:
+    def test_renders_chrome_json(self, trace_path, tmp_path, capsys):
+        out = str(tmp_path / "out.json")
+        assert main(["render", trace_path, "-o", out]) == 0
+        with open(out) as handle:
+            doc = json.load(handle)
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_default_output_path(self, trace_path, tmp_path):
+        assert main(["render", trace_path]) == 0
+        expected = trace_path.rsplit(".", 1)[0] + ".chrome.json"
+        with open(expected) as handle:
+            json.load(handle)
+
+    def test_empty_trace_fails(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["render", str(empty)]) == 1
+        assert "no events" in capsys.readouterr().err
+
+
+class TestSummarize:
+    def test_summarize_trace(self, trace_path, capsys):
+        assert main(["summarize", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "events by kind" in out
+        assert "stage" in out
+        assert "timeline" in out
+
+    def test_summarize_report(self, tmp_path, capsys):
+        path = save_report(tmp_path, "r.json", 10.0)
+        assert main(["summarize", path]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out
+        assert "engine@1" in out
+
+
+class TestDiff:
+    def test_ok_exit_zero(self, tmp_path, capsys):
+        a = save_report(tmp_path, "a.json", 10.0)
+        b = save_report(tmp_path, "b.json", 10.0)
+        assert main(["diff", a, b]) == 0
+        assert "verdict: ok" in capsys.readouterr().out
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        a = save_report(tmp_path, "a.json", 10.0)
+        b = save_report(tmp_path, "b.json", 20.0)
+        assert main(["diff", a, b]) == EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        a = save_report(tmp_path, "a.json", 10.0)
+        b = save_report(tmp_path, "b.json", 12.0)
+        assert main(["diff", a, b]) == 0
+        assert main(["diff", a, b, "--threshold", "0.1"]) == (
+            EXIT_REGRESSION
+        )
+
+    def test_metric_wall(self, tmp_path):
+        a = save_report(tmp_path, "a.json", 10.0)
+        b = save_report(tmp_path, "b.json", 10.0)
+        assert main(["diff", a, b, "--metric", "wall"]) == 0
+
+
+class TestBenchGate:
+    def test_check_regressions_detects_injected_slowdown(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """End-to-end: the bench gate exits non-zero when the committed
+        baseline claims the engine used to be much faster."""
+        from repro.bench.__main__ import main as bench_main
+
+        monkeypatch.chdir(tmp_path)
+        assert bench_main(["--emit-baseline"]) == 0
+        capsys.readouterr()
+        assert bench_main(["--check-regressions"]) == 0
+        # Dividing every baseline figure by 10 makes the fresh run look
+        # 10x slower than "before".
+        report = RunReport.load("BENCH_engine.json")
+        for entry in report.entries:
+            entry["simulated_seconds"] /= 10.0
+        report.save("BENCH_engine.json")
+        capsys.readouterr()
+        assert bench_main(["--check-regressions"]) == EXIT_REGRESSION
+        assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,127 @@
+"""Event schema and sinks: round-trips, ring buffer, JSONL files."""
+
+import json
+
+import pytest
+
+from repro.observe import JsonlSink, MemorySink, NullSink, TraceEvent
+from repro.observe.events import ALL_KINDS, DRIVER_LANE, worker_lane
+from repro.observe.sinks import read_events
+
+
+def sample_event(kind, index=0):
+    """A representative event of ``kind`` with a non-trivial payload."""
+    span = kind in ("driver", "job", "stage", "task_set", "task", "serde")
+    return TraceEvent(
+        name="%s#%d" % (kind, index),
+        kind=kind,
+        ts=1000.0 + index,
+        dur=0.25 if span else None,
+        lane=DRIVER_LANE if index % 2 == 0 else worker_lane(4242),
+        args={"index": index, "label": "x" * index} if index else {},
+    )
+
+
+class TestTraceEvent:
+    def test_span_vs_instant(self):
+        span = TraceEvent("s", "stage", 1.0, dur=2.0)
+        instant = TraceEvent("i", "fault", 1.0)
+        assert span.is_span and span.end == 3.0
+        assert not instant.is_span and instant.end == 1.0
+
+    def test_dict_round_trip_drops_nothing(self):
+        event = sample_event("task", 3)
+        again = TraceEvent.from_dict(event.to_dict())
+        assert again == event
+
+    def test_instant_round_trip(self):
+        event = sample_event("shuffle", 2)
+        again = TraceEvent.from_dict(event.to_dict())
+        assert again == event
+        assert again.dur is None
+
+    def test_to_dict_is_json_serializable(self):
+        event = sample_event("broadcast", 1)
+        text = json.dumps(event.to_dict())
+        assert TraceEvent.from_dict(json.loads(text)) == event
+
+    def test_worker_lane_naming(self):
+        assert worker_lane(17) == "worker-17"
+
+
+class TestJsonlRoundTrip:
+    def test_every_event_kind_round_trips(self, tmp_path):
+        """The JSONL sink must persist all kinds the engine can emit."""
+        path = str(tmp_path / "trace.jsonl")
+        events = [
+            sample_event(kind, index)
+            for index, kind in enumerate(ALL_KINDS)
+        ]
+        sink = JsonlSink(path)
+        for event in events:
+            sink.emit(event)
+        sink.close()
+        assert sink.emitted == len(ALL_KINDS)
+        loaded = read_events(path)
+        assert loaded == events
+
+    def test_append_mode_extends_existing_file(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        first = JsonlSink(path)
+        first.emit(sample_event("job", 0))
+        first.close()
+        second = JsonlSink(path)
+        second.emit(sample_event("job", 1))
+        second.close()
+        assert len(read_events(path)) == 2
+
+    def test_truncate_mode(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        JsonlSink(path).emit(sample_event("job", 0))
+        sink = JsonlSink(path, append=False)
+        sink.emit(sample_event("job", 1))
+        sink.close()
+        events = read_events(path)
+        assert [e.name for e in events] == ["job#1"]
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        event = sample_event("stage", 1)
+        path.write_text(
+            "\n" + json.dumps(event.to_dict()) + "\n\n"
+        )
+        assert read_events(str(path)) == [event]
+
+
+class TestMemorySink:
+    def test_keeps_events_in_order(self):
+        sink = MemorySink()
+        events = [sample_event("task", i) for i in range(5)]
+        for event in events:
+            sink.emit(event)
+        assert sink.events() == events
+        assert sink.dropped == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        sink = MemorySink(capacity=3)
+        for i in range(5):
+            sink.emit(sample_event("task", i))
+        kept = sink.events()
+        assert [e.name for e in kept] == ["task#2", "task#3", "task#4"]
+        assert sink.dropped == 2
+
+    def test_clear(self):
+        sink = MemorySink(capacity=2)
+        for i in range(4):
+            sink.emit(sample_event("task", i))
+        sink.clear()
+        assert sink.events() == []
+        assert sink.dropped == 0
+
+
+class TestNullSink:
+    def test_discards_everything(self):
+        sink = NullSink()
+        sink.emit(sample_event("task", 0))
+        sink.close()
+        assert not hasattr(sink, "events") or sink.events() == []

@@ -1,0 +1,156 @@
+"""Tracer semantics and the ``resolve_tracer`` spec language."""
+
+import threading
+
+import pytest
+
+from repro.observe import (
+    NULL_TRACER,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    resolve_tracer,
+)
+from repro.observe.events import DRIVER_LANE
+from repro.observe.tracer import DEFAULT_MAX_TASK_SPANS
+
+
+class TestTracer:
+    def test_instant(self):
+        tracer = Tracer(MemorySink())
+        tracer.instant("shuffle:x", "shuffle", records=10)
+        (event,) = tracer.events()
+        assert event.name == "shuffle:x"
+        assert event.dur is None
+        assert event.args == {"records": 10}
+        assert tracer.emitted == 1
+
+    def test_span_yields_mutable_args(self):
+        tracer = Tracer(MemorySink())
+        with tracer.span("job#0", "job", action="collect") as args:
+            args["records"] = 42
+        (event,) = tracer.events()
+        assert event.is_span
+        assert event.dur >= 0.0
+        assert event.args == {"action": "collect", "records": 42}
+
+    def test_span_emitted_with_error_on_exception(self):
+        tracer = Tracer(MemorySink())
+        with pytest.raises(ValueError):
+            with tracer.span("job#0", "job"):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event.args["error"] == "ValueError"
+
+    def test_spans_nest_by_time_containment(self):
+        tracer = Tracer(MemorySink())
+        with tracer.span("outer", "driver"):
+            with tracer.span("inner", "job"):
+                pass
+        inner, outer = tracer.events()
+        assert inner.name == "inner"
+        assert outer.ts <= inner.ts
+        assert inner.end <= outer.end
+
+    def test_emit_anchored(self):
+        tracer = Tracer(MemorySink())
+        tracer.emit_anchored(
+            "task:Map#0", "task", 100.0, -0.5, 0.25, "worker-9", pid=9
+        )
+        (event,) = tracer.events()
+        assert event.ts == 99.5
+        assert event.dur == 0.25
+        assert event.lane == "worker-9"
+
+    def test_thread_safety_no_lost_events(self):
+        tracer = Tracer(MemorySink(capacity=None))
+
+        def spam():
+            for _ in range(200):
+                tracer.instant("x", "fault")
+
+        threads = [threading.Thread(target=spam) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert tracer.emitted == 800
+        assert len(tracer.events()) == 800
+
+    def test_max_task_spans_default_and_override(self):
+        assert Tracer(MemorySink()).max_task_spans == (
+            DEFAULT_MAX_TASK_SPANS
+        )
+        assert Tracer(MemorySink(), max_task_spans=5).max_task_spans == 5
+        unlimited = Tracer(MemorySink(), max_task_spans=0)
+        assert unlimited.max_task_spans == float("inf")
+
+    def test_max_task_spans_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_MAX_TASKS", "7")
+        assert Tracer(MemorySink()).max_task_spans == 7
+        monkeypatch.setenv("REPRO_TRACE_MAX_TASKS", "0")
+        assert Tracer(MemorySink()).max_task_spans == float("inf")
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.instant("x", "fault")
+        with NULL_TRACER.span("y", "job") as args:
+            args["k"] = 1
+        NULL_TRACER.emit_anchored("z", "task", 0.0, 0.0, 0.0, "driver")
+        assert NULL_TRACER.events() == []
+        NULL_TRACER.close()
+
+
+class TestResolveTracer:
+    def test_none_without_env_is_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        assert resolve_tracer(None) is NULL_TRACER
+
+    def test_env_memory(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        tracer = resolve_tracer(None)
+        assert tracer.enabled
+        assert isinstance(tracer.sink, MemorySink)
+
+    def test_env_off_values(self, monkeypatch):
+        for value in ("", "0", "off", "false", "no"):
+            monkeypatch.setenv("REPRO_TRACE", value)
+            assert resolve_tracer(None) is NULL_TRACER
+
+    def test_env_path(self, monkeypatch, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        monkeypatch.setenv("REPRO_TRACE", path)
+        tracer = resolve_tracer(None)
+        assert isinstance(tracer.sink, JsonlSink)
+        assert tracer.sink.path == path
+        tracer.close()
+
+    def test_bools(self):
+        assert resolve_tracer(False) is NULL_TRACER
+        tracer = resolve_tracer(True)
+        assert tracer.enabled
+        assert isinstance(tracer.sink, MemorySink)
+
+    def test_null_spec_traces_but_retains_nothing(self):
+        tracer = resolve_tracer("null")
+        assert tracer.enabled
+        assert isinstance(tracer.sink, NullSink)
+        tracer.instant("x", "fault")
+        assert tracer.events() == []
+
+    def test_tracer_passthrough(self):
+        tracer = Tracer(MemorySink())
+        assert resolve_tracer(tracer) is tracer
+        assert resolve_tracer(NULL_TRACER) is NULL_TRACER
+
+    def test_sink_object_is_wrapped(self):
+        sink = MemorySink()
+        tracer = resolve_tracer(sink)
+        assert tracer.sink is sink
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            resolve_tracer(3.14)
