@@ -36,11 +36,18 @@ from .diagnostics import (
     count_by_severity,
     filter_diagnostics,
     make_diagnostic,
+    render_github,
     render_json,
     render_text,
     sort_key,
 )
 from .plan_lint import analyze_bag, analyze_plan
+from .properties import (
+    PlanProperties,
+    infer_properties,
+    partitioning_notes,
+    udf_preserves_key,
+)
 from .udf_lint import first_unsupported, scan_function
 
 __all__ = [
@@ -48,6 +55,7 @@ __all__ = [
     "Diagnostic",
     "ERROR",
     "INFO",
+    "PlanProperties",
     "WARNING",
     "analyze_bag",
     "analyze_closure",
@@ -57,11 +65,15 @@ __all__ = [
     "count_by_severity",
     "filter_diagnostics",
     "first_unsupported",
+    "infer_properties",
     "make_diagnostic",
+    "partitioning_notes",
+    "render_github",
     "render_json",
     "render_text",
     "scan_function",
     "sort_key",
+    "udf_preserves_key",
 ]
 
 

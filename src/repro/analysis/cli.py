@@ -30,6 +30,7 @@ from .diagnostics import (
     count_by_severity,
     filter_diagnostics,
     make_diagnostic,
+    render_github,
     render_json,
     render_text,
     sort_key,
@@ -52,6 +53,11 @@ def main(argv=None):
     diagnostics.sort(key=sort_key)
     if args.format == "json":
         print(render_json(diagnostics))
+    elif args.format == "github":
+        # GitHub Actions annotation lines only: the runner parses every
+        # ``::level ...::`` line and attaches it to the diff.
+        if diagnostics:
+            print(render_github(diagnostics))
     else:
         if diagnostics:
             print(render_text(diagnostics))
@@ -83,8 +89,9 @@ def _parse_args(argv):
         help="comma-separated code prefixes to suppress",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)",
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format (default: text); 'github' emits GitHub "
+        "Actions workflow-annotation lines",
     )
     parser.add_argument(
         "--no-import", dest="imports", action="store_false",

@@ -11,6 +11,8 @@ Code families:
 * ``NPL2xx`` -- closure / serialization problems the task runtime would
   hit at launch time.
 * ``NPL3xx`` -- plan-level smells and predicted failures.
+* ``NPL4xx`` -- partitioning-property findings from
+  :mod:`repro.analysis.properties` (redundant or avoidable shuffles).
 """
 
 import json
@@ -45,11 +47,18 @@ CODES = {
     # -- closures / serialization ---------------------------------------
     "NPL201": (ERROR, "captured value cannot be serialized"),
     "NPL202": (ERROR, "captures an engine runtime object"),
+    "NPL203": (WARNING, "shuffle key type hashes via its repr()"),
     # -- plans -----------------------------------------------------------
     "NPL301": (WARNING, "bag consumed >=2 times without cache()"),
     "NPL302": (WARNING, "key-only filter could be pushed below shuffle"),
     "NPL303": (ERROR, "broadcast build side exceeds executor memory"),
     "NPL304": (WARNING, "redundant back-to-back repartition"),
+    # -- partitioning properties -----------------------------------------
+    "NPL401": (WARNING, "redundant shuffle on already-partitioned input"),
+    "NPL402": (WARNING, "key-rewriting map destroys co-partitioning"),
+    "NPL403": (WARNING, "partition-count mismatch forces a reshuffle"),
+    "NPL404": (INFO, "a preserves-partitioning hint could elide this "
+                     "shuffle"),
 }
 
 
@@ -139,6 +148,48 @@ def render_text(diagnostics):
     )
 
 
+_GITHUB_LEVELS = {ERROR: "error", WARNING: "warning", INFO: "notice"}
+
+
+def _github_escape(text, property_value=False):
+    """Escape a string for a GitHub Actions workflow command."""
+    text = text.replace("%", "%25")
+    text = text.replace("\r", "%0D").replace("\n", "%0A")
+    if property_value:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def render_github(diagnostics):
+    """GitHub Actions annotation lines (``::warning file=...::...``).
+
+    One workflow command per diagnostic: errors annotate as ``error``,
+    warnings as ``warning``, info as ``notice``.  Source-located
+    findings carry ``file``/``line``/``col`` so GitHub attaches them to
+    the diff; plan-located findings annotate without a file.
+    """
+    lines = []
+    for diag in sorted(diagnostics, key=sort_key):
+        level = _GITHUB_LEVELS.get(diag.severity, "notice")
+        params = []
+        if diag.file:
+            params.append("file=%s" % _github_escape(diag.file, True))
+            if diag.line:
+                params.append("line=%d" % diag.line)
+            if diag.col:
+                params.append("col=%d" % diag.col)
+        params.append("title=%s" % _github_escape(diag.code, True))
+        message = diag.message
+        if diag.node:
+            message = "plan %s: %s" % (diag.node, message)
+        lines.append(
+            "::%s %s::%s %s"
+            % (level, ",".join(params), diag.code,
+               _github_escape(message))
+        )
+    return "\n".join(lines)
+
+
 def render_json(diagnostics):
     """A JSON document: the diagnostics plus a severity summary."""
     ordered = sorted(diagnostics, key=sort_key)
@@ -160,6 +211,7 @@ __all__ = [
     "count_by_severity",
     "filter_diagnostics",
     "make_diagnostic",
+    "render_github",
     "render_json",
     "render_text",
     "sort_key",

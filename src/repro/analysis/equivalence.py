@@ -1,0 +1,409 @@
+"""Differential verification of shuffle elision.
+
+The optimizer's shuffle elision (:mod:`repro.engine.optimize`) rewrites
+physical execution; this module *proves* the rewrite on real programs
+instead of assuming it.  Every program in the registry -- covering the
+whole :mod:`repro.tasks` library -- is executed twice on seeded inputs,
+once with ``optimize_shuffles=False`` and once with ``True``, and the
+two runs must agree:
+
+* identical collected results (canonicalized: collection order across
+  partitions is not semantically meaningful, and driver-side float
+  aggregation order can differ in the last ulps when an adopted layout
+  places records on different partitions);
+* consistent traces: same jobs, same per-job action/label, same stage
+  kind sequence (an elided shuffle still opens its -- zero-volume --
+  shuffle stage), and both traces pass
+  :func:`repro.engine.validate.validate_trace`;
+* the optimized run never shuffles *more*: per job, its shuffle volume
+  is bounded by the unoptimized run's.
+
+Run it from the command line (CI does, on both backends)::
+
+    PYTHONPATH=src python -m repro.analysis.equivalence --backend serial
+"""
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, replace
+
+from ..engine.config import laptop_config
+from ..engine.context import EngineContext
+from ..engine.validate import validate_trace
+from ..errors import PlanError
+
+__all__ = [
+    "EquivalenceError",
+    "Verification",
+    "library_programs",
+    "verify_library",
+    "verify_program",
+    "main",
+]
+
+
+class EquivalenceError(PlanError):
+    """Optimized and unoptimized execution of a program disagreed."""
+
+
+@dataclass
+class Verification:
+    """Outcome of one verified program.
+
+    Attributes:
+        name: Registry name of the program.
+        shuffle_records: Shuffle volume of the unoptimized run.
+        shuffle_records_optimized: Shuffle volume of the optimized run.
+        shuffle_records_saved: Volume the optimizer declared elided.
+        elisions: Number of shuffle-elision decisions taken.
+    """
+
+    name: str
+    shuffle_records: int
+    shuffle_records_optimized: int
+    shuffle_records_saved: int
+    elisions: int
+
+
+# ----------------------------------------------------------------------
+# Program registry: the whole repro.tasks library, seeded and small
+# ----------------------------------------------------------------------
+
+
+def _bounce_rate_flat(ctx):
+    from ..data.generators import visits_log
+    from ..tasks.bounce_rate import bounce_rate_flat
+
+    visits = ctx.bag_of(visits_log(4, 240, seed=7))
+    return sorted(bounce_rate_flat(visits).collect())
+
+
+def _bounce_rate_nested(ctx):
+    from ..data.generators import visits_log
+    from ..tasks.bounce_rate import bounce_rate_nested
+
+    visits = ctx.bag_of(visits_log(3, 180, seed=7))
+    return sorted(bounce_rate_nested(visits).collect())
+
+
+def _bounce_rate_diql(ctx):
+    from ..data.generators import visits_log
+    from ..tasks.bounce_rate import bounce_rate_diql
+
+    visits = ctx.bag_of(visits_log(3, 150, seed=9))
+    return sorted(bounce_rate_diql(visits).collect())
+
+
+def _pagerank_parallel(ctx):
+    from ..data.generators import grouped_edges
+    from ..tasks.pagerank import pagerank_parallel
+
+    edges = [edge for _group, edge in grouped_edges(2, 80, seed=13)]
+    return pagerank_parallel(ctx, edges, iterations=3)
+
+
+def _pagerank_nested(ctx):
+    from ..data.generators import grouped_edges
+    from ..tasks.pagerank import pagerank_nested
+
+    grouped = ctx.bag_of(grouped_edges(3, 90, seed=13))
+    return sorted(pagerank_nested(grouped, iterations=3).collect())
+
+
+def _connected_components(ctx):
+    from ..data.generators import component_graph
+    from ..tasks.graphs import connected_components
+
+    edges = component_graph(3, 6, seed=3)
+    labels = connected_components(ctx, ctx.bag_of(edges))
+    return sorted(labels.collect())
+
+
+def _avg_distances_nested(ctx):
+    from ..data.generators import component_graph
+    from ..tasks.avg_distances import avg_distances_nested
+
+    edges = component_graph(2, 5, seed=3)
+    return sorted(avg_distances_nested(ctx, edges).collect())
+
+
+def _avg_distances_inner(ctx):
+    from ..data.generators import component_graph
+    from ..tasks.avg_distances import avg_distances_inner
+
+    edges = component_graph(2, 4, seed=9)
+    return sorted(avg_distances_inner(ctx, edges))
+
+
+def _kmeans_nested(ctx):
+    from ..data.generators import grouped_points, initial_centroids
+    from ..tasks.kmeans import kmeans_nested_grouped
+
+    points = ctx.bag_of(grouped_points(3, 90, 3, seed=11))
+    configs = initial_centroids(3, 3, seed=11)
+    result = kmeans_nested_grouped(points, configs, max_iterations=3)
+    return sorted(result.collect())
+
+
+def _kmeans_parallel(ctx):
+    from ..data.generators import clustered_points, initial_centroids
+    from ..tasks.kmeans import kmeans_parallel
+
+    points = clustered_points(60, 3, seed=5)
+    centroids = initial_centroids(3, 1, seed=5)[0][1]
+    return kmeans_parallel(ctx, points, centroids, max_iterations=3)
+
+
+def _matrix_row_norms(ctx):
+    from ..tasks.matrix import matrix_bag, row_norms
+
+    rows = [[(i + j) % 5 + 0.5 for j in range(6)] for i in range(8)]
+    return sorted(row_norms(matrix_bag(ctx, rows)).collect())
+
+
+def _matrix_vector(ctx):
+    from ..tasks.matrix import matrix_bag, matrix_vector_product
+
+    rows = [[(3 * i + j) % 7 for j in range(5)] for i in range(6)]
+    vector = ctx.bag_of([(j, float(j + 1)) for j in range(5)])
+    product = matrix_vector_product(matrix_bag(ctx, rows), vector)
+    return sorted(product.collect())
+
+
+def library_programs():
+    """``(name, program)`` pairs covering every :mod:`repro.tasks`
+    module; each program takes a fresh context and returns a
+    deterministic-up-to-partitioning value."""
+    return [
+        ("bounce-rate-flat", _bounce_rate_flat),
+        ("bounce-rate-nested", _bounce_rate_nested),
+        ("bounce-rate-diql", _bounce_rate_diql),
+        ("pagerank-parallel", _pagerank_parallel),
+        ("pagerank-nested", _pagerank_nested),
+        ("connected-components", _connected_components),
+        ("avg-distances-nested", _avg_distances_nested),
+        ("avg-distances-inner", _avg_distances_inner),
+        ("kmeans-nested-grouped", _kmeans_nested),
+        ("kmeans-parallel", _kmeans_parallel),
+        ("matrix-row-norms", _matrix_row_norms),
+        ("matrix-vector-product", _matrix_vector),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Result comparison
+# ----------------------------------------------------------------------
+
+
+def _blurred(value):
+    """Round floats so ulp-level drift cannot change sort order."""
+    if isinstance(value, float):
+        return round(value, 6)
+    if isinstance(value, tuple):
+        return tuple(_blurred(v) for v in value)
+    if isinstance(value, list):
+        return [_blurred(v) for v in value]
+    return value
+
+
+def _canonical(value):
+    """Sort lists recursively: cross-partition order is not meaning."""
+    if isinstance(value, list):
+        return sorted(
+            (_canonical(v) for v in value),
+            key=lambda v: repr(_blurred(v)),
+        )
+    if isinstance(value, tuple):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, dict):
+        return {k: _canonical(v) for k, v in value.items()}
+    return value
+
+
+def _approx_equal(a, b, rel_tol=1e-9, abs_tol=1e-12):
+    if isinstance(a, float) or isinstance(b, float):
+        if not isinstance(a, (int, float)) or not isinstance(
+            b, (int, float)
+        ):
+            return False
+        return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False
+        return all(_approx_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if type(a) is not type(b) or len(a) != len(b):
+            return False
+        return all(_approx_equal(x, y) for x, y in zip(a, b))
+    return a == b
+
+
+def results_equivalent(a, b):
+    """Are two program results equal up to partitioning artifacts?
+
+    Lists are compared as multisets (collection order across partitions
+    is an executor artifact) and floats with a tight relative tolerance
+    (driver-side folds sum partitions in layout order).
+    """
+    return _approx_equal(_canonical(a), _canonical(b))
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+
+
+def _job_shuffle(job):
+    return sum(stage.shuffle_read_records for stage in job.stages)
+
+
+def _compare_traces(name, unoptimized, optimized):
+    if len(unoptimized.jobs) != len(optimized.jobs):
+        raise EquivalenceError(
+            "%s: optimized run submitted %d jobs, unoptimized %d"
+            % (name, len(optimized.jobs), len(unoptimized.jobs))
+        )
+    for base, opt in zip(unoptimized.jobs, optimized.jobs):
+        where = "%s job %d" % (name, base.job_id)
+        if (base.action, base.label) != (opt.action, opt.label):
+            raise EquivalenceError(
+                "%s: action/label diverged: %r vs %r"
+                % (where, (base.action, base.label),
+                   (opt.action, opt.label))
+            )
+        base_kinds = [stage.kind for stage in base.stages]
+        opt_kinds = [stage.kind for stage in opt.stages]
+        if base_kinds != opt_kinds:
+            raise EquivalenceError(
+                "%s: stage kinds diverged: %r vs %r"
+                % (where, base_kinds, opt_kinds)
+            )
+        if _job_shuffle(opt) > _job_shuffle(base):
+            raise EquivalenceError(
+                "%s: the optimized run shuffles more (%d) than the "
+                "unoptimized run (%d)"
+                % (where, _job_shuffle(opt), _job_shuffle(base))
+            )
+
+
+def verify_program(program, config=None, name="<program>"):
+    """Prove one program unchanged by shuffle elision.
+
+    Args:
+        program: Callable taking a fresh :class:`EngineContext` and
+            returning a comparable value.
+        config: Base config; ``optimize_shuffles`` is overridden per
+            run.  Defaults to ``laptop_config()``.
+        name: Label for error messages and the report line.
+
+    Returns:
+        A :class:`Verification` with the two runs' shuffle volumes.
+
+    Raises:
+        EquivalenceError: When results or traces diverge.
+    """
+    base_config = config if config is not None else laptop_config()
+    runs = {}
+    for optimize in (False, True):
+        ctx = EngineContext(
+            replace(base_config, optimize_shuffles=optimize)
+        )
+        result = program(ctx)
+        validate_trace(ctx.trace)
+        runs[optimize] = (result, ctx)
+    base_result, base_ctx = runs[False]
+    opt_result, opt_ctx = runs[True]
+    _compare_traces(name, base_ctx.trace, opt_ctx.trace)
+    if not results_equivalent(base_result, opt_result):
+        raise EquivalenceError(
+            "%s: optimized result differs from unoptimized result:\n"
+            "%r\nvs\n%r" % (name, opt_result, base_result)
+        )
+    return Verification(
+        name=name,
+        shuffle_records=sum(
+            _job_shuffle(job) for job in base_ctx.trace.jobs
+        ),
+        shuffle_records_optimized=sum(
+            _job_shuffle(job) for job in opt_ctx.trace.jobs
+        ),
+        shuffle_records_saved=sum(
+            stage.shuffle_records_saved
+            for job in opt_ctx.trace.jobs
+            for stage in job.stages
+        ),
+        elisions=len(opt_ctx.optimizer_decisions),
+    )
+
+
+def verify_library(config=None, only=None):
+    """Verify every registry program; returns the Verification list."""
+    verifications = []
+    for name, program in library_programs():
+        if only and not any(fragment in name for fragment in only):
+            continue
+        verifications.append(
+            verify_program(program, config=config, name=name)
+        )
+    return verifications
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.equivalence",
+        description="Differential verifier: every repro.tasks program "
+        "must produce identical results with and without shuffle "
+        "elision.",
+    )
+    parser.add_argument(
+        "--backend", choices=("serial", "process"), default="serial",
+        help="task runtime backend for both runs (default: serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for the process backend (default: 2)",
+    )
+    parser.add_argument(
+        "--only", action="append", default=None, metavar="SUBSTRING",
+        help="verify only programs whose name contains SUBSTRING "
+        "(repeatable)",
+    )
+    args = parser.parse_args(argv)
+    config = replace(
+        laptop_config(), backend=args.backend, num_workers=args.workers
+    )
+    failures = 0
+    verified = []
+    for name, program in library_programs():
+        if args.only and not any(f in name for f in args.only):
+            continue
+        try:
+            verification = verify_program(program, config=config,
+                                          name=name)
+        except EquivalenceError as error:
+            failures += 1
+            print("FAIL %s" % error)
+            continue
+        verified.append(verification)
+        print(
+            "ok   %-24s shuffle %6d -> %6d  (saved %d, %d elisions)"
+            % (
+                verification.name,
+                verification.shuffle_records,
+                verification.shuffle_records_optimized,
+                verification.shuffle_records_saved,
+                verification.elisions,
+            )
+        )
+    total_saved = sum(v.shuffle_records_saved for v in verified)
+    print(
+        "repro.analysis.equivalence: %d program(s) verified on the %s "
+        "backend, %d failure(s), %d shuffle records elided"
+        % (len(verified), args.backend, failures, total_saved)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,6 @@
-"""NPL3xx: lint over :mod:`repro.engine.plan` DAGs.
+"""NPL3xx / NPL4xx: lint over :mod:`repro.engine.plan` DAGs.
 
-Four checks, all pre-execution (the point is to predict the failure or
+All checks run pre-execution (the point is to predict the failure or
 the waste *before* the job runs):
 
 * **NPL301** -- a node consumed by two or more parents without
@@ -14,23 +14,43 @@ the waste *before* the job runs):
   the engine's :func:`~repro.engine.broadcast.check_broadcast_fits`
   raises :class:`~repro.errors.SimulatedOutOfMemory` for at runtime,
   predicted at plan-build time.
-* **NPL304** -- back-to-back repartitions where the first is wasted:
-  a coalesce immediately re-coalesced, or a shuffle whose input is
-  already hash-partitioned by key into the same partition count.
+* **NPL304** -- a coalesce immediately re-coalesced: the inner coalesce
+  does no enduring work.  (Shuffle-over-same-partitioning, NPL304's
+  former second case, is now NPL401: property inference proves it and
+  the engine elides it.)
+* **NPL203** -- driver-provided keyed records whose key type would hash
+  through the partitioner's ``repr()`` fallback, which is not
+  guaranteed process-stable.
+* **NPL401** -- a shuffle (or a cogroup side) whose input is provably
+  already partitioned in the layout the shuffle would build; the
+  engine elides it (see :mod:`repro.engine.optimize`).  Reported so
+  the saving is visible at lint time.
+* **NPL402** -- a key-rewriting map that destroys a provable
+  co-partitioning right before a shuffle that could otherwise have
+  been elided.
+* **NPL403** -- a shuffle input that *is* hash-partitioned, but into a
+  different partition count, forcing a full reshuffle.
+* **NPL404** -- a shuffle input whose map could not be *proven*
+  key-preserving; a ``preserves_partitioning=True`` hint (if truthful)
+  would enable elision.
 
+NPL4xx findings come from :mod:`repro.analysis.properties`.
 Diagnostics carry the node's stable id (see
 :func:`repro.engine.plan.assign_node_ids`), so a finding can be matched
 by eye against ``Bag.explain()`` / ``explain_compact``.
 """
 
 import ast
-import inspect
-import textwrap
 
 from ..engine import plan as p
+from ..engine.partitioner import unstable_key_reason
 from .diagnostics import make_diagnostic
+from .properties import HASH, NONE, function_ast, infer_properties
 
 _WIDE = (p.ReduceByKey, p.GroupByKey, p.CoGroup)
+
+#: How many driver-side records NPL203 samples per Parallelize node.
+_KEY_SAMPLE = 8
 
 
 def analyze_plan(root, config=None):
@@ -46,6 +66,10 @@ def analyze_plan(root, config=None):
     ids = p.assign_node_ids(root)
     parts = p.partition_counts(root)
     consumers = _consumer_counts(root)
+    props = infer_properties(root)
+    has_wide = any(
+        isinstance(node, _WIDE) for node in p.iter_nodes(root)
+    )
     diags = []
 
     def ref(node):
@@ -57,6 +81,9 @@ def analyze_plan(root, config=None):
         if config is not None:
             _check_broadcast_size(node, config, ref, diags)
         _check_redundant_repartition(node, ref, diags)
+        _check_partitioning(node, props, ref, diags)
+        if has_wide:
+            _check_unstable_keys(node, ref, diags)
     return diags
 
 
@@ -150,6 +177,10 @@ def _check_broadcast_size(node, config, ref, diags):
 
 
 def _check_redundant_repartition(node, ref, diags):
+    # The wide-above-wide case this check used to flag is strictly
+    # subsumed by NPL401 (property inference proves the layout reuse
+    # and the engine elides the shuffle); only the coalesce-of-coalesce
+    # case remains here, so one plan defect yields one diagnostic.
     if isinstance(node, p.Coalesce) and isinstance(node.child, p.Coalesce):
         diags.append(
             make_diagnostic(
@@ -160,25 +191,114 @@ def _check_redundant_repartition(node, ref, diags):
                 node=ref(node),
             )
         )
+
+
+def _wide_input_sides(node, props):
+    """(side_name, Partitioning) for each shuffled input of a wide node."""
+    if isinstance(node, p.CoGroup):
+        return (
+            ("left", props.partitioning_of(node.left)),
+            ("right", props.partitioning_of(node.right)),
+        )
+    return (("input", props.partitioning_of(node.child)),)
+
+
+def _check_partitioning(node, props, ref, diags):
+    """NPL401-404: partitioning-property findings for one wide node."""
+    if not isinstance(node, _WIDE):
         return
-    if isinstance(node, _WIDE):
-        child = node.left if isinstance(node, p.CoGroup) else node.child
+    elision = props.elisions.get(id(node))
+    if elision is not None:
+        if elision.choice == "elide":
+            what = (
+                "%s re-shuffles data already partitioned by %s into "
+                "%d partitions; the engine elides this shuffle (no "
+                "records move)"
+                % (ref(node), ref(elision.origin), node.num_partitions)
+            )
+        elif elision.choice == "elide-both":
+            what = (
+                "both inputs of %s already share the layout of %s; "
+                "the engine elides the shuffle entirely"
+                % (ref(node), ref(elision.origin))
+            )
+        else:
+            side = "left" if elision.choice == "adopt-left" else "right"
+            what = (
+                "the %s input of %s already has the layout of %s; the "
+                "engine keeps it in place and shuffles only the other "
+                "side" % (side, ref(node), ref(elision.origin))
+            )
+        diags.append(make_diagnostic("NPL401", what, node=ref(node)))
+    for side, partitioning in _wide_input_sides(node, props):
         if (
-            isinstance(child, _WIDE)
-            and not isinstance(child, p.CoGroup)
-            and child.num_partitions == node.num_partitions
+            partitioning.kind == HASH
+            and partitioning.num_partitions != node.num_partitions
         ):
             diags.append(
                 make_diagnostic(
-                    "NPL304",
-                    "%s re-shuffles the output of %s, which is already "
-                    "hash-partitioned by key into %d partitions; the "
-                    "back-to-back shuffle moves data that is already "
-                    "in place" % (ref(node), ref(child),
-                                  node.num_partitions),
+                    "NPL403",
+                    "the %s input of %s is hash-partitioned into %d "
+                    "partitions but %s shuffles into %d; the count "
+                    "mismatch forces a full reshuffle -- align the "
+                    "partition counts to enable elision"
+                    % (side, ref(node), partitioning.num_partitions,
+                       ref(node), node.num_partitions),
                     node=ref(node),
                 )
             )
+            continue
+        if partitioning.kind != NONE or partitioning.lost is None:
+            continue
+        lost = partitioning.lost
+        if lost.num_partitions != node.num_partitions:
+            continue
+        blame = partitioning.blame
+        if partitioning.reason == "rewrites-key":
+            diags.append(
+                make_diagnostic(
+                    "NPL402",
+                    "%s rewrites the key slot and destroys the "
+                    "co-partitioning of %s right before %s, which "
+                    "could otherwise elide its shuffle"
+                    % (ref(blame), ref(lost.origin), ref(node)),
+                    node=ref(blame),
+                )
+            )
+        elif partitioning.reason == "unproven":
+            diags.append(
+                make_diagnostic(
+                    "NPL404",
+                    "%s could not be proven key-preserving, so %s "
+                    "cannot reuse the layout of %s; if the UDF never "
+                    "rewrites the key, pass preserves_partitioning="
+                    "True to enable shuffle elision"
+                    % (ref(blame), ref(node), ref(lost.origin)),
+                    node=ref(blame),
+                )
+            )
+
+
+def _check_unstable_keys(node, ref, diags):
+    """NPL203: driver data whose keys hash via the repr() fallback."""
+    if not isinstance(node, p.Parallelize):
+        return
+    for record in node.data[:_KEY_SAMPLE]:
+        if not isinstance(record, tuple) or len(record) != 2:
+            continue
+        reason = unstable_key_reason(record[0])
+        if reason is not None:
+            diags.append(
+                make_diagnostic(
+                    "NPL203",
+                    "%s feeds a shuffle with keys that are not "
+                    "canonically hashable: %s -- use primitives or "
+                    "tuples of primitives as shuffle keys"
+                    % (ref(node), reason),
+                    node=ref(node),
+                )
+            )
+            return
 
 
 # ---------------------------------------------------------------------------
@@ -224,15 +344,11 @@ def _reads_only_key(fn):
 
 
 def _predicate_ast(fn):
-    """The predicate's Lambda/FunctionDef AST node, or None."""
-    try:
-        source = textwrap.dedent(inspect.getsource(fn))
-        tree = ast.parse(source)
-    except (OSError, TypeError, SyntaxError):
-        return None
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Lambda):
-            return node
-        if isinstance(node, ast.FunctionDef):
-            return node
-    return None
+    """The predicate's Lambda/FunctionDef AST node, or None.
+
+    Delegates to :func:`repro.analysis.properties.function_ast`, which
+    also handles lambda sources that are not valid standalone
+    statements (e.g. a lambda on a method's ``return`` line) and
+    disambiguates multiple candidates by name/arity.
+    """
+    return function_ast(fn)

@@ -66,6 +66,9 @@ class Decision:
     kind: str
     choice: str
     num_tags: int
+    #: Free-form human-readable context (e.g. which shuffle's layout an
+    #: elision reuses); empty for decisions that need none.
+    detail: str = ""
 
 
 class Optimizer:

@@ -74,21 +74,37 @@ class Bag:
     # Narrow transformations
     # ------------------------------------------------------------------
 
-    def map(self, fn):
-        """Apply ``fn`` to every element."""
-        return self._derive(p.Map(self.node, fn))
+    def map(self, fn, preserves_partitioning=False):
+        """Apply ``fn`` to every element.
+
+        ``preserves_partitioning=True`` asserts that ``fn`` never
+        rewrites the key slot of keyed records, letting the optimizer
+        keep the input's partitioning property when the automatic AST
+        proof is inconclusive (see :mod:`repro.analysis.properties`).
+        """
+        return self._derive(p.Map(self.node, fn, preserves_partitioning))
 
     def filter(self, fn):
         """Keep the elements for which ``fn`` is truthy."""
         return self._derive(p.Filter(self.node, fn))
 
-    def flat_map(self, fn):
-        """Apply ``fn`` (returning an iterable) and flatten the results."""
-        return self._derive(p.FlatMap(self.node, fn))
+    def flat_map(self, fn, preserves_partitioning=False):
+        """Apply ``fn`` (returning an iterable) and flatten the results.
 
-    def map_partitions(self, fn):
-        """Apply ``fn(items, partition_index)`` to each whole partition."""
-        return self._derive(p.MapPartitions(self.node, fn))
+        See :meth:`map` for ``preserves_partitioning``.
+        """
+        return self._derive(
+            p.FlatMap(self.node, fn, preserves_partitioning)
+        )
+
+    def map_partitions(self, fn, preserves_partitioning=False):
+        """Apply ``fn(items, partition_index)`` to each whole partition.
+
+        See :meth:`map` for ``preserves_partitioning``.
+        """
+        return self._derive(
+            p.MapPartitions(self.node, fn, preserves_partitioning)
+        )
 
     def map_values(self, fn):
         """Apply ``fn`` to the value of each ``(key, value)`` pair."""
@@ -344,19 +360,32 @@ class Bag:
         self.node.label = label
         return self
 
-    def explain(self, compact=False):
+    def explain(self, compact=False, properties=False):
         """Textual rendering of this bag's plan tree.
 
         Every node carries a stable ``#id`` and an inferred partition
         count; ``compact=True`` renders one line per node with child
         references instead of the indented tree.  The same ids appear
         in ``repro.analysis`` plan diagnostics.
+
+        ``properties=True`` additionally annotates nodes with their
+        inferred partitioning property (:mod:`repro.analysis
+        .properties`): ``[hash(k0)]`` for a fresh shuffle layout,
+        ``[hash(k0) via #N]`` for a layout inherited from the shuffle
+        with id ``N`` (an elided or adoptable shuffle), and
+        ``[drops hash(k0)]`` on the node that destroyed a provable
+        layout.
         """
+        notes = None
+        if properties:
+            from ..analysis.properties import partitioning_notes
+
+            notes = partitioning_notes(self.node)
         if compact:
-            return p.explain_compact(self.node)
+            return p.explain_compact(self.node, notes=notes)
         ids = p.assign_node_ids(self.node)
         parts = p.partition_counts(self.node)
-        return self.node.explain(ids=ids, parts=parts)
+        return self.node.explain(ids=ids, parts=parts, notes=notes)
 
     # ------------------------------------------------------------------
     # Actions (each runs one job)

@@ -33,6 +33,11 @@ def _default_straggler_factor():
     return float(os.environ.get("REPRO_STRAGGLER_FACTOR", "1.5"))
 
 
+def _default_optimize_shuffles():
+    raw = os.environ.get("REPRO_OPTIMIZE_SHUFFLES", "1")
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the simulated cluster.
@@ -128,6 +133,14 @@ class ClusterConfig:
     #: ... and this absolute floor, so scheduling jitter on
     #: microsecond-scale tasks never registers.
     straggler_min_task_seconds: float = 0.01
+    #: Statically elide shuffles whose input is provably co-partitioned
+    #: with the layout the shuffle would build (see
+    #: :mod:`repro.engine.optimize` and
+    #: :mod:`repro.analysis.properties`).  Defaults to the
+    #: ``REPRO_OPTIMIZE_SHUFFLES`` environment variable, else on.
+    optimize_shuffles: bool = field(
+        default_factory=_default_optimize_shuffles
+    )
 
     def __post_init__(self):
         if self.machines < 1:

@@ -52,6 +52,13 @@ class EngineContext:
         """The runtime's deterministic fault-injection hook."""
         return self.runtime.fault_injector
 
+    @property
+    def optimizer_decisions(self):
+        """Engine-level optimizer decisions recorded so far (e.g.
+        shuffle elisions), as :class:`repro.core.optimizer.Decision`
+        records."""
+        return self.executor.decisions
+
     # ------------------------------------------------------------------
     # Bag creation
     # ------------------------------------------------------------------

@@ -43,7 +43,8 @@ from ..observe.events import (
     KIND_SHUFFLE,
 )
 from . import plan as p
-from .partitioner import build_balanced_assignment
+from .optimize import plan_shuffle_elisions
+from .partitioner import build_balanced_assignment, stable_hash
 from .runtime.scheduler import TaskScheduler
 from .runtime.task import (
     STEP_FILTER,
@@ -87,6 +88,17 @@ class Executor:
             scheduler if scheduler is not None else TaskScheduler(config)
         )
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optimizer decisions taken so far (shuffle elisions), as
+        #: :class:`repro.core.optimizer.Decision` records.
+        self.decisions = []
+        # Concrete shuffle layouts by origin-node identity:
+        # ``{id(node): (node, {key: bucket})}``.  The node reference
+        # pins the object alive so id() cannot be recycled.  Persists
+        # across jobs: a cached bag keeps referencing its origin
+        # shuffle, and later jobs may adopt that layout.
+        self._assignments = {}
+        # Elisions planned for the job currently being evaluated.
+        self._elisions = {}
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
@@ -204,6 +216,7 @@ class Executor:
         the lineage depth, so 20k-operator chains evaluate without
         recursion-limit games.
         """
+        self._elisions = plan_shuffle_elisions(root, self.config)
         results = {}
         refcounts = self._refcounts(root)
         stack = [root]
@@ -457,26 +470,53 @@ class Executor:
                 buckets[assignment[record[0]]].append(record)
         return buckets, moved
 
-    def _shuffle(self, result, num_partitions, job, meta=False,
-                 origin="", assignment=None):
+    def _shuffle(self, result, node, job):
         """Shuffle keyed partitions; returns (buckets, reduce_stage).
 
         Keys are spread over reduce buckets with a balanced assignment
-        (see :func:`build_balanced_assignment`); joins pass a shared
-        ``assignment`` so both sides co-partition.
+        (see :func:`build_balanced_assignment`).  The concrete
+        assignment is registered under the shuffle node's identity so
+        later wide operators can *adopt* the layout instead of
+        re-shuffling (see :mod:`repro.engine.optimize`).
         """
-        if assignment is None:
-            assignment = self._key_assignment(
-                result.partitions, num_partitions
-            )
-        buckets, moved = self._bucketize(result, num_partitions, assignment)
-        stage = job.new_stage("shuffle", meta=meta, origin=origin)
+        origin = _origin(node)
+        assignment = self._key_assignment(
+            result.partitions, node.num_partitions
+        )
+        buckets, moved = self._bucketize(
+            result, node.num_partitions, assignment
+        )
+        stage = job.new_stage("shuffle", meta=node.meta, origin=origin)
         stage.shuffle_read_records = moved
         stage.shuffle_write_records = moved
         for bucket in buckets:
             stage.task_records.append(len(bucket))
         self._trace_shuffle(stage, origin)
+        self._assignments[id(node)] = (node, assignment)
         return buckets, stage
+
+    def _planned_elision(self, node, child_partitions):
+        """The elision planned for ``node``, if its runtime precondition
+        (the input actually has the predicted partition count) holds."""
+        elision = self._elisions.get(id(node))
+        if elision is None:
+            return None
+        if len(child_partitions) != node.num_partitions:
+            return None
+        return elision
+
+    def _record_elision(self, node, elision):
+        from ..core.optimizer import Decision
+
+        self.decisions.append(
+            Decision(
+                kind="shuffle-elision",
+                choice=elision.choice,
+                num_tags=node.num_partitions,
+                detail="%s reuses the partitioning of %s"
+                % (_origin(node), _origin(elision.origin)),
+            )
+        )
 
     def _key_assignment(self, partition_lists, num_partitions):
         counts = {}
@@ -488,10 +528,30 @@ class Executor:
         return build_balanced_assignment(counts, num_partitions)
 
     def _eval_reduce_by_key(self, node, job, child):
+        task = CombineTask(node.fn, _origin(node))
+        elision = self._planned_elision(node, child.partitions)
+        if elision is not None:
+            # The input is provably laid out exactly as this shuffle
+            # would lay it out: every key is confined to the partition
+            # it would be sent to, so a single combine pass per
+            # partition produces the final result and nothing crosses
+            # the network.  The stage stays a (zero-volume) shuffle
+            # stage so trace shapes match the unoptimized plan.
+            stage = job.new_stage(
+                "shuffle", meta=node.meta, origin=_origin(node)
+            )
+            out = self.scheduler.run_stage(
+                task, [(part,) for part in child.partitions], stage=stage
+            )
+            for bucket in out:
+                stage.task_records.append(len(bucket))
+            stage.shuffle_records_saved = sum(len(b) for b in out)
+            self._account_spill(stage)
+            self._record_elision(node, elision)
+            return _Result(out, stage)
         # Map-side combine: reduce within each map partition first, so the
         # shuffle only moves one record per (partition, key) pair.  The
         # same combine task runs on both sides of the shuffle.
-        task = CombineTask(node.fn, _origin(node))
         combined = _Result(
             self.scheduler.run_stage(
                 task,
@@ -500,10 +560,7 @@ class Executor:
             ),
             child.stage,
         )
-        buckets, stage = self._shuffle(
-            combined, node.num_partitions, job, meta=node.meta,
-            origin=_origin(node),
-        )
+        buckets, stage = self._shuffle(combined, node, job)
         out = self.scheduler.run_stage(
             task, [(bucket,) for bucket in buckets], stage=stage
         )
@@ -511,10 +568,31 @@ class Executor:
         return _Result(out, stage)
 
     def _eval_group_by_key(self, node, job, child):
-        buckets, stage = self._shuffle(
-            child, node.num_partitions, job, meta=node.meta,
-            origin=_origin(node),
-        )
+        elision = self._planned_elision(node, child.partitions)
+        if elision is not None:
+            # Keys are already confined to their target partitions:
+            # group each partition in place, no shuffle traffic.
+            stage = job.new_stage(
+                "shuffle", meta=node.meta, origin=_origin(node)
+            )
+            for part in child.partitions:
+                stage.task_records.append(len(part))
+            stage.shuffle_records_saved = sum(
+                len(part) for part in child.partitions
+            )
+            task = GroupBucketTask(
+                self._stage_rate(stage),
+                self.config.memory_overhead_factor,
+                self._task_limit(child.partitions),
+                _origin(node),
+            )
+            out = self.scheduler.run_stage(
+                task, [(part,) for part in child.partitions], stage=stage
+            )
+            self._account_spill(stage)
+            self._record_elision(node, elision)
+            return _Result(out, stage)
+        buckets, stage = self._shuffle(child, node, job)
         task = GroupBucketTask(
             self._stage_rate(stage),
             self.config.memory_overhead_factor,
@@ -534,6 +612,9 @@ class Executor:
         return self.config.task_memory_limit_bytes(per_machine)
 
     def _eval_cogroup(self, node, job, left, right):
+        elided = self._eval_cogroup_elided(node, job, left, right)
+        if elided is not None:
+            return elided
         # Both sides co-partition: one key assignment over both inputs.
         counts = {}
         for result in (left, right):
@@ -550,6 +631,7 @@ class Executor:
         right_buckets, right_moved = self._bucketize(
             right, node.num_partitions, assignment
         )
+        self._assignments[id(node)] = (node, assignment)
         # One reduce stage reads both sides' shuffle files (Spark
         # schedules a single reduce task set for a cogroup); each input
         # record is credited exactly once.
@@ -563,6 +645,103 @@ class Executor:
                 + len(right_buckets[bucket_index])
             )
         self._trace_shuffle(stage, _origin(node))
+        return self._run_cogroup_buckets(
+            node, stage, left_buckets, right_buckets
+        )
+
+    def _eval_cogroup_elided(self, node, job, left, right):
+        """A cogroup whose shuffle is (partially) elided, or ``None``.
+
+        ``elide-both``: both sides already share the origin's layout --
+        zip their partitions directly, nothing moves.  ``adopt-left`` /
+        ``adopt-right``: one side stays in place and only the other
+        side is bucketized into the adopted layout (its map-side write
+        is still charged); keys the origin never saw are placed by
+        hash.  Falls back to a full shuffle when a runtime
+        precondition fails (partition-count mismatch, or the origin's
+        concrete assignment was never registered by this executor).
+        """
+        elision = self._elisions.get(id(node))
+        if elision is None or elision.choice not in (
+            "elide-both", "adopt-left", "adopt-right",
+        ):
+            return None
+        n = node.num_partitions
+        layout = None
+        if elision.choice == "elide-both":
+            if len(left.partitions) != n or len(right.partitions) != n:
+                return None
+            left_buckets = left.partitions
+            right_buckets = right.partitions
+            moved = 0
+            saved = sum(len(part) for part in left.partitions) + sum(
+                len(part) for part in right.partitions
+            )
+        else:
+            if elision.choice == "adopt-left":
+                adopted, other = left, right
+            else:
+                adopted, other = right, left
+            if len(adopted.partitions) != n:
+                return None
+            entry = self._assignments.get(id(elision.origin))
+            if entry is None:
+                return None
+            layout = dict(entry[1])
+            other_buckets, moved = self._adopt_bucketize(other, n, layout)
+            if elision.choice == "adopt-left":
+                left_buckets = adopted.partitions
+                right_buckets = other_buckets
+            else:
+                left_buckets = other_buckets
+                right_buckets = adopted.partitions
+            saved = sum(len(part) for part in adopted.partitions)
+        stage = job.new_stage("shuffle", meta=node.meta,
+                              origin=_origin(node))
+        stage.shuffle_read_records = moved
+        stage.shuffle_write_records = moved
+        stage.shuffle_records_saved = saved
+        for bucket_index in range(n):
+            stage.task_records.append(
+                len(left_buckets[bucket_index])
+                + len(right_buckets[bucket_index])
+            )
+        if moved:
+            self._trace_shuffle(stage, _origin(node))
+        if layout is not None:
+            # The output layout is the (extended) adopted layout;
+            # register it under this node so stacked joins can adopt
+            # it in turn.
+            self._assignments[id(node)] = (node, layout)
+        self._record_elision(node, elision)
+        return self._run_cogroup_buckets(
+            node, stage, left_buckets, right_buckets
+        )
+
+    def _adopt_bucketize(self, result, num_partitions, layout):
+        """Bucketize one cogroup side into an adopted shuffle layout.
+
+        Extends ``layout`` in place with hash-placed buckets for keys
+        the origin shuffle never saw; charges the map-side write to the
+        producing stage like :meth:`_bucketize`.
+        """
+        buckets = [[] for _ in range(num_partitions)]
+        moved = 0
+        for index, part in enumerate(result.partitions):
+            result.stage.add_task_records(index, len(part))
+            moved += len(part)
+            for record in part:
+                self._require_keyed(record)
+                key = record[0]
+                bucket = layout.get(key)
+                if bucket is None:
+                    bucket = stable_hash(key) % num_partitions
+                    layout[key] = bucket
+                buckets[bucket].append(record)
+        return buckets, moved
+
+    def _run_cogroup_buckets(self, node, stage, left_buckets,
+                             right_buckets):
         limit = self._task_limit(
             [
                 left_buckets[i] + right_buckets[i]

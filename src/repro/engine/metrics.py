@@ -58,6 +58,11 @@ class StageMetrics:
     task_records: list = field(default_factory=list)
     shuffle_read_records: int = 0
     shuffle_write_records: int = 0
+    #: Records a full shuffle would have moved here but did not because
+    #: the optimizer elided (part of) the shuffle: the input was already
+    #: laid out as this stage required (see :mod:`repro.engine.optimize`).
+    #: Only shuffle stages may carry a non-zero value.
+    shuffle_records_saved: int = 0
     spilled_records: int = 0
     #: Meta-scale stages carry per-tag summary records, charged at the
     #: config's result_record_bytes instead of bytes_per_record.
@@ -229,6 +234,10 @@ class ExecutionTrace:
                 if stage.shuffle_read_records:
                     extras.append(
                         "shuffle=%d" % stage.shuffle_read_records
+                    )
+                if stage.shuffle_records_saved:
+                    extras.append(
+                        "saved=%d" % stage.shuffle_records_saved
                     )
                 if stage.spilled_records:
                     extras.append("spill=%d" % stage.spilled_records)

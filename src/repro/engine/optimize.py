@@ -1,0 +1,36 @@
+"""The engine's static optimizer pass: shuffle-elision planning.
+
+The executor consults this once per job.  The heavy lifting -- proving
+which wide nodes re-shuffle data that is already laid out correctly --
+lives in :mod:`repro.analysis.properties`; this module is the thin
+engine-side entry point that honors ``ClusterConfig.optimize_shuffles``.
+
+Soundness note: a static :class:`~repro.analysis.properties.Elision` is
+a *permission*, not a command.  The executor still checks the runtime
+preconditions (partition counts match, the origin shuffle's concrete
+assignment is registered) and falls back to a normal shuffle when they
+do not hold.
+"""
+
+__all__ = ["plan_shuffle_elisions"]
+
+
+def plan_shuffle_elisions(root, config=None):
+    """Shuffles the executor may elide for this plan.
+
+    Args:
+        root: The plan's root node.
+        config: The cluster config; when it disables
+            ``optimize_shuffles`` no elisions are planned.
+
+    Returns:
+        ``{id(node): Elision}`` for every wide node whose input is
+        provably co-partitioned with the layout the node would build.
+    """
+    if config is not None and not getattr(config, "optimize_shuffles", True):
+        return {}
+    # Lazy import: repro.analysis imports repro.engine, so engine
+    # modules must not import the analysis layer at module scope.
+    from ..analysis.properties import infer_properties
+
+    return infer_properties(root).elisions

@@ -7,12 +7,46 @@ CRC32 over a canonical byte rendering of the key.  Keys must have a stable
 """
 
 import heapq
+import warnings
 import zlib
+
+#: Key types already warned about for falling back to the repr() hash
+#: branch (one warning per type per process).  Tests may clear this via
+#: :func:`reset_unstable_key_warnings`.
+_UNSTABLE_KEY_TYPES_SEEN = set()
 
 
 def stable_hash(key):
     """A deterministic, process-stable hash of ``key``."""
     return zlib.crc32(_canonical_bytes(key))
+
+
+def reset_unstable_key_warnings():
+    """Forget which key types already triggered the repr()-fallback
+    warning (so tests can assert the one-time behavior)."""
+    _UNSTABLE_KEY_TYPES_SEEN.clear()
+
+
+def unstable_key_reason(key):
+    """Why hashing ``key`` would fall back to ``repr()``, or ``None``.
+
+    Mirrors :func:`_canonical_bytes`: primitives, ``None``, and nested
+    tuples/frozensets of those hash canonically; anything else reaches
+    the ``r:`` branch, whose ``repr()`` rendering is not guaranteed
+    stable across processes (default object reprs embed addresses).
+    """
+    if isinstance(key, (bytes, str, bool, int, float)) or key is None:
+        return None
+    if isinstance(key, (tuple, frozenset)):
+        for part in key:
+            reason = unstable_key_reason(part)
+            if reason is not None:
+                return reason
+        return None
+    return (
+        "type %s hashes via its repr(), which is not guaranteed "
+        "process-stable" % type(key).__name__
+    )
 
 
 def _canonical_bytes(key):
@@ -31,6 +65,16 @@ def _canonical_bytes(key):
     if isinstance(key, (tuple, frozenset)):
         parts = [_canonical_bytes(part) for part in key]
         return b"t:(" + b",".join(parts) + b")"
+    key_type = type(key)
+    if key_type not in _UNSTABLE_KEY_TYPES_SEEN:
+        _UNSTABLE_KEY_TYPES_SEEN.add(key_type)
+        warnings.warn(
+            "hashing a %s key via repr(): not guaranteed process-stable; "
+            "use primitives or tuples of primitives as shuffle keys "
+            "(NPL203)" % key_type.__name__,
+            RuntimeWarning,
+            stacklevel=3,
+        )
     return b"r:" + repr(key).encode("utf-8", errors="replace")
 
 

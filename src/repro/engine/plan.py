@@ -44,14 +44,16 @@ class PlanNode:
     def name(self):
         return type(self).__name__
 
-    def describe(self, ids=None, parts=None):
+    def describe(self, ids=None, parts=None, notes=None):
         """One-line description: ``Name#id [label] parts=N (cached)``.
 
         ``ids`` / ``parts`` are the dicts produced by
         :func:`assign_node_ids` and :func:`partition_counts`; either may
         be omitted.  The id is *stable*: it depends only on the plan
         shape (pre-order position), so diagnostics and repeated
-        ``explain()`` calls agree.
+        ``explain()`` calls agree.  ``notes`` is an optional
+        ``{id(node): text}`` dict of extra annotations (e.g. inferred
+        partitioning properties), appended as ``[text]``.
         """
         line = self.name
         if ids is not None and id(self) in ids:
@@ -62,14 +64,16 @@ class PlanNode:
             line += " parts=%d" % parts[id(self)]
         if self.cached:
             line += " (cached)"
+        if notes is not None and notes.get(id(self)):
+            line += " [%s]" % notes[id(self)]
         return line
 
-    def explain(self, indent=0, ids=None, parts=None):
+    def explain(self, indent=0, ids=None, parts=None, notes=None):
         """Multi-line textual rendering of the plan tree."""
         pad = "  " * indent
-        lines = [pad + self.describe(ids, parts)]
+        lines = [pad + self.describe(ids, parts, notes)]
         for child in self.children:
-            lines.append(child.explain(indent + 1, ids, parts))
+            lines.append(child.explain(indent + 1, ids, parts, notes))
         return "\n".join(lines)
 
 
@@ -107,9 +111,13 @@ class UnaryNode(PlanNode):
 class Map(UnaryNode):
     fusable = True
 
-    def __init__(self, child, fn):
+    def __init__(self, child, fn, preserves_partitioning=False):
         super().__init__(child)
         self.fn = fn
+        # User assertion that fn never rewrites the key slot of keyed
+        # records; lets property inference inherit the child's
+        # partitioning when the AST proof comes up inconclusive.
+        self.preserves_partitioning = preserves_partitioning
 
 
 class Filter(UnaryNode):
@@ -123,17 +131,19 @@ class Filter(UnaryNode):
 class FlatMap(UnaryNode):
     fusable = True
 
-    def __init__(self, child, fn):
+    def __init__(self, child, fn, preserves_partitioning=False):
         super().__init__(child)
         self.fn = fn
+        self.preserves_partitioning = preserves_partitioning
 
 
 class MapPartitions(UnaryNode):
     """Applies ``fn(items, partition_index)`` to each whole partition."""
 
-    def __init__(self, child, fn):
+    def __init__(self, child, fn, preserves_partitioning=False):
         super().__init__(child)
         self.fn = fn
+        self.preserves_partitioning = preserves_partitioning
 
 
 class ZipWithUniqueId(UnaryNode):
@@ -336,13 +346,14 @@ def _own_partitions(node, counts):
     return None
 
 
-def explain_compact(root):
+def explain_compact(root, notes=None):
     """One line per node: ``#1 Name [label] parts=N <- #2 #3``.
 
     The compact rendering used by plan-lint diagnostics: each line
     names the node's stable id, its partition count, and the ids of its
     inputs, so a diagnostic can reference an exact node without
-    reproducing the whole tree.
+    reproducing the whole tree.  ``notes`` optionally appends a
+    ``[text]`` annotation per node (see ``PlanNode.describe``).
     """
     ids = assign_node_ids(root)
     parts = partition_counts(root)
@@ -359,6 +370,8 @@ def explain_compact(root):
             line += " parts=%d" % count
         if node.cached:
             line += " (cached)"
+        if notes is not None and notes.get(id(node)):
+            line += " [%s]" % notes[id(node)]
         if node.children:
             line += " <- " + " ".join(
                 "#%d" % ids[id(child)] for child in node.children

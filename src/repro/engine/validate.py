@@ -69,6 +69,8 @@ def validate_stage(job, stage, upstream_records):
         _fail(job, stage, "negative shuffle write volume")
     if stage.spilled_records < 0:
         _fail(job, stage, "negative spill volume")
+    if stage.shuffle_records_saved < 0:
+        _fail(job, stage, "negative elided-shuffle volume")
     for seconds in stage.task_seconds:
         if seconds < 0:
             _fail(job, stage, "negative measured task seconds")
@@ -81,6 +83,12 @@ def validate_stage(job, stage, upstream_records):
             _fail(
                 job, stage,
                 "narrow %r stage carries shuffle volume" % stage.kind,
+            )
+        if stage.shuffle_records_saved:
+            _fail(
+                job, stage,
+                "narrow %r stage claims elided-shuffle savings"
+                % stage.kind,
             )
         return
     if not stage.origin:
@@ -162,6 +170,7 @@ def trace_signature(trace):
                 tuple(stage.task_records),
                 stage.shuffle_read_records,
                 stage.shuffle_write_records,
+                stage.shuffle_records_saved,
                 stage.spilled_records,
             )
             for stage in job.stages

@@ -41,6 +41,15 @@ def _stage_bytes(stage, config):
     return int(stage.shuffle_read_records * rate)
 
 
+def _stage_bytes_saved(stage, config):
+    """Bytes the optimizer's shuffle elision kept off the wire."""
+    rate = (
+        config.result_record_bytes if stage.meta
+        else config.bytes_per_record
+    )
+    return int(stage.shuffle_records_saved * rate)
+
+
 def _stage_entry(stage, cost_model):
     cost = cost_model.stage_cost(stage)
     return {
@@ -52,6 +61,10 @@ def _stage_entry(stage, cost_model):
         "records": stage.total_records,
         "shuffle_records": stage.shuffle_read_records,
         "shuffle_bytes": _stage_bytes(stage, cost_model.config),
+        "shuffle_records_saved": stage.shuffle_records_saved,
+        "shuffle_bytes_saved": _stage_bytes_saved(
+            stage, cost_model.config
+        ),
         "spilled_records": stage.spilled_records,
         "measured_seconds": stage.measured_seconds,
         "failed_attempt_seconds": stage.failed_attempt_seconds,
@@ -109,6 +122,16 @@ def entry_from_context(ctx, system, x, status="ok",
             ),
             "shuffle_bytes": sum(
                 stage["shuffle_bytes"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+            "shuffle_records_saved": sum(
+                stage["shuffle_records_saved"]
+                for job in jobs
+                for stage in job["stages"]
+            ),
+            "shuffle_bytes_saved": sum(
+                stage["shuffle_bytes_saved"]
                 for job in jobs
                 for stage in job["stages"]
             ),

@@ -1,0 +1,65 @@
+"""The differential verifier for shuffle elision."""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    EquivalenceError,
+    library_programs,
+    main,
+    results_equivalent,
+    verify_library,
+    verify_program,
+)
+
+
+def test_registry_covers_every_task_module():
+    names = [name for name, _program in library_programs()]
+    assert len(names) == len(set(names))
+    for fragment in (
+        "bounce-rate", "pagerank", "connected", "avg-distances",
+        "kmeans", "matrix",
+    ):
+        assert any(fragment in name for name in names)
+
+
+def test_verify_program_reports_savings():
+    subset = verify_library(only=["bounce-rate-flat"])
+    assert len(subset) == 1
+    verification = subset[0]
+    assert verification.elisions >= 1
+    assert verification.shuffle_records_saved > 0
+    assert (
+        verification.shuffle_records_optimized
+        < verification.shuffle_records
+    )
+
+
+def test_verify_program_without_elisions_still_passes():
+    subset = verify_library(only=["matrix-row-norms"])
+    assert subset[0].elisions == 0
+    assert (
+        subset[0].shuffle_records_optimized
+        == subset[0].shuffle_records
+    )
+
+
+def test_verify_program_rejects_divergent_results():
+    def rigged(ctx):
+        return ctx.config.optimize_shuffles
+
+    with pytest.raises(EquivalenceError, match="differs"):
+        verify_program(rigged, name="rigged")
+
+
+def test_results_equivalent_is_order_and_ulp_insensitive():
+    assert results_equivalent([(1, 0.1 + 0.2)], [(1, 0.3)])
+    assert results_equivalent([("b", 2), ("a", 1)], [("a", 1), ("b", 2)])
+    assert not results_equivalent([("a", 1)], [("a", 2)])
+    assert not results_equivalent([("a", 1)], [("a", 1), ("a", 1)])
+
+
+def test_cli_subset_run(capsys):
+    assert main(["--only", "pagerank-parallel"]) == 0
+    out = capsys.readouterr().out
+    assert "ok   pagerank-parallel" in out
+    assert "1 program(s) verified" in out

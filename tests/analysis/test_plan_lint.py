@@ -140,13 +140,18 @@ def test_npl304_double_coalesce(ctx):
     assert "Coalesce" in matching[0].node
 
 
-def test_npl304_shuffle_over_same_partitioning(ctx):
+def test_shuffle_over_same_partitioning_is_npl401_not_npl304(ctx):
+    # The wide-over-wide case moved from NPL304 (smell) to NPL401
+    # (proven layout reuse, elided by the engine); exactly one of the
+    # two codes must fire so one defect yields one diagnostic.
     bag = (
         _keyed(ctx)
         .reduce_by_key(lambda a, b: a + b, 4)
         .group_by_key(4)
     )
-    assert "NPL304" in codes(analyze_bag(bag))
+    found = codes(analyze_bag(bag))
+    assert "NPL401" in found
+    assert "NPL304" not in found
 
 
 def test_npl304_silent_when_partition_counts_differ(ctx):

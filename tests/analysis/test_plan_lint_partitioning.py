@@ -1,0 +1,165 @@
+"""NPL203 + NPL4xx: partitioning-property diagnostics."""
+
+from repro.analysis import analyze_bag
+
+
+def codes(diags):
+    return [d.code for d in diags]
+
+
+def _add(a, b):
+    return a + b
+
+
+def _swap(kv):
+    return (kv[1], kv[0])
+
+
+def _opaque(kv):
+    return _swap(kv)
+
+
+def _keyed(ctx, n=60, k=5):
+    return ctx.bag_of(list(range(n))).map(lambda x: (x % k, x))
+
+
+def _by_code(diags, code):
+    return [d for d in diags if d.code == code]
+
+
+# ---------------------------------------------------------------------------
+# NPL401: redundant shuffle (elided by the engine)
+# ---------------------------------------------------------------------------
+
+
+def test_npl401_same_layout_shuffle(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).group_by_key(4)
+    matching = _by_code(analyze_bag(bag), "NPL401")
+    assert len(matching) == 1
+    assert "GroupByKey" in matching[0].node
+    assert "elides" in matching[0].message
+
+
+def test_npl401_cogroup_adoption_reported(ctx):
+    rbk = _keyed(ctx).reduce_by_key(_add, 4)
+    joined = rbk.join(_keyed(ctx, n=40), num_partitions=4)
+    matching = _by_code(analyze_bag(joined), "NPL401")
+    assert len(matching) == 1
+    assert "left input" in matching[0].message
+
+
+def test_npl401_silent_on_fresh_shuffle(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4)
+    assert "NPL401" not in codes(analyze_bag(bag))
+
+
+# ---------------------------------------------------------------------------
+# NPL402: key-rewriting map destroys co-partitioning
+# ---------------------------------------------------------------------------
+
+
+def test_npl402_key_rewriting_map(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).map(_swap).group_by_key(4)
+    matching = _by_code(analyze_bag(bag), "NPL402")
+    assert len(matching) == 1
+    assert "Map" in matching[0].node  # blames the map, not the shuffle
+
+
+def test_npl402_silent_for_key_preserving_map(ctx):
+    bag = (
+        _keyed(ctx)
+        .reduce_by_key(_add, 4)
+        .map(lambda kv: (kv[0], -kv[1]))
+        .group_by_key(4)
+    )
+    found = codes(analyze_bag(bag))
+    assert "NPL402" not in found
+    assert "NPL401" in found  # the proof carried through instead
+
+
+# ---------------------------------------------------------------------------
+# NPL403: partition-count mismatch
+# ---------------------------------------------------------------------------
+
+
+def test_npl403_partition_count_mismatch(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).group_by_key(8)
+    matching = _by_code(analyze_bag(bag), "NPL403")
+    assert len(matching) == 1
+    assert "4" in matching[0].message and "8" in matching[0].message
+    assert "NPL401" not in codes(analyze_bag(bag))
+
+
+def test_npl403_silent_when_counts_align(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).group_by_key(4)
+    assert "NPL403" not in codes(analyze_bag(bag))
+
+
+# ---------------------------------------------------------------------------
+# NPL404: an honest hint would enable elision
+# ---------------------------------------------------------------------------
+
+
+def test_npl404_unprovable_map_suggests_hint(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).map(_opaque).group_by_key(4)
+    matching = _by_code(analyze_bag(bag), "NPL404")
+    assert len(matching) == 1
+    assert matching[0].severity == "info"
+    assert "preserves_partitioning" in matching[0].message
+    assert "NPL402" not in codes(analyze_bag(bag))
+
+
+def test_npl404_silenced_by_hint(ctx):
+    bag = (
+        _keyed(ctx)
+        .reduce_by_key(_add, 4)
+        .map(_opaque, preserves_partitioning=True)
+        .group_by_key(4)
+    )
+    found = codes(analyze_bag(bag))
+    assert "NPL404" not in found
+    assert "NPL401" in found
+
+
+def test_npl404_silent_when_map_is_provably_rewriting(ctx):
+    bag = _keyed(ctx).reduce_by_key(_add, 4).map(_swap).group_by_key(4)
+    assert "NPL404" not in codes(analyze_bag(bag))
+
+
+# ---------------------------------------------------------------------------
+# NPL203: repr()-hashed shuffle keys
+# ---------------------------------------------------------------------------
+
+
+class _OpaqueKey:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, _OpaqueKey) and other.value == self.value
+        )
+
+
+def test_npl203_object_keys_into_a_shuffle(ctx):
+    records = [(_OpaqueKey(i % 3), i) for i in range(12)]
+    bag = ctx.bag_of(records).reduce_by_key(_add)
+    matching = _by_code(analyze_bag(bag), "NPL203")
+    assert len(matching) == 1
+    assert "Parallelize" in matching[0].node
+    assert "repr()" in matching[0].message
+
+
+def test_npl203_silent_for_primitive_and_tuple_keys(ctx):
+    records = [((i % 3, "g"), i) for i in range(12)]
+    bag = ctx.bag_of(records).reduce_by_key(_add)
+    assert "NPL203" not in codes(analyze_bag(bag))
+
+
+def test_npl203_silent_without_a_shuffle(ctx):
+    records = [(_OpaqueKey(i), i) for i in range(12)]
+    bag = ctx.bag_of(records).map(lambda kv: kv[1])
+    assert "NPL203" not in codes(analyze_bag(bag))

@@ -1,0 +1,204 @@
+"""Runtime shuffle elision: the optimizer pass inside the executor."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro.engine import EngineContext, laptop_config
+from repro.engine.partitioner import reset_unstable_key_warnings
+from repro.engine.validate import validate_trace
+
+
+def _add(a, b):
+    return a + b
+
+
+def _keyed(ctx, n=60, k=5):
+    return ctx.bag_of(list(range(n))).map(lambda x: (x % k, x))
+
+
+def _pair(optimized=True):
+    config = dataclasses.replace(
+        laptop_config(), optimize_shuffles=optimized
+    )
+    return EngineContext(config)
+
+
+def _total_shuffle(ctx):
+    return sum(
+        stage.shuffle_read_records
+        for job in ctx.trace.jobs
+        for stage in job.stages
+    )
+
+
+def _run_both(program):
+    """(optimized ctx, plain ctx, optimized result, plain result)."""
+    opt_ctx, plain_ctx = _pair(True), _pair(False)
+    opt = program(opt_ctx)
+    plain = program(plain_ctx)
+    validate_trace(opt_ctx.trace)
+    validate_trace(plain_ctx.trace)
+    return opt_ctx, plain_ctx, opt, plain
+
+
+def test_full_elision_same_results_lower_shuffle():
+    def program(ctx):
+        bag = _keyed(ctx).reduce_by_key(_add, 4).group_by_key(4)
+        return sorted((k, sorted(v)) for k, v in bag.collect())
+
+    opt_ctx, plain_ctx, opt, plain = _run_both(program)
+    assert opt == plain
+    assert _total_shuffle(opt_ctx) < _total_shuffle(plain_ctx)
+    decisions = opt_ctx.optimizer_decisions
+    assert [d.kind for d in decisions] == ["shuffle-elision"]
+    assert decisions[0].choice == "elide"
+    assert not plain_ctx.optimizer_decisions
+
+
+def test_elided_stage_claims_savings_not_volume():
+    ctx = _pair(True)
+    _keyed(ctx).reduce_by_key(_add, 4).group_by_key(4).collect()
+    elided = ctx.trace.jobs[-1].stages[-1]
+    assert elided.kind == "shuffle"
+    assert elided.shuffle_read_records == 0
+    assert elided.shuffle_records_saved > 0
+
+
+def test_cogroup_adoption_shuffles_only_one_side():
+    def program(ctx):
+        rbk = _keyed(ctx).reduce_by_key(_add, 4)
+        joined = rbk.join(_keyed(ctx, n=40), num_partitions=4)
+        return sorted(joined.collect())
+
+    opt_ctx, plain_ctx, opt, plain = _run_both(program)
+    assert opt == plain
+    assert _total_shuffle(opt_ctx) < _total_shuffle(plain_ctx)
+    assert [d.choice for d in opt_ctx.optimizer_decisions] == [
+        "adopt-left"
+    ]
+
+
+def test_cached_bag_adopts_across_jobs():
+    ctx = _pair(True)
+    grouped = _keyed(ctx).group_by_key(4).cache()
+    grouped.count()  # job 1 materializes the layout
+    sizes = grouped.join(
+        _keyed(ctx, n=40).map(lambda kv: (kv[0], kv[1] * 10)),
+        num_partitions=4,
+    )
+    result = sorted(
+        (k, len(groups), v) for k, (groups, v) in sizes.collect()
+    )
+    assert result
+    assert "adopt-left" in [
+        d.choice for d in ctx.optimizer_decisions
+    ]
+
+
+def test_partition_count_mismatch_is_not_elided():
+    def program(ctx):
+        bag = _keyed(ctx).reduce_by_key(_add, 4).group_by_key(8)
+        return sorted((k, sorted(v)) for k, v in bag.collect())
+
+    opt_ctx, plain_ctx, opt, plain = _run_both(program)
+    assert opt == plain
+    assert not opt_ctx.optimizer_decisions
+    assert _total_shuffle(opt_ctx) == _total_shuffle(plain_ctx)
+
+
+def test_key_rewriting_map_blocks_elision():
+    ctx = _pair(True)
+    bag = (
+        _keyed(ctx)
+        .reduce_by_key(_add, 4)
+        .map(lambda kv: (kv[1], kv[0]))
+        .group_by_key(4)
+    )
+    assert bag.count() > 0
+    assert not ctx.optimizer_decisions
+
+
+def test_preserves_partitioning_hint_enables_elision():
+    def opaque(kv):
+        return (kv[0], kv[1] + 1)
+
+    ctx = _pair(True)
+    bag = (
+        _keyed(ctx)
+        .reduce_by_key(_add, 4)
+        .map_partitions(
+            lambda part, _index: [opaque(kv) for kv in part],
+            preserves_partitioning=True,
+        )
+        .group_by_key(4)
+    )
+    result = sorted((k, sorted(v)) for k, v in bag.collect())
+    assert result
+    assert [d.choice for d in ctx.optimizer_decisions] == ["elide"]
+
+
+def test_optimize_shuffles_off_by_environment(monkeypatch):
+    monkeypatch.setenv("REPRO_OPTIMIZE_SHUFFLES", "0")
+    assert laptop_config().optimize_shuffles is False
+    monkeypatch.setenv("REPRO_OPTIMIZE_SHUFFLES", "1")
+    assert laptop_config().optimize_shuffles is True
+
+
+def test_decision_detail_names_both_nodes():
+    ctx = _pair(True)
+    _keyed(ctx).reduce_by_key(_add, 4).group_by_key(4).collect()
+    (decision,) = ctx.optimizer_decisions
+    assert "GroupByKey" in decision.detail
+    assert "ReduceByKey" in decision.detail
+
+
+# ---------------------------------------------------------------------------
+# repr()-fallback hashing warns once per key type (NPL203 at runtime)
+# ---------------------------------------------------------------------------
+
+
+class _ReprKey:
+    def __init__(self, value):
+        self.value = value
+
+    def __hash__(self):
+        return hash(self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, _ReprKey) and other.value == self.value
+
+    def __repr__(self):
+        return "_ReprKey(%r)" % self.value
+
+
+@pytest.fixture
+def fresh_warnings():
+    reset_unstable_key_warnings()
+    yield
+    reset_unstable_key_warnings()
+
+
+def test_repr_fallback_warns_once_per_type(ctx, fresh_warnings):
+    records = [(_ReprKey(i % 3), i) for i in range(12)]
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        ctx.bag_of(records).reduce_by_key(_add).collect()
+        ctx.bag_of(records).group_by_key().collect()
+    npl203 = [
+        w for w in caught
+        if issubclass(w.category, RuntimeWarning)
+        and "NPL203" in str(w.message)
+    ]
+    assert len(npl203) == 1
+    assert "_ReprKey" in str(npl203[0].message)
+
+
+def test_primitive_keys_do_not_warn(ctx, fresh_warnings):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _keyed(ctx).reduce_by_key(_add).collect()
+    assert not [
+        w for w in caught if "NPL203" in str(w.message)
+    ]
