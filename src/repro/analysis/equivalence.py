@@ -18,9 +18,21 @@ two runs must agree:
 * the optimized run never shuffles *more*: per job, its shuffle volume
   is bounded by the unoptimized run's.
 
-Run it from the command line (CI does, on both backends)::
+The same differential method also proves the DAG stage schedule
+(:mod:`repro.engine.dag`): ``--compare schedulers`` runs every program
+once with ``scheduler="serial"`` and once with ``scheduler="dag"`` and
+demands identical canonicalized results, an identical trace signature
+(which pins per-stage record counts and shuffle volumes exactly -- the
+DAG schedule must move precisely the same records), and equal run
+report totals up to the measured-time fields (wall-clock, per-task
+seconds, and the straggler/retry counters derived from them, which
+legitimately vary run to run).
+
+Run it from the command line (CI does, on both backends and both
+comparisons)::
 
     PYTHONPATH=src python -m repro.analysis.equivalence --backend serial
+    PYTHONPATH=src python -m repro.analysis.equivalence --compare schedulers
 """
 
 import argparse
@@ -38,7 +50,9 @@ __all__ = [
     "Verification",
     "library_programs",
     "verify_library",
+    "verify_library_schedules",
     "verify_program",
+    "verify_program_schedules",
     "main",
 ]
 
@@ -349,6 +363,114 @@ def verify_library(config=None, only=None):
     return verifications
 
 
+# ----------------------------------------------------------------------
+# Schedule verification (serial vs DAG stage scheduling)
+# ----------------------------------------------------------------------
+
+#: Run-report total fields derived from measured wall-clock; the only
+#: totals allowed to differ between the serial and DAG schedules.
+_MEASURED_TOTAL_KEYS = frozenset(
+    {"retries", "stragglers", "failed_attempt_seconds"}
+)
+
+
+def _comparable_totals(entry):
+    """An entry's run-report totals minus the measured-time fields."""
+    totals = {
+        key: value
+        for key, value in entry["totals"].items()
+        if key not in _MEASURED_TOTAL_KEYS
+    }
+    totals["simulated_seconds"] = entry["simulated_seconds"]
+    return totals
+
+
+def verify_program_schedules(program, config=None, name="<program>",
+                             schedulers=("serial", "dag")):
+    """Prove one program unchanged by DAG-parallel stage scheduling.
+
+    Runs ``program`` once per schedule on a fresh context and demands:
+    identical trace signatures (pinning stage kinds, per-task record
+    counts, and shuffle read/write/saved volumes exactly), equivalent
+    canonicalized results, and equal run-report totals up to the
+    measured-time fields.
+
+    Returns:
+        A :class:`Verification`; ``shuffle_records`` is the serial
+        run's volume and ``shuffle_records_optimized`` the DAG run's
+        (the signature check makes them equal).
+
+    Raises:
+        EquivalenceError: When any compared quantity diverges.
+    """
+    from ..engine.validate import trace_signature
+    from ..observe.report import entry_from_context
+
+    base_config = config if config is not None else laptop_config()
+    runs = []
+    for scheduler in schedulers:
+        ctx = EngineContext(replace(base_config, scheduler=scheduler))
+        try:
+            result = program(ctx)
+            validate_trace(ctx.trace)
+            runs.append(
+                (
+                    scheduler,
+                    result,
+                    trace_signature(ctx.trace),
+                    entry_from_context(ctx, scheduler, name),
+                    sum(_job_shuffle(job) for job in ctx.trace.jobs),
+                    len(ctx.optimizer_decisions),
+                )
+            )
+        finally:
+            ctx.close()
+    reference = runs[0]
+    for run in runs[1:]:
+        if run[2] != reference[2]:
+            raise EquivalenceError(
+                "%s: schedulers %r and %r produced different trace "
+                "signatures:\n%r\nvs\n%r"
+                % (name, reference[0], run[0], reference[2], run[2])
+            )
+        if not results_equivalent(run[1], reference[1]):
+            raise EquivalenceError(
+                "%s: scheduler %r result differs from %r:\n%r\nvs\n%r"
+                % (name, run[0], reference[0], run[1], reference[1])
+            )
+        if _comparable_totals(run[3]) != _comparable_totals(
+            reference[3]
+        ):
+            raise EquivalenceError(
+                "%s: schedulers %r and %r report different totals:\n"
+                "%r\nvs\n%r"
+                % (
+                    name, reference[0], run[0],
+                    _comparable_totals(reference[3]),
+                    _comparable_totals(run[3]),
+                )
+            )
+    return Verification(
+        name=name,
+        shuffle_records=reference[4],
+        shuffle_records_optimized=runs[-1][4],
+        shuffle_records_saved=0,
+        elisions=reference[5],
+    )
+
+
+def verify_library_schedules(config=None, only=None):
+    """Schedule-verify every registry program; returns Verifications."""
+    verifications = []
+    for name, program in library_programs():
+        if only and not any(fragment in name for fragment in only):
+            continue
+        verifications.append(
+            verify_program_schedules(program, config=config, name=name)
+        )
+    return verifications
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.equivalence",
@@ -359,6 +481,13 @@ def main(argv=None):
     parser.add_argument(
         "--backend", choices=("serial", "process"), default="serial",
         help="task runtime backend for both runs (default: serial)",
+    )
+    parser.add_argument(
+        "--compare", choices=("elision", "schedulers"),
+        default="elision",
+        help="what to differentially verify: shuffle 'elision' "
+        "(optimize off vs on; default) or stage 'schedulers' "
+        "(serial vs dag)",
     )
     parser.add_argument(
         "--workers", type=int, default=2,
@@ -373,35 +502,55 @@ def main(argv=None):
     config = replace(
         laptop_config(), backend=args.backend, num_workers=args.workers
     )
+    verify = (
+        verify_program if args.compare == "elision"
+        else verify_program_schedules
+    )
     failures = 0
     verified = []
     for name, program in library_programs():
         if args.only and not any(f in name for f in args.only):
             continue
         try:
-            verification = verify_program(program, config=config,
-                                          name=name)
+            verification = verify(program, config=config, name=name)
         except EquivalenceError as error:
             failures += 1
             print("FAIL %s" % error)
             continue
         verified.append(verification)
-        print(
-            "ok   %-24s shuffle %6d -> %6d  (saved %d, %d elisions)"
-            % (
-                verification.name,
-                verification.shuffle_records,
-                verification.shuffle_records_optimized,
-                verification.shuffle_records_saved,
-                verification.elisions,
+        if args.compare == "elision":
+            print(
+                "ok   %-24s shuffle %6d -> %6d  (saved %d, %d elisions)"
+                % (
+                    verification.name,
+                    verification.shuffle_records,
+                    verification.shuffle_records_optimized,
+                    verification.shuffle_records_saved,
+                    verification.elisions,
+                )
             )
+        else:
+            print(
+                "ok   %-24s serial == dag  (shuffle %d, %d elisions)"
+                % (
+                    verification.name,
+                    verification.shuffle_records,
+                    verification.elisions,
+                )
+            )
+    if args.compare == "elision":
+        total_saved = sum(v.shuffle_records_saved for v in verified)
+        print(
+            "repro.analysis.equivalence: %d program(s) verified on the "
+            "%s backend, %d failure(s), %d shuffle records elided"
+            % (len(verified), args.backend, failures, total_saved)
         )
-    total_saved = sum(v.shuffle_records_saved for v in verified)
-    print(
-        "repro.analysis.equivalence: %d program(s) verified on the %s "
-        "backend, %d failure(s), %d shuffle records elided"
-        % (len(verified), args.backend, failures, total_saved)
-    )
+    else:
+        print(
+            "repro.analysis.equivalence: %d program(s) schedule-"
+            "verified (serial vs dag) on the %s backend, %d failure(s)"
+            % (len(verified), args.backend, failures)
+        )
     return 1 if failures else 0
 
 

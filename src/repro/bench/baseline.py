@@ -2,15 +2,22 @@
 
 A small, fast, fixed grid of (task, scale) cells -- K-means, PageRank,
 and Bounce Rate, each in the Matryoshka and inner-parallel formulations
-at two group counts -- measured into one
-:class:`~repro.observe.RunReport`.  The committed snapshot lives at
-``BENCH_engine.json`` in the repo root.
+at two group counts, plus a branch-overlap cell exercising the DAG
+scheduler -- measured into one :class:`~repro.observe.RunReport`.  Every
+cell runs under both stage schedules (``serial`` and ``dag``; the DAG
+rows carry a ``+dag`` system suffix), so the gate holds the DAG
+scheduler to the exact same simulated cost as serial execution.  The
+committed snapshot lives at ``BENCH_engine.json`` in the repo root.
 
 The regression gate compares **simulated** seconds: the cost model is a
 deterministic function of the execution trace, so the committed numbers
 are stable across machines and the diff flags genuine cost-model or
 planner changes rather than host noise.  Measured wall-clock is stored
-in every entry too, for eyeballing, but is not gated by default.
+in every entry too, for eyeballing, but is not gated by default.  The
+``branch-overlap`` cell is where measured wall-clock is interesting: its
+plan fans out into independent branches whose tasks carry a fixed
+latency, so on the process backend the DAG rows finish in a fraction of
+the serial rows' wall time while reporting identical simulated seconds.
 
 Regenerate the snapshot after an intentional cost change::
 
@@ -20,6 +27,9 @@ and check the working tree against it::
 
     python -m repro.bench --check-regressions
 """
+
+import time
+from dataclasses import replace
 
 from ..baselines.inner_parallel import group_locally
 from ..data import grouped_edges, grouped_points, initial_centroids, visits_log
@@ -35,14 +45,29 @@ _K = 4
 _KMEANS_ITERS = 4
 _PAGERANK_ITERS = 4
 _GROUP_COUNTS = (4, 16)
+_SCHEDULERS = ("serial", "dag")
+
+#: Per-task latency of one branch in the branch-overlap cell, modelling
+#: the fixed remote-fetch cost of that branch's input split.  Real
+#: wall-clock (the task sleeps), invisible to the simulated counters.
+_BRANCH_TASK_SLEEP_S = 0.05
 
 
-def _kmeans_cell(system, groups):
-    config = _cluster(2.0, 512, overhead=2.0)
+def _scheduled(config, system, scheduler):
+    """Apply the scheduler dimension to a cell's config and row name."""
+    if scheduler == "serial":
+        return config, system
+    return config.with_scheduler(scheduler), "%s+%s" % (system, scheduler)
+
+
+def _kmeans_cell(system, groups, scheduler="serial"):
+    config, system = _scheduled(
+        _cluster(2.0, 512, overhead=2.0), system, scheduler
+    )
     records = grouped_points(groups, 512, _K, seed=11)
     configs = initial_centroids(_K, groups, seed=11)
     kwargs = {"max_iterations": _KMEANS_ITERS, "tolerance": None}
-    if system == "kmeans-matryoshka":
+    if system.startswith("kmeans-matryoshka"):
         return run_measured(
             config, system, groups,
             lambda ctx: kmeans.kmeans_nested_grouped(
@@ -56,10 +81,10 @@ def _kmeans_cell(system, groups):
     )
 
 
-def _pagerank_cell(system, groups):
-    config = _cluster(20.0, 1024)
+def _pagerank_cell(system, groups, scheduler="serial"):
+    config, system = _scheduled(_cluster(20.0, 1024), system, scheduler)
     records = grouped_edges(groups, 1024, seed=13)
-    if system == "pagerank-matryoshka":
+    if system.startswith("pagerank-matryoshka"):
         return run_measured(
             config, system, groups,
             lambda ctx: pagerank.pagerank_nested(
@@ -75,10 +100,12 @@ def _pagerank_cell(system, groups):
     )
 
 
-def _bounce_rate_cell(system, groups):
-    config = _cluster(48.0, 2048, overhead=8.0)
+def _bounce_rate_cell(system, groups, scheduler="serial"):
+    config, system = _scheduled(
+        _cluster(48.0, 2048, overhead=8.0), system, scheduler
+    )
     records = visits_log(groups, 2048, seed=23)
-    if system == "bounce-matryoshka":
+    if system.startswith("bounce-matryoshka"):
         return run_measured(
             config, system, groups,
             lambda ctx: bounce_rate.bounce_rate_nested(
@@ -92,8 +119,43 @@ def _bounce_rate_cell(system, groups):
     )
 
 
+def _branch_pause(item):
+    time.sleep(_BRANCH_TASK_SLEEP_S)
+    return item
+
+
+def _branch_overlap_cell(system, branches, scheduler="serial"):
+    """``branches`` independent single-partition pipelines merged by one
+    union: the group count doubles as the fan-out width.
+
+    Each branch's only task sleeps for a fixed latency, so the serial
+    schedule pays ``branches`` latencies back to back while the DAG
+    schedule overlaps them across the worker pool.  The process backend
+    and the concurrency knobs are pinned explicitly because the default
+    dispatch width is derived from the host CPU count -- the point of
+    this cell is scheduling overlap, not host parallelism.
+    """
+    config = replace(
+        _cluster(2.0, 64),
+        backend="process",
+        num_workers=4,
+        max_concurrent_stages=8,
+    )
+    config, system = _scheduled(config, system, scheduler)
+
+    def program(ctx):
+        parts = [
+            ctx.bag_of([index], num_partitions=1).map(_branch_pause)
+            for index in range(branches)
+        ]
+        return parts[0].union(*parts[1:]).count()
+
+    return run_measured(config, system, branches, program)
+
+
 #: The full matrix: system name -> cell runner; every system runs at
-#: every group count in ``_GROUP_COUNTS``.
+#: every group count in ``_GROUP_COUNTS`` under every scheduler in
+#: ``_SCHEDULERS``.
 CELLS = {
     "kmeans-matryoshka": _kmeans_cell,
     "kmeans-inner": _kmeans_cell,
@@ -101,6 +163,7 @@ CELLS = {
     "pagerank-inner": _pagerank_cell,
     "bounce-matryoshka": _bounce_rate_cell,
     "bounce-inner": _bounce_rate_cell,
+    "branch-overlap": _branch_overlap_cell,
 }
 
 
@@ -111,13 +174,15 @@ def run_baseline(label="engine-baseline", progress=None):
         meta={
             "matrix": sorted(CELLS),
             "group_counts": list(_GROUP_COUNTS),
+            "schedulers": list(_SCHEDULERS),
             "metric": "simulated",
         },
     )
     for system, cell in CELLS.items():
         for groups in _GROUP_COUNTS:
-            result = cell(system, groups)
-            report.add(result.entry)
-            if progress is not None:
-                progress(result)
+            for scheduler in _SCHEDULERS:
+                result = cell(system, groups, scheduler)
+                report.add(result.entry)
+                if progress is not None:
+                    progress(result)
     return report

@@ -20,9 +20,18 @@ MB = 1024 ** 2
 #: Backends the task runtime knows (see :mod:`repro.engine.runtime`).
 VALID_BACKENDS = ("serial", "process")
 
+#: Stage schedulers the executor knows (see :mod:`repro.engine.dag`):
+#: ``"serial"`` runs one stage at a time in plan order, ``"dag"``
+#: dispatches every ready stage of the stage graph concurrently.
+VALID_SCHEDULERS = ("serial", "dag")
+
 
 def _default_backend():
     return os.environ.get("REPRO_BACKEND", "serial")
+
+
+def _default_scheduler():
+    return os.environ.get("REPRO_SCHEDULER", "serial")
 
 
 def _default_num_workers():
@@ -133,6 +142,20 @@ class ClusterConfig:
     #: ... and this absolute floor, so scheduling jitter on
     #: microsecond-scale tasks never registers.
     straggler_min_task_seconds: float = 0.01
+    #: Stage scheduler (:mod:`repro.engine.dag`): ``"serial"`` evaluates
+    #: the plan one evaluation unit at a time in plan order (today's
+    #: barrier schedule), ``"dag"`` derives the dependency graph of
+    #: evaluation units and dispatches every *ready* unit onto the
+    #: shared worker pool as soon as its inputs are complete, so
+    #: independent plan branches overlap.  Results, trace signatures,
+    #: and shuffle accounting are identical either way (see
+    #: :func:`repro.engine.validate.assert_schedule_parity`).  Defaults
+    #: to the ``REPRO_SCHEDULER`` environment variable, else serial.
+    scheduler: str = field(default_factory=_default_scheduler)
+    #: Bound on evaluation units (and with them, in-flight task sets)
+    #: the DAG scheduler runs concurrently; 0 picks a default from the
+    #: host CPU count.  Ignored by the serial scheduler.
+    max_concurrent_stages: int = 0
     #: Statically elide shuffles whose input is provably co-partitioned
     #: with the layout the shuffle would build (see
     #: :mod:`repro.engine.optimize` and
@@ -156,6 +179,13 @@ class ClusterConfig:
             )
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0")
+        if self.scheduler not in VALID_SCHEDULERS:
+            raise ValueError(
+                "scheduler must be one of %r, got %r"
+                % (VALID_SCHEDULERS, self.scheduler)
+            )
+        if self.max_concurrent_stages < 0:
+            raise ValueError("max_concurrent_stages must be >= 0")
         if self.max_task_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
         if self.straggler_factor < 1.0:
@@ -207,6 +237,15 @@ class ClusterConfig:
         if num_workers is None:
             return replace(self, backend=backend)
         return replace(self, backend=backend, num_workers=num_workers)
+
+    def with_scheduler(self, scheduler, max_concurrent_stages=None):
+        """Return a copy running under a different stage scheduler."""
+        if max_concurrent_stages is None:
+            return replace(self, scheduler=scheduler)
+        return replace(
+            self, scheduler=scheduler,
+            max_concurrent_stages=max_concurrent_stages,
+        )
 
 
 def laptop_config(**overrides):

@@ -6,6 +6,7 @@ executor, the execution trace, and the cost model that converts the
 trace into simulated seconds.
 """
 
+import threading
 import time
 
 from ..observe import resolve_tracer
@@ -140,6 +141,62 @@ class EngineContext:
         trace, e.g. before handing it to the cost model.
         """
         return validate_trace(self.trace)
+
+    def gather(self, *thunks):
+        """Run several job-submitting thunks concurrently.
+
+        Each thunk is a zero-argument callable that may run any number
+        of actions against this context; all thunks run at once, on one
+        thread each, sharing the scheduler and backend -- so on the
+        process backend their stages interleave over the same worker
+        pool.  Returns the thunks' return values in submission order.
+
+        Trace determinism: jobs land in the trace in completion order,
+        so after the concurrent window closes the trace is stably
+        re-sorted by submission slot
+        (:meth:`~repro.engine.metrics.ExecutionTrace.restore_submission_order`)
+        and job ids renumbered -- the recorded trace is the one serial
+        submission would have produced, job for job.  When tracing,
+        each slot's driver/job spans go to their own ``driver-<slot>``
+        lane.
+
+        If several thunks raise, the exception of the earliest slot
+        propagates.  Thunks evaluating the *same* not-yet-materialized
+        cached bag may duplicate its evaluation (both compute it, both
+        write the same partitions -- wasteful, never wrong: evaluation
+        is pure and the scheduler's metrics mutators are locked).
+        """
+        if not thunks:
+            return []
+        start = self.trace.num_jobs
+        results = [None] * len(thunks)
+        errors = [None] * len(thunks)
+
+        def entry(slot, thunk):
+            self.trace.set_job_slot(slot)
+            try:
+                results[slot] = thunk()
+            except BaseException as exc:  # noqa: BLE001 -- re-raised below
+                errors[slot] = exc
+            finally:
+                self.trace.set_job_slot(-1)
+
+        threads = [
+            threading.Thread(
+                target=entry, args=(slot, thunk),
+                name="repro-gather-%d" % slot,
+            )
+            for slot, thunk in enumerate(thunks)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        self.trace.restore_submission_order(start)
+        for error in errors:
+            if error is not None:
+                raise error
+        return results
 
     def measure(self):
         """Context manager measuring a block's simulated *and* real time::

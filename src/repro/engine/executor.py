@@ -30,18 +30,33 @@ transient failures, and records measured per-task wall-clock into the
 trace next to the simulated counters.  Driver-side data movement
 (parallelize slicing, shuffle bucketing, unions, coalesce) stays
 inline: it is the simulated cluster's fabric, not task work.
+
+*When* each step runs is the stage-graph scheduler's business
+(:mod:`repro.engine.dag`): the executor linearizes the plan into
+evaluation units up front and then either runs them one at a time in
+plan order (``config.scheduler == "serial"``) or dispatches every
+ready unit onto the scheduler's bounded thread pool as its inputs
+complete (``"dag"``), overlapping independent plan branches.  Unit
+evaluation itself -- the ``_eval_*`` methods below -- is identical
+under both schedules; anything they mutate outside their own unit's
+state (shared input stages, the layout registry, the decision log) is
+either commutative or lock-guarded.
 """
 
 import contextlib
+import threading
 
 from ..errors import PlanError, SimulatedOutOfMemory
 from ..observe import NULL_TRACER
 from ..observe.events import (
+    DRIVER_LANE,
     KIND_BROADCAST,
     KIND_DRIVER,
     KIND_JOB,
     KIND_SHUFFLE,
+    gather_lane,
 )
+from . import dag
 from . import plan as p
 from .optimize import plan_shuffle_elisions
 from .partitioner import build_balanced_assignment, stable_hash
@@ -97,8 +112,10 @@ class Executor:
         # across jobs: a cached bag keeps referencing its origin
         # shuffle, and later jobs may adopt that layout.
         self._assignments = {}
-        # Elisions planned for the job currently being evaluated.
-        self._elisions = {}
+        # Guards executor-level shared state (the decision log and the
+        # layout registry) against concurrent unit evaluation under the
+        # DAG schedule and concurrent jobs under ``ctx.gather``.
+        self._state_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
@@ -111,20 +128,27 @@ class Executor:
         The ``driver`` span covers the whole action call -- plan
         evaluation plus driver-side result assembly -- and the ``job``
         span nests just inside it, so traces show the four-level
-        hierarchy driver > job > stage > task.
+        hierarchy driver > job > stage > task.  Jobs submitted from a
+        ``ctx.gather`` thunk get their own driver-side lane (see
+        :func:`~repro.observe.events.gather_lane`) so concurrent jobs'
+        span nesting stays well-formed per lane.
         """
         tracer = self.tracer
         if not tracer.enabled:
             yield self.trace.new_job(action, label)
             return
+        slot = self.trace.current_slot()
+        lane = DRIVER_LANE if slot < 0 else gather_lane(slot)
         suffix = "[%s]" % label if label else ""
         with tracer.span(
-            "driver:%s%s" % (action, suffix), KIND_DRIVER, action=action,
+            "driver:%s%s" % (action, suffix), KIND_DRIVER, lane=lane,
+            action=action,
         ):
             job = self.trace.new_job(action, label)
             with tracer.span(
                 "job#%d:%s%s" % (job.job_id, action, suffix),
                 KIND_JOB,
+                lane=lane,
                 job=job.job_id,
                 action=action,
             ) as args:
@@ -210,108 +234,50 @@ class Executor:
         return self._eval(node, job).partitions
 
     def _eval(self, root, job):
-        """Evaluate ``root`` bottom-up over an explicit work stack.
+        """Evaluate ``root`` via its unit graph (:mod:`repro.engine.dag`).
 
-        Stack-safe by construction: the Python call depth is constant in
-        the lineage depth, so 20k-operator chains evaluate without
-        recursion-limit games.
+        The plan is linearized into evaluation units first (stack-safe:
+        call depth stays constant in the lineage depth, so 20k-operator
+        chains evaluate without recursion-limit games), each unit's
+        dispatch ordinals are reserved while planning, and the units
+        then run under the configured schedule.  Both schedules produce
+        identical results, metrics, and shuffle accounting; the DAG
+        schedule additionally overlaps independent plan branches on the
+        task scheduler's dispatch pool.
         """
-        self._elisions = plan_shuffle_elisions(root, self.config)
-        results = {}
-        refcounts = self._refcounts(root)
-        stack = [root]
-        while stack:
-            node = stack[-1]
-            key = id(node)
-            if key in results:
-                stack.pop()
-                continue
-            if node.materialized is not None:
-                results[key] = self._cached_result(node, job)
-                stack.pop()
-                continue
-            chain = self._fused_chain(node, refcounts)
-            if chain is not None:
-                deps = (chain[0].child,)
-            else:
-                deps = self._dep_order(node)
-            pending = [dep for dep in deps if id(dep) not in results]
-            if pending:
-                stack.extend(reversed(pending))
-                continue
-            stack.pop()
-            if chain is not None:
-                result = self._eval_fused(
-                    chain, results[id(chain[0].child)]
-                )
-            else:
-                result = self._eval_node(node, job, results)
-            if node.cached:
-                node.materialized = result.partitions
-            results[key] = result
-        return results[id(root)]
+        elisions = plan_shuffle_elisions(root, self.config)
+        units = dag.plan_units(root)
+        ordinal_base = self.scheduler.reserve_ordinals(
+            dag.total_ordinal_budget(units)
+        )
+        if self.config.scheduler == "dag" and len(units) > 1:
+            return dag.run_dag(self, units, job, elisions, ordinal_base)
+        return dag.run_serial(self, units, job, elisions, ordinal_base)
 
-    @staticmethod
-    def _refcounts(root):
-        """Number of evaluated parents per node (by id).
+    def run_unit(self, unit, job_slice, results, elisions, ordinals):
+        """Evaluate one unit; the schedule-independent unit body.
 
-        Only edges that evaluation will actually traverse count:
-        children below an already-materialized node are never evaluated.
+        Called by both run loops in :mod:`repro.engine.dag` -- on the
+        driver thread (serial) or a dispatch-pool thread (DAG).  New
+        stages go to ``job_slice``; ``results`` maps dependency node
+        ids to their completed :class:`_Result` (the run loop
+        guarantees every entry in ``unit.deps`` is present before the
+        unit starts and publishes this unit's own result afterwards).
         """
-        counts = {}
-        seen = set()
-        stack = [root]
-        while stack:
-            node = stack.pop()
-            if id(node) in seen:
-                continue
-            seen.add(id(node))
-            if node.materialized is not None:
-                continue
-            for child in node.children:
-                counts[id(child)] = counts.get(id(child), 0) + 1
-                stack.append(child)
-        return counts
-
-    @staticmethod
-    def _dep_order(node):
-        """Children in the order their side effects must occur.
-
-        Broadcast operators evaluate (and size-check) the build side
-        before the stream side, mirroring a real driver's submission
-        order.
-        """
-        if isinstance(node, p.BroadcastJoin):
-            return (node.right, node.left)
-        if isinstance(node, p.CrossBroadcast):
-            if node.broadcast_side == "right":
-                return (node.right, node.left)
-            return (node.left, node.right)
-        return tuple(node.children)
-
-    def _fused_chain(self, node, refcounts):
-        """The maximal fusable elementwise chain ending at ``node``.
-
-        Returns the chain bottom-up (``chain[0]`` closest to the data)
-        or ``None`` when ``node`` is not elementwise.  Fusion never
-        crosses a node that is cached, already materialized, or shared
-        by another parent (those must produce a memoized result of
-        their own).
-        """
-        if not node.fusable:
-            return None
-        chain = [node]
-        child = node.child
-        while (
-            child.fusable
-            and not child.cached
-            and child.materialized is None
-            and refcounts.get(id(child), 0) == 1
-        ):
-            chain.append(child)
-            child = child.child
-        chain.reverse()
-        return chain
+        node = unit.node
+        if unit.cached:
+            return self._cached_result(node, job_slice)
+        if unit.chain is not None:
+            result = self._eval_fused(
+                unit.chain, results[id(unit.chain[0].child)], ordinals
+            )
+        else:
+            result = self._eval_node(
+                node, job_slice, results, elisions, ordinals
+            )
+        if node.cached:
+            node.materialized = result.partitions
+        return result
 
     def _cached_result(self, node, job):
         stage = job.new_stage("cached", meta=node.meta, origin=_origin(node))
@@ -319,11 +285,13 @@ class Executor:
             stage.task_records.append(0)
         return _Result(node.materialized, stage)
 
-    def _eval_node(self, node, job, results):
+    def _eval_node(self, node, job, results, elisions, ordinals):
         if isinstance(node, p.Parallelize):
             return self._eval_parallelize(node, job)
         if isinstance(node, p.MapPartitions):
-            return self._eval_map_partitions(node, results[id(node.child)])
+            return self._eval_map_partitions(
+                node, results[id(node.child)], ordinals
+            )
         if isinstance(node, p.ZipWithUniqueId):
             return self._eval_zip_with_unique_id(
                 node, results[id(node.child)]
@@ -336,23 +304,26 @@ class Executor:
             return self._eval_coalesce(node, job, results[id(node.child)])
         if isinstance(node, p.ReduceByKey):
             return self._eval_reduce_by_key(
-                node, job, results[id(node.child)]
+                node, job, results[id(node.child)], elisions, ordinals
             )
         if isinstance(node, p.GroupByKey):
             return self._eval_group_by_key(
-                node, job, results[id(node.child)]
+                node, job, results[id(node.child)], elisions, ordinals
             )
         if isinstance(node, p.CoGroup):
             return self._eval_cogroup(
-                node, job, results[id(node.left)], results[id(node.right)]
+                node, job, results[id(node.left)],
+                results[id(node.right)], elisions, ordinals,
             )
         if isinstance(node, p.BroadcastJoin):
             return self._eval_broadcast_join(
-                node, job, results[id(node.left)], results[id(node.right)]
+                node, job, results[id(node.left)],
+                results[id(node.right)], ordinals,
             )
         if isinstance(node, p.CrossBroadcast):
             return self._eval_cross_broadcast(
-                node, job, results[id(node.left)], results[id(node.right)]
+                node, job, results[id(node.left)],
+                results[id(node.right)], ordinals,
             )
         raise PlanError("unknown plan node type: %s" % node.name)
 
@@ -365,7 +336,7 @@ class Executor:
 
     # -- fused narrow elementwise chains -------------------------------
 
-    def _eval_fused(self, chain, child):
+    def _eval_fused(self, chain, child, ordinals):
         """Stream each partition through the whole elementwise chain.
 
         One output list per partition is materialized at the fusion
@@ -391,6 +362,7 @@ class Executor:
             task,
             [(part,) for part in child.partitions],
             stage=stage,
+            ordinal=ordinals.take(),
         )
         out = []
         for index, (records, counts, works) in enumerate(results):
@@ -406,7 +378,7 @@ class Executor:
 
     # -- other narrow operators ----------------------------------------
 
-    def _eval_map_partitions(self, node, child):
+    def _eval_map_partitions(self, node, child, ordinals):
         task = MapPartitionsTask(node.fn, _origin(node))
         out = self.scheduler.run_stage(
             task,
@@ -415,6 +387,7 @@ class Executor:
                 for index, part in enumerate(child.partitions)
             ],
             stage=child.stage,
+            ordinal=ordinals.take(),
         )
         for index, part in enumerate(child.partitions):
             child.stage.add_task_records(index, len(part))
@@ -492,13 +465,14 @@ class Executor:
         for bucket in buckets:
             stage.task_records.append(len(bucket))
         self._trace_shuffle(stage, origin)
-        self._assignments[id(node)] = (node, assignment)
+        with self._state_lock:
+            self._assignments[id(node)] = (node, assignment)
         return buckets, stage
 
-    def _planned_elision(self, node, child_partitions):
+    def _planned_elision(self, node, child_partitions, elisions):
         """The elision planned for ``node``, if its runtime precondition
         (the input actually has the predicted partition count) holds."""
-        elision = self._elisions.get(id(node))
+        elision = elisions.get(id(node))
         if elision is None:
             return None
         if len(child_partitions) != node.num_partitions:
@@ -508,15 +482,15 @@ class Executor:
     def _record_elision(self, node, elision):
         from ..core.optimizer import Decision
 
-        self.decisions.append(
-            Decision(
-                kind="shuffle-elision",
-                choice=elision.choice,
-                num_tags=node.num_partitions,
-                detail="%s reuses the partitioning of %s"
-                % (_origin(node), _origin(elision.origin)),
-            )
+        decision = Decision(
+            kind="shuffle-elision",
+            choice=elision.choice,
+            num_tags=node.num_partitions,
+            detail="%s reuses the partitioning of %s"
+            % (_origin(node), _origin(elision.origin)),
         )
+        with self._state_lock:
+            self.decisions.append(decision)
 
     def _key_assignment(self, partition_lists, num_partitions):
         counts = {}
@@ -527,9 +501,9 @@ class Executor:
                 counts[key] = counts.get(key, 0) + 1
         return build_balanced_assignment(counts, num_partitions)
 
-    def _eval_reduce_by_key(self, node, job, child):
+    def _eval_reduce_by_key(self, node, job, child, elisions, ordinals):
         task = CombineTask(node.fn, _origin(node))
-        elision = self._planned_elision(node, child.partitions)
+        elision = self._planned_elision(node, child.partitions, elisions)
         if elision is not None:
             # The input is provably laid out exactly as this shuffle
             # would lay it out: every key is confined to the partition
@@ -541,7 +515,8 @@ class Executor:
                 "shuffle", meta=node.meta, origin=_origin(node)
             )
             out = self.scheduler.run_stage(
-                task, [(part,) for part in child.partitions], stage=stage
+                task, [(part,) for part in child.partitions], stage=stage,
+                ordinal=ordinals.take(),
             )
             for bucket in out:
                 stage.task_records.append(len(bucket))
@@ -557,18 +532,20 @@ class Executor:
                 task,
                 [(part,) for part in child.partitions],
                 stage=child.stage,
+                ordinal=ordinals.take(),
             ),
             child.stage,
         )
         buckets, stage = self._shuffle(combined, node, job)
         out = self.scheduler.run_stage(
-            task, [(bucket,) for bucket in buckets], stage=stage
+            task, [(bucket,) for bucket in buckets], stage=stage,
+            ordinal=ordinals.take(),
         )
         self._account_spill(stage)
         return _Result(out, stage)
 
-    def _eval_group_by_key(self, node, job, child):
-        elision = self._planned_elision(node, child.partitions)
+    def _eval_group_by_key(self, node, job, child, elisions, ordinals):
+        elision = self._planned_elision(node, child.partitions, elisions)
         if elision is not None:
             # Keys are already confined to their target partitions:
             # group each partition in place, no shuffle traffic.
@@ -587,7 +564,8 @@ class Executor:
                 _origin(node),
             )
             out = self.scheduler.run_stage(
-                task, [(part,) for part in child.partitions], stage=stage
+                task, [(part,) for part in child.partitions], stage=stage,
+                ordinal=ordinals.take(),
             )
             self._account_spill(stage)
             self._record_elision(node, elision)
@@ -600,7 +578,8 @@ class Executor:
             _origin(node),
         )
         out = self.scheduler.run_stage(
-            task, [(bucket,) for bucket in buckets], stage=stage
+            task, [(bucket,) for bucket in buckets], stage=stage,
+            ordinal=ordinals.take(),
         )
         self._account_spill(stage)
         return _Result(out, stage)
@@ -611,8 +590,10 @@ class Executor:
         per_machine = -(-max(1, nonempty) // self.config.machines)
         return self.config.task_memory_limit_bytes(per_machine)
 
-    def _eval_cogroup(self, node, job, left, right):
-        elided = self._eval_cogroup_elided(node, job, left, right)
+    def _eval_cogroup(self, node, job, left, right, elisions, ordinals):
+        elided = self._eval_cogroup_elided(
+            node, job, left, right, elisions, ordinals
+        )
         if elided is not None:
             return elided
         # Both sides co-partition: one key assignment over both inputs.
@@ -631,7 +612,8 @@ class Executor:
         right_buckets, right_moved = self._bucketize(
             right, node.num_partitions, assignment
         )
-        self._assignments[id(node)] = (node, assignment)
+        with self._state_lock:
+            self._assignments[id(node)] = (node, assignment)
         # One reduce stage reads both sides' shuffle files (Spark
         # schedules a single reduce task set for a cogroup); each input
         # record is credited exactly once.
@@ -646,10 +628,11 @@ class Executor:
             )
         self._trace_shuffle(stage, _origin(node))
         return self._run_cogroup_buckets(
-            node, stage, left_buckets, right_buckets
+            node, stage, left_buckets, right_buckets, ordinals
         )
 
-    def _eval_cogroup_elided(self, node, job, left, right):
+    def _eval_cogroup_elided(self, node, job, left, right, elisions,
+                             ordinals):
         """A cogroup whose shuffle is (partially) elided, or ``None``.
 
         ``elide-both``: both sides already share the origin's layout --
@@ -661,7 +644,7 @@ class Executor:
         precondition fails (partition-count mismatch, or the origin's
         concrete assignment was never registered by this executor).
         """
-        elision = self._elisions.get(id(node))
+        elision = elisions.get(id(node))
         if elision is None or elision.choice not in (
             "elide-both", "adopt-left", "adopt-right",
         ):
@@ -684,7 +667,8 @@ class Executor:
                 adopted, other = right, left
             if len(adopted.partitions) != n:
                 return None
-            entry = self._assignments.get(id(elision.origin))
+            with self._state_lock:
+                entry = self._assignments.get(id(elision.origin))
             if entry is None:
                 return None
             layout = dict(entry[1])
@@ -712,10 +696,11 @@ class Executor:
             # The output layout is the (extended) adopted layout;
             # register it under this node so stacked joins can adopt
             # it in turn.
-            self._assignments[id(node)] = (node, layout)
+            with self._state_lock:
+                self._assignments[id(node)] = (node, layout)
         self._record_elision(node, elision)
         return self._run_cogroup_buckets(
-            node, stage, left_buckets, right_buckets
+            node, stage, left_buckets, right_buckets, ordinals
         )
 
     def _adopt_bucketize(self, result, num_partitions, layout):
@@ -741,7 +726,7 @@ class Executor:
         return buckets, moved
 
     def _run_cogroup_buckets(self, node, stage, left_buckets,
-                             right_buckets):
+                             right_buckets, ordinals):
         limit = self._task_limit(
             [
                 left_buckets[i] + right_buckets[i]
@@ -761,13 +746,14 @@ class Executor:
                 for i in range(node.num_partitions)
             ],
             stage=stage,
+            ordinal=ordinals.take(),
         )
         self._account_spill(stage)
         return _Result(out, stage)
 
     # -- broadcast operators (narrow) ----------------------------------
 
-    def _eval_broadcast_join(self, node, job, left, right):
+    def _eval_broadcast_join(self, node, job, left, right, ordinals):
         table = {}
         count = 0
         for index, part in enumerate(right.partitions):
@@ -793,12 +779,13 @@ class Executor:
             task,
             [(part,) for part in left.partitions],
             stage=stage,
+            ordinal=ordinals.take(),
         )
         for index, part in enumerate(left.partitions):
             stage.add_task_records(index, len(part) + len(out[index]))
         return _Result(out, stage)
 
-    def _eval_cross_broadcast(self, node, job, left, right):
+    def _eval_cross_broadcast(self, node, job, left, right, ordinals):
         if node.broadcast_side == "right":
             stream_node, stream = node.left, left
             small_node, small = node.right, right
@@ -828,6 +815,7 @@ class Executor:
             task,
             [(part,) for part in stream.partitions],
             stage=stage,
+            ordinal=ordinals.take(),
         )
         for index, produced in enumerate(out):
             stage.add_task_records(index, len(produced))

@@ -5,8 +5,18 @@ would show: stages, per-task input record counts, shuffle read volumes,
 spill volumes, and broadcast sizes.  The cost model (``costmodel.py``) turns
 this trace into simulated wall-clock seconds for a given
 :class:`~repro.engine.config.ClusterConfig`.
+
+Concurrency: the DAG scheduler (:mod:`repro.engine.dag`) evaluates
+independent plan branches on separate threads, and two branches may
+credit work to the *same* stage (a shared input stage feeding both).
+Every incremental mutator here is therefore guarded by a per-object
+lock; since all credited quantities are sums, the final totals are
+deterministic regardless of interleaving.  Plain field assignment on a
+freshly created stage (one not yet visible to other threads) needs no
+lock and is left alone.
 """
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -73,7 +83,19 @@ class StageMetrics:
     failed_attempt_seconds: float = 0.0
     task_retries: int = 0
     straggler_tasks: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False,
+        compare=False,
+    )
 
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     @property
     def num_tasks(self):
@@ -94,15 +116,32 @@ class StageMetrics:
 
     def add_task_records(self, partition_index, count):
         """Credit ``count`` processed records to the given task."""
-        while len(self.task_records) <= partition_index:
-            self.task_records.append(0)
-        self.task_records[partition_index] += count
+        with self._lock:
+            while len(self.task_records) <= partition_index:
+                self.task_records.append(0)
+            self.task_records[partition_index] += count
 
     def add_task_seconds(self, partition_index, seconds):
         """Credit measured wall-clock seconds to the given task."""
-        while len(self.task_seconds) <= partition_index:
-            self.task_seconds.append(0.0)
-        self.task_seconds[partition_index] += seconds
+        with self._lock:
+            while len(self.task_seconds) <= partition_index:
+                self.task_seconds.append(0.0)
+            self.task_seconds[partition_index] += seconds
+
+    def add_failed_attempt_seconds(self, seconds):
+        """Credit wall-clock burned in a failed task attempt."""
+        with self._lock:
+            self.failed_attempt_seconds += seconds
+
+    def add_task_retries(self, count):
+        """Credit retried task attempts to this stage."""
+        with self._lock:
+            self.task_retries += count
+
+    def add_straggler_tasks(self, count):
+        """Credit detected straggler tasks to this stage."""
+        with self._lock:
+            self.straggler_tasks += count
 
 
 @dataclass
@@ -118,6 +157,11 @@ class JobMetrics:
     saved_records: int = 0
     saved_meta_records: int = 0
     label: str = ""
+    #: Submission slot for jobs run concurrently via ``ctx.gather``:
+    #: the index of the thunk that submitted this job, or -1 for jobs
+    #: submitted from the driver thread.  Used to restore submission
+    #: order in the trace after a concurrent window closes.
+    slot: int = -1
 
     def new_stage(self, kind, meta=False, origin=""):
         stage = StageMetrics(
@@ -158,14 +202,65 @@ class ExecutionTrace:
     """
 
     jobs: list = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False,
+        compare=False,
+    )
+    _slots: threading.local = field(
+        default_factory=threading.local, init=False, repr=False,
+        compare=False,
+    )
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        del state["_slots"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+        self._slots = threading.local()
 
     def new_job(self, action, label=""):
-        job = JobMetrics(job_id=len(self.jobs), action=action, label=label)
-        self.jobs.append(job)
-        return job
+        with self._lock:
+            job = JobMetrics(
+                job_id=len(self.jobs), action=action, label=label,
+                slot=getattr(self._slots, "value", -1),
+            )
+            self.jobs.append(job)
+            return job
+
+    def set_job_slot(self, slot):
+        """Tag jobs created on *this thread* with a submission slot.
+
+        ``ctx.gather`` assigns each concurrent thunk a slot so the
+        trace can be restored to submission order afterwards; pass
+        ``-1`` (the default for untagged threads) to clear.
+        """
+        self._slots.value = slot
+
+    def current_slot(self):
+        """The submission slot tagged on this thread (-1 if none)."""
+        return getattr(self._slots, "value", -1)
+
+    def restore_submission_order(self, start=0):
+        """Stable-sort ``jobs[start:]`` by slot and renumber job ids.
+
+        Jobs appended concurrently land in completion order; sorting by
+        the submission slot (stable, so a slot's own jobs keep their
+        relative order) makes the trace independent of thread timing.
+        """
+        with self._lock:
+            self.jobs[start:] = sorted(
+                self.jobs[start:], key=lambda job: job.slot
+            )
+            for index, job in enumerate(self.jobs):
+                job.job_id = index
 
     def reset(self):
-        self.jobs.clear()
+        with self._lock:
+            self.jobs.clear()
 
     @property
     def num_jobs(self):

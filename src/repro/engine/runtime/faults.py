@@ -6,13 +6,23 @@ each dispatch and marks the doomed attempts, which then die inside the
 worker with :class:`~repro.errors.InjectedFault` -- the same path a
 preempted or crashed worker would take, minus the nondeterminism.
 
-Stages are addressed by **dispatch ordinal**: the scheduler numbers
-every task set it dispatches 0, 1, 2, ... over the context's lifetime
-(the order is deterministic because plan evaluation is).  Plans can
-alternatively match on the operator name of the dispatched task
-(``"ReduceByKey"``, ``"Map[phase1]"``, substring match), which is
+Stages are addressed by **dispatch ordinal**: the executor numbers the
+task sets a job *can* dispatch 0, 1, 2, ... in plan order at planning
+time (see :mod:`repro.engine.dag`), before anything runs.  Because the
+numbering is fixed by the plan rather than by runtime completion
+order, a plan keyed on ``(stage, task)`` hits the same task whether
+stages run one at a time or concurrently under the DAG scheduler.
+Plans can alternatively match on the operator name of the dispatched
+task (``"ReduceByKey"``, ``"Map[phase1]"``, substring match), which is
 stabler across plan refactors.
+
+Thread safety: the DAG scheduler consults the injector from concurrent
+dispatch threads, so consuming a planned failure is atomic -- each
+planned failure is injected exactly once no matter how dispatches
+interleave.
 """
+
+import threading
 
 
 class _KillPlan:
@@ -41,6 +51,7 @@ class FaultInjector:
 
     def __init__(self):
         self._plans = []
+        self._lock = threading.Lock()
         #: Count of faults actually injected (handy for assertions).
         self.injected = 0
 
@@ -65,22 +76,28 @@ class FaultInjector:
             )
         if times < 1:
             raise ValueError("times must be >= 1")
-        self._plans.append(_KillPlan(stage, operator, task_index, times))
+        with self._lock:
+            self._plans.append(
+                _KillPlan(stage, operator, task_index, times)
+            )
 
     def should_fail(self, stage_ordinal, operator, task_index):
         """Consume one planned failure for this attempt, if any."""
-        for plan in self._plans:
-            if plan.matches(stage_ordinal, operator, task_index):
-                plan.remaining -= 1
-                self.injected += 1
-                return True
+        with self._lock:
+            for plan in self._plans:
+                if plan.matches(stage_ordinal, operator, task_index):
+                    plan.remaining -= 1
+                    self.injected += 1
+                    return True
         return False
 
     @property
     def pending(self):
         """Failures planned but not yet injected."""
-        return sum(plan.remaining for plan in self._plans)
+        with self._lock:
+            return sum(plan.remaining for plan in self._plans)
 
     def reset(self):
-        self._plans.clear()
-        self.injected = 0
+        with self._lock:
+            self._plans.clear()
+            self.injected = 0

@@ -26,10 +26,25 @@ retry wave, ``task`` spans re-anchored from worker outcomes onto the
 driver timeline, and ``fault`` / ``task_retry`` / ``straggler``
 instants.  All hooks are guarded by ``tracer.enabled``; with tracing
 off the only cost is one attribute read per dispatch.
+
+Concurrency: the DAG scheduler (:mod:`repro.engine.dag`) drives
+``run_stage`` from several dispatch threads at once, so the attempt
+counters are lock-guarded and each dispatch thread gets its own trace
+lane (set with :meth:`TaskScheduler.set_dispatch_lane`), keeping
+concurrent stage spans from garbling each other's nesting.
+:meth:`TaskScheduler.submit` / :meth:`TaskScheduler.submit_stage` are
+the non-blocking entry points: work goes onto a bounded dispatch pool
+(``config.max_concurrent_stages`` threads) and completion is observed
+through the returned future's callbacks.  Straggler detection needs no
+cross-stage coordination by construction: each dispatch compares a
+task only against the other tasks of its *own* set, so a slow
+co-scheduled sibling stage can never skew another stage's baseline.
 """
 
+import concurrent.futures
 import os
 import statistics
+import threading
 import time
 
 from ...errors import TaskFailedError
@@ -42,11 +57,16 @@ from ...observe.events import (
     KIND_TASK,
     KIND_TASK_RETRY,
     KIND_TASK_SET,
+    scheduler_lane,
     worker_lane,
 )
 from .backends import SerialBackend, make_backend
 from .faults import FaultInjector
 from .task import Invocation
+
+
+def _default_dispatch_slots():
+    return max(2, min(8, os.cpu_count() or 2))
 
 
 class TaskScheduler:
@@ -63,17 +83,102 @@ class TaskScheduler:
         # Backends emit their own serde spans through the context's
         # tracer (plain attribute: backends default to NULL_TRACER).
         self.backend.tracer = self.tracer
-        #: Task sets dispatched so far (the fault injector's stage
-        #: addressing; deterministic given a deterministic plan).
+        #: Task sets dispatched so far.  When the executor plans a job
+        #: it reserves each dispatch's ordinal up front (see
+        #: :mod:`repro.engine.dag`) and passes it explicitly; direct
+        #: callers that omit it draw from this counter.  Either way the
+        #: fault injector's stage addressing stays deterministic.
         self.dispatch_count = 0
         #: Total task attempts ever run, split by outcome.
         self.tasks_launched = 0
         self.tasks_failed = 0
         self.tasks_retried = 0
+        # Guards the counters above: concurrent dispatch threads all
+        # credit them.
+        self._counter_lock = threading.Lock()
+        # Per-dispatch-thread trace lane (driver thread: DRIVER_LANE).
+        self._lanes = threading.local()
+        # Bounded pool backing submit()/submit_stage(); created lazily
+        # so serial-scheduler contexts never spawn threads.
+        self._dispatch_pool = None
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Non-blocking submission
+    # ------------------------------------------------------------------
+
+    @property
+    def dispatch_slots(self):
+        """Concurrent dispatches the bounded pool allows."""
+        return self.config.max_concurrent_stages or _default_dispatch_slots()
+
+    def _ensure_dispatch_pool(self):
+        with self._pool_lock:
+            if self._dispatch_pool is None:
+                self._dispatch_pool = (
+                    concurrent.futures.ThreadPoolExecutor(
+                        max_workers=self.dispatch_slots,
+                        thread_name_prefix="repro-dispatch",
+                    )
+                )
+            return self._dispatch_pool
+
+    def submit(self, fn, *args):
+        """Run ``fn(*args)`` on the bounded dispatch pool, non-blocking.
+
+        Returns a :class:`concurrent.futures.Future`; attach completion
+        callbacks with ``add_done_callback``.  Each pool thread tags
+        the trace events it emits with its own ``sched-N`` lane.  At
+        most :attr:`dispatch_slots` submissions run at once -- the
+        bound on in-flight work; excess submissions queue.
+
+        Deadlock rule: submitted callables must never block on another
+        future from this pool (the DAG scheduler only submits *ready*
+        units, whose inputs are already complete).
+        """
+        return self._ensure_dispatch_pool().submit(
+            self._dispatch_entry, fn, args
+        )
+
+    def submit_stage(self, task, args_list, stage=None, ordinal=None):
+        """Non-blocking :meth:`run_stage`: returns a future of the values.
+
+        The dispatch ordinal is reserved *now*, at submission time, so
+        fault-injection addressing follows submission order even though
+        completion order is up to the pool.
+        """
+        if ordinal is None:
+            ordinal = self.reserve_ordinals(1)
+        return self.submit(self.run_stage, task, args_list, stage, ordinal)
+
+    def _dispatch_entry(self, fn, args):
+        thread_name = threading.current_thread().name
+        self._lanes.value = scheduler_lane(thread_name.rsplit("_", 1)[-1])
+        try:
+            return fn(*args)
+        finally:
+            self._lanes.value = None
+
+    def set_dispatch_lane(self, lane):
+        """Set (or with ``None`` clear) this thread's trace lane."""
+        self._lanes.value = lane
+
+    def _dispatch_lane(self):
+        lane = getattr(self._lanes, "value", None)
+        return DRIVER_LANE if lane is None else lane
+
+    def reserve_ordinals(self, count):
+        """Reserve ``count`` consecutive dispatch ordinals; returns the
+        first.  The executor calls this at planning time so a job's
+        ordinals are fixed by the plan, not by runtime dispatch order."""
+        with self._counter_lock:
+            base = self.dispatch_count
+            self.dispatch_count += count
+            return base
 
     # ------------------------------------------------------------------
 
-    def run_stage(self, task, args_list, stage=None):
+    def run_stage(self, task, args_list, stage=None, ordinal=None):
         """Run ``task(*args)`` for every args tuple; return the values.
 
         Args:
@@ -83,6 +188,9 @@ class TaskScheduler:
                 partition ``i`` of the stage.
             stage: Optional :class:`~repro.engine.metrics.StageMetrics`
                 to credit measured seconds / retries / stragglers to.
+            ordinal: Pre-reserved dispatch ordinal (see
+                :meth:`reserve_ordinals`); drawn from the counter when
+                omitted.
 
         Returns:
             The task return values, in task order.
@@ -92,8 +200,8 @@ class TaskScheduler:
             or :class:`~repro.errors.TaskFailedError` when a task
             exhausts ``config.max_task_attempts``.
         """
-        ordinal = self.dispatch_count
-        self.dispatch_count += 1
+        if ordinal is None:
+            ordinal = self.reserve_ordinals(1)
         tracer = self.tracer
         if (
             not tracer.enabled
@@ -115,6 +223,7 @@ class TaskScheduler:
         with tracer.span(
             "stage#%s:%s" % (stage_id, operator),
             KIND_STAGE,
+            lane=self._dispatch_lane(),
             dispatch=ordinal,
             operator=operator,
             tasks=len(args_list),
@@ -142,6 +251,7 @@ class TaskScheduler:
         span_cap = tracer.max_task_spans
         max_attempts = self.config.max_task_attempts
 
+        lane = self._dispatch_lane()
         final = [None] * len(args_list)
         pending = [
             self._invocation(task, args_list[i], ordinal, operator, i, 1)
@@ -156,10 +266,11 @@ class TaskScheduler:
                 tracer.emit_anchored(
                     "taskset#%d.%d:%s" % (ordinal, wave, operator),
                     KIND_TASK_SET, window_start, 0.0,
-                    window_end - window_start, DRIVER_LANE,
+                    window_end - window_start, lane,
                     dispatch=ordinal, wave=wave, tasks=len(pending),
                 )
-            self.tasks_launched += len(pending)
+            with self._counter_lock:
+                self.tasks_launched += len(pending)
             wave += 1
             pending = []
             for outcome in outcomes:
@@ -185,12 +296,14 @@ class TaskScheduler:
                 # task_seconds (retried work must not be double-billed);
                 # it is tracked separately.
                 if stage is not None:
-                    stage.failed_attempt_seconds += outcome.seconds
-                self.tasks_failed += 1
+                    stage.add_failed_attempt_seconds(outcome.seconds)
+                with self._counter_lock:
+                    self.tasks_failed += 1
                 if collect:
                     tracer.instant(
                         "fault:%s#%d" % (operator, outcome.task_index),
                         KIND_FAULT,
+                        lane=lane,
                         dispatch=ordinal,
                         task=outcome.task_index,
                         attempt=outcome.attempt,
@@ -205,13 +318,15 @@ class TaskScheduler:
                         outcome.attempt,
                         outcome.error,
                     )
-                self.tasks_retried += 1
+                with self._counter_lock:
+                    self.tasks_retried += 1
                 if stage is not None:
-                    stage.task_retries += 1
+                    stage.add_task_retries(1)
                 if collect:
                     tracer.instant(
                         "retry:%s#%d" % (operator, outcome.task_index),
                         KIND_TASK_RETRY,
+                        lane=lane,
                         dispatch=ordinal,
                         task=outcome.task_index,
                         next_attempt=outcome.attempt + 1,
@@ -227,38 +342,61 @@ class TaskScheduler:
                         outcome.attempt + 1,
                     )
                 )
+        # Straggler baseline: only this dispatch's own per-task
+        # attributed seconds.  Concurrent sibling stages never enter
+        # the median, so an unbalanced co-scheduled stage cannot mask
+        # (or fabricate) a straggler here.
         stragglers = self._straggler_indices(
             [outcome.seconds for outcome in final]
         )
         if stage is not None:
-            stage.straggler_tasks += len(stragglers)
+            stage.add_straggler_tasks(len(stragglers))
         if collect:
             for index in stragglers:
                 tracer.instant(
                     "straggler:%s#%d" % (operator, index),
                     KIND_STRAGGLER,
+                    lane=lane,
                     dispatch=ordinal,
                     partition=index,
                     seconds=final[index].seconds,
                 )
         return [outcome.value for outcome in final]
 
+    #: Clock skew tolerated between a worker's ``start_epoch`` read and
+    #: the driver's dispatch-window reads before re-anchoring falls
+    #: back to clamping (seconds).  Workers share the machine's wall
+    #: clock, so anything beyond this means the clock was adjusted.
+    CLOCK_DRIFT_TOLERANCE_S = 1.0
+
     def _emit_task_events(self, outcome, operator, ordinal, window_start,
                           window_end):
         """Re-anchor one attempt (and its worker events) to the driver.
 
-        The attempt's ``start_epoch`` was read from the machine's shared
-        wall clock inside the worker; clamping it into the dispatch
-        window guards against clock adjustments between the driver's
-        and the worker's reads.
+        The anchor is the attempt's **own** ``start_epoch`` -- not the
+        task set's dispatch time.  A worker that runs tasks from two
+        concurrently dispatched stages back-to-back starts the second
+        task long after its stage's dispatch; anchoring to the dispatch
+        window used to drag such a task (and its worker events)
+        backwards, mis-ordering events on the worker's lane.  The
+        dispatch window now serves only as a sanity check: when
+        ``start_epoch`` lands outside it by more than the drift
+        tolerance, the wall clock was adjusted between reads and the
+        anchor falls back to clamping into the window.
         """
         tracer = self.tracer
-        anchor = min(
-            max(outcome.start_epoch, window_start),
-            max(window_start, window_end - outcome.seconds),
-        )
+        anchor = outcome.start_epoch
+        drift = self.CLOCK_DRIFT_TOLERANCE_S
+        if (
+            anchor < window_start - drift
+            or anchor + outcome.seconds > window_end + drift
+        ):
+            anchor = min(
+                max(anchor, window_start),
+                max(window_start, window_end - outcome.seconds),
+            )
         lane = (
-            DRIVER_LANE
+            self._dispatch_lane()
             if outcome.worker_pid in (0, os.getpid())
             else worker_lane(outcome.worker_pid)
         )
@@ -287,11 +425,14 @@ class TaskScheduler:
             start = perf_counter()
             values.append(task(*args))
             seconds.append(perf_counter() - start)
-        self.tasks_launched += len(args_list)
+        with self._counter_lock:
+            self.tasks_launched += len(args_list)
         if stage is not None:
             for index, value in enumerate(seconds):
                 stage.add_task_seconds(index, value)
-            stage.straggler_tasks += len(self._straggler_indices(seconds))
+            stage.add_straggler_tasks(
+                len(self._straggler_indices(seconds))
+            )
         return values
 
     def _invocation(self, task, args, ordinal, operator, index, attempt):
@@ -338,4 +479,9 @@ class TaskScheduler:
         ]
 
     def close(self):
+        with self._pool_lock:
+            pool = self._dispatch_pool
+            self._dispatch_pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
         self.backend.close()

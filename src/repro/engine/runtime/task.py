@@ -14,6 +14,7 @@ decide *how* one partition is processed.
 """
 
 import os
+import threading
 import time
 import traceback
 
@@ -333,11 +334,13 @@ class TaskOutcome:
 
 
 #: Worker-side event buffer, active only while an event-collecting
-#: attempt runs in this process.  Each entry is
+#: attempt runs on this *thread*.  Each entry is
 #: ``(name, kind, offset_s, dur_s, args)`` with the offset relative to
 #: the running attempt's start (set by :func:`execute_invocation`).
-_worker_events = None
-_worker_anchor = 0.0
+#: Thread-local, not module-global: with the DAG scheduler the serial
+#: backend runs concurrent attempts on separate driver threads, and a
+#: shared buffer would interleave (or drop) their events.
+_worker_state = threading.local()
 
 
 def record_worker_event(name, kind, dur=None, **args):
@@ -347,14 +350,17 @@ def record_worker_event(name, kind, dur=None, **args):
     enabled, so task code may call it unconditionally.  The event is
     carried back to the driver in the attempt's
     :class:`TaskOutcome.events` and re-anchored onto the driver
-    timeline there.
+    timeline there, relative to the attempt's own start (never the
+    stage's dispatch time, which may precede the attempt by arbitrary
+    queueing delay).
     """
-    if _worker_events is None:
+    events = getattr(_worker_state, "events", None)
+    if events is None:
         return
-    offset = time.perf_counter() - _worker_anchor
+    offset = time.perf_counter() - _worker_state.anchor
     if dur is not None:
         offset -= dur
-    _worker_events.append((name, kind, offset, dur, args))
+    events.append((name, kind, offset, dur, args))
 
 
 def execute_invocation(invocation):
@@ -364,14 +370,13 @@ def execute_invocation(invocation):
     interrupt): failures come back as data so the scheduler on the
     driver owns the retry policy regardless of backend.
     """
-    global _worker_events, _worker_anchor
     events = None
     start = time.perf_counter()
     start_epoch = time.time()
     if invocation.collect_events:
         events = []
-        _worker_events = events
-        _worker_anchor = start
+        _worker_state.events = events
+        _worker_state.anchor = start
     try:
         if invocation.inject_fault:
             raise InjectedFault(
@@ -393,7 +398,7 @@ def execute_invocation(invocation):
         )
     finally:
         if events is not None:
-            _worker_events = None
+            _worker_state.events = None
     return TaskOutcome(
         task_index=invocation.task_index,
         ok=True,

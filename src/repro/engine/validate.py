@@ -27,9 +27,15 @@ Invariants checked per job:
 * **Runtime measurements are sane**: measured per-task seconds, retry
   counts, and straggler counts are non-negative.
 
-This module also hosts :func:`assert_backend_parity`: the invariant
-that the serial and process-pool task runtimes are observationally
-identical -- same results, same trace shape -- for any program.
+This module also hosts the parity invariants: the serial and
+process-pool task runtimes (:func:`assert_backend_parity`) and the
+serial and DAG stage schedules (:func:`assert_schedule_parity`) must
+each be observationally identical -- same results, same trace shape --
+for any program.  The job invariants themselves are schedule-agnostic:
+under the DAG schedule, stages are recorded into per-unit slices and
+merged in plan order, so consecutive stage ids and in-job upstream
+ordering hold exactly as they do serially (overlap never reorders the
+*recorded* trace).
 """
 
 from ..errors import PlanError
@@ -242,5 +248,78 @@ def assert_backend_parity(program, config=None, backends=("serial",
                 "backends %r and %r produced different traces:\n"
                 "%r\nvs\n%r"
                 % (reference_backend, backend, reference_trace, trace)
+            )
+    return reference_result
+
+
+# ----------------------------------------------------------------------
+# Schedule parity
+# ----------------------------------------------------------------------
+
+
+class ScheduleParityError(PlanError):
+    """Two stage schedules disagreed on the same program."""
+
+
+def assert_schedule_parity(program, config=None,
+                           schedulers=("serial", "dag"),
+                           num_workers=2):
+    """Run ``program(ctx)`` under each stage schedule and demand identity.
+
+    The invariant: *when* stages run -- one at a time in plan order, or
+    overlapped as their inputs complete -- must not change collected
+    results, record accounting, or shuffle volumes.  Any divergence
+    between the serial and DAG schedules is a scheduling bug.
+
+    Args:
+        program: Callable taking a fresh ``EngineContext`` and
+            returning the value to compare.
+        config: Base :class:`~repro.engine.config.ClusterConfig`
+            (default: ``laptop_config()``); its ``scheduler`` field is
+            overridden per run.
+        schedulers: Schedule names to compare.
+        num_workers: Worker count when ``config`` uses the process
+            backend.
+
+    Returns:
+        The result from the first schedule, for further assertions.
+
+    Raises:
+        ScheduleParityError: On any mismatch in results or trace shape.
+    """
+    from dataclasses import replace
+
+    from .config import laptop_config
+    from .context import EngineContext
+
+    if config is None:
+        config = laptop_config()
+    outputs = []
+    for scheduler in schedulers:
+        ctx = EngineContext(
+            replace(config, scheduler=scheduler, num_workers=num_workers)
+        )
+        try:
+            result = program(ctx)
+            outputs.append(
+                (scheduler, result, trace_signature(ctx.trace))
+            )
+        finally:
+            ctx.close()
+    reference_scheduler, reference_result, reference_trace = outputs[0]
+    for scheduler, result, trace in outputs[1:]:
+        if result != reference_result:
+            raise ScheduleParityError(
+                "schedulers %r and %r returned different results:\n"
+                "%r\nvs\n%r"
+                % (reference_scheduler, scheduler, reference_result,
+                   result)
+            )
+        if trace != reference_trace:
+            raise ScheduleParityError(
+                "schedulers %r and %r produced different traces:\n"
+                "%r\nvs\n%r"
+                % (reference_scheduler, scheduler, reference_trace,
+                   trace)
             )
     return reference_result

@@ -1,0 +1,155 @@
+"""Deterministic fault injection under DAG scheduling.
+
+Kill plans address stages by dispatch ordinal, and ordinals are fixed
+by the *plan* (reserved per evaluation unit before anything runs, see
+``repro.engine.dag``).  These tests prove the consequence: a plan keyed
+on ``(stage, task)`` hits the same task attempt whether stages run one
+at a time or concurrently.
+"""
+
+import time
+
+import pytest
+
+from repro.engine import EngineContext, laptop_config
+from repro.errors import TaskFailedError
+
+
+def branching_program(ctx):
+    left = (
+        ctx.bag_of(range(24))
+        .map(lambda x: (x % 3, x))
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    right = (
+        ctx.bag_of(range(18))
+        .map(lambda x: (x % 3, x + 100))
+        .group_by_key()
+    )
+    return sorted(left.cogroup(right).collect())
+
+
+def run_with_kill(scheduler, stage_ordinal):
+    """Run the branching program killing (stage_ordinal, task 0) once.
+
+    Returns what an outside observer can see of the fault: whether the
+    plan fired, the result, and which stage (index, kind, origin within
+    which job) recorded the retry.
+    """
+    ctx = EngineContext(laptop_config(scheduler=scheduler))
+    try:
+        ctx.fault_injector.kill_task(task_index=0, stage=stage_ordinal)
+        result = branching_program(ctx)
+        retries = [
+            (job_index, stage.stage_id, stage.kind, stage.origin)
+            for job_index, job in enumerate(ctx.trace.jobs)
+            for stage in job.stages
+            if stage.task_retries
+        ]
+        return {
+            "injected": ctx.fault_injector.injected,
+            "pending": ctx.fault_injector.pending,
+            "result": result,
+            "retries": retries,
+        }
+    finally:
+        ctx.close()
+
+
+def total_ordinals(scheduler="serial"):
+    ctx = EngineContext(laptop_config(scheduler=scheduler))
+    try:
+        branching_program(ctx)
+        return ctx.runtime.dispatch_count
+    finally:
+        ctx.close()
+
+
+class TestKillPlanParity:
+    def test_ordinal_budget_identical_across_schedulers(self):
+        assert total_ordinals("serial") == total_ordinals("dag")
+
+    def test_every_ordinal_hits_the_same_stage_under_both_schedules(self):
+        # Sweep a kill plan over every dispatch ordinal the job can
+        # draw; each plan must fire (or not fire -- elided dispatches
+        # leave deterministic gaps) identically under both schedules
+        # and credit the retry to the same stage of the same job.
+        for ordinal in range(total_ordinals()):
+            serial = run_with_kill("serial", ordinal)
+            dag = run_with_kill("dag", ordinal)
+            assert serial == dag, "ordinal %d diverged" % ordinal
+            assert serial["result"] == branching_result()
+
+    def test_retry_landing_after_sibling_stage_completed(self):
+        # The killed branch carries extra latency, so under the DAG
+        # schedule its retry runs after the fast sibling branch has
+        # already finished -- the late retry must neither corrupt the
+        # sibling's output nor its own.
+        def program(ctx):
+            fast = ctx.bag_of(range(12)).map(lambda x: (x % 2, x))
+
+            def slow(pair):
+                time.sleep(0.01)
+                return pair
+
+            delayed = (
+                ctx.bag_of(range(12))
+                .map(slow)
+                .map(lambda x: (x % 2, x))
+                .reduce_by_key(lambda a, b: a + b)
+            )
+            return sorted(fast.cogroup(delayed).collect())
+
+        outputs = []
+        for scheduler in ("serial", "dag"):
+            ctx = EngineContext(laptop_config(scheduler=scheduler))
+            try:
+                ctx.fault_injector.kill_task(
+                    task_index=0, operator="ReduceByKey"
+                )
+                outputs.append(program(ctx))
+                assert ctx.fault_injector.injected == 1
+                assert ctx.trace.task_retries == 1
+            finally:
+                ctx.close()
+        assert outputs[0] == outputs[1]
+
+    def test_permanent_failure_fails_the_job_under_dag(self):
+        ctx = EngineContext(
+            laptop_config(scheduler="dag", max_task_attempts=2)
+        )
+        try:
+            ctx.fault_injector.kill_task(
+                task_index=0, operator="ReduceByKey", times=99
+            )
+            with pytest.raises(TaskFailedError):
+                branching_program(ctx)
+            # A failed branch never poisons the next job.
+            ctx.fault_injector.reset()
+            assert branching_program(ctx) == branching_result()
+        finally:
+            ctx.close()
+
+    def test_injection_under_dag_on_process_backend(self):
+        ctx = EngineContext(
+            laptop_config(
+                scheduler="dag", backend="process", num_workers=2
+            )
+        )
+        try:
+            ctx.fault_injector.kill_task(
+                task_index=0, operator="ReduceByKey"
+            )
+            assert branching_program(ctx) == branching_result()
+            assert ctx.fault_injector.injected == 1
+            assert ctx.trace.task_retries == 1
+        finally:
+            ctx.close()
+
+
+def branching_result():
+    ctx = EngineContext(laptop_config())
+    try:
+        return branching_program(ctx)
+    finally:
+        ctx.close()

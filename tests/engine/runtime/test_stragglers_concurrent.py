@@ -1,0 +1,98 @@
+"""Straggler detection with concurrently dispatched stages.
+
+The straggler baseline is the task set's *own* per-task attributed
+seconds -- never a pool-wide aggregate -- so a slow co-scheduled
+sibling stage can neither fabricate stragglers in a uniform stage nor
+mask a genuine straggler in a mixed one.  These tests dispatch two
+deliberately unbalanced stages at the same time over one scheduler and
+check both directions.
+"""
+
+import time
+
+from repro.engine import TaskScheduler, laptop_config
+from repro.engine.metrics import ExecutionTrace
+
+
+class SleepTask:
+    operator = "Sleep[test]"
+
+    def __call__(self, seconds):
+        time.sleep(seconds)
+        return seconds
+
+
+def concurrent_scheduler():
+    return TaskScheduler(
+        laptop_config(
+            backend="serial",
+            max_concurrent_stages=2,
+            straggler_min_task_seconds=0.005,
+            straggler_factor=1.5,
+        )
+    )
+
+
+def dispatch_both(scheduler, fast_args, slow_args):
+    """Run two stages side by side; returns their StageMetrics."""
+    trace = ExecutionTrace()
+    job = trace.new_job("collect")
+    fast_stage = job.new_stage("input")
+    slow_stage = job.new_stage("input")
+    futures = [
+        scheduler.submit_stage(SleepTask(), fast_args, stage=fast_stage),
+        scheduler.submit_stage(SleepTask(), slow_args, stage=slow_stage),
+    ]
+    for future in futures:
+        future.result(timeout=30)
+    return fast_stage, slow_stage
+
+
+class TestConcurrentStragglerBaselines:
+    def test_uniform_stages_unskewed_by_slow_sibling(self):
+        # Pooled, the fast tasks would drag the median down and flag
+        # every slow-stage task; per-set baselines flag none.
+        scheduler = concurrent_scheduler()
+        try:
+            fast, slow = dispatch_both(
+                scheduler,
+                fast_args=[(0.0,)] * 5,
+                slow_args=[(0.04,)] * 5,
+            )
+        finally:
+            scheduler.close()
+        assert fast.straggler_tasks == 0
+        assert slow.straggler_tasks == 0
+
+    def test_genuine_straggler_not_masked_by_slow_sibling(self):
+        # Pooled, the sibling's uniformly slow tasks would raise the
+        # median above the mixed stage's outlier; per-set baselines
+        # still flag exactly the one outlier.
+        scheduler = concurrent_scheduler()
+        try:
+            mixed, slow = dispatch_both(
+                scheduler,
+                fast_args=[(0.0,)] * 5 + [(0.04,)],
+                slow_args=[(0.08,)] * 4,
+            )
+        finally:
+            scheduler.close()
+        assert mixed.straggler_tasks == 1
+        assert slow.straggler_tasks == 0
+
+    def test_retry_accounting_isolated_per_stage(self):
+        # Measured seconds land on the stage that ran the task, even
+        # when the two dispatches interleave on the pool.
+        scheduler = concurrent_scheduler()
+        try:
+            fast, slow = dispatch_both(
+                scheduler,
+                fast_args=[(0.0,)] * 3,
+                slow_args=[(0.02,)] * 3,
+            )
+        finally:
+            scheduler.close()
+        assert len(fast.task_seconds) == 3
+        assert len(slow.task_seconds) == 3
+        assert slow.measured_seconds >= 0.06
+        assert fast.measured_seconds < slow.measured_seconds

@@ -1,0 +1,225 @@
+"""DAG-parallel stage scheduling: parity with serial, gather, errors.
+
+The contract under test (see ``repro.engine.dag``): switching
+``ClusterConfig.scheduler`` from ``"serial"`` to ``"dag"`` changes
+*when* stages run but nothing observable -- results, trace signatures,
+shuffle accounting, and cache behavior stay bit-identical.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import EngineContext, laptop_config
+from repro.engine.dag import OrdinalCursor, plan_units, total_ordinal_budget
+from repro.engine.validate import (
+    ScheduleParityError,
+    assert_schedule_parity,
+    trace_signature,
+)
+from repro.errors import UdfError
+
+
+def dag_ctx(**overrides):
+    overrides.setdefault("scheduler", "dag")
+    return EngineContext(laptop_config(**overrides))
+
+
+def branching_cogroup(ctx):
+    left = (
+        ctx.bag_of(range(40))
+        .map(lambda x: (x % 4, x))
+        .reduce_by_key(lambda a, b: a + b)
+    )
+    right = (
+        ctx.bag_of(range(30))
+        .map(lambda x: (x % 5, x * x))
+        .group_by_key()
+    )
+    return sorted(left.cogroup(right).collect())
+
+
+def wide_union(ctx):
+    arms = [
+        ctx.bag_of([(i, v) for v in range(10)], num_partitions=2)
+        .reduce_by_key(lambda a, b: a + b)
+        for i in range(4)
+    ]
+    return sorted(arms[0].union(*arms[1:]).collect())
+
+
+def broadcast_join(ctx):
+    big = ctx.bag_of([(k % 3, k) for k in range(24)])
+    small = ctx.bag_of([(0, "a"), (1, "b"), (2, "c")])
+    return sorted(big.join(small, strategy="broadcast").collect())
+
+
+class TestScheduleParity:
+    def test_branching_cogroup(self):
+        assert_schedule_parity(branching_cogroup)
+
+    def test_wide_union(self):
+        assert_schedule_parity(wide_union)
+
+    def test_broadcast_join(self):
+        assert_schedule_parity(broadcast_join)
+
+    def test_parity_on_process_backend(self):
+        assert_schedule_parity(
+            branching_cogroup,
+            config=laptop_config(backend="process"),
+            num_workers=2,
+        )
+
+    def test_parity_helper_detects_divergence(self):
+        def rigged(ctx):
+            return [ctx.config.scheduler]
+
+        with pytest.raises(ScheduleParityError, match="different results"):
+            assert_schedule_parity(rigged)
+
+    def test_trace_signatures_identical_for_multi_job_program(self):
+        def program(ctx):
+            shared = ctx.bag_of(range(60)).map(lambda x: (x % 6, 1))
+            counts = shared.reduce_by_key(lambda a, b: a + b)
+            counts.count()
+            return sorted(counts.collect())
+
+        signatures = []
+        for scheduler in ("serial", "dag"):
+            ctx = EngineContext(laptop_config(scheduler=scheduler))
+            program(ctx)
+            signatures.append(trace_signature(ctx.trace))
+            ctx.close()
+        assert signatures[0] == signatures[1]
+
+
+class TestDagExecution:
+    def test_cached_bag_materialized_once_and_shared(self):
+        ctx = dag_ctx()
+        shared = (
+            ctx.bag_of(range(40))
+            .map(lambda x: (x % 4, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .cache()
+        )
+        first = sorted(shared.collect())
+        assert shared.node.materialized is not None
+        second = sorted(shared.map(lambda kv: kv).collect())
+        assert first == second
+        # The second job reads the cache: it records a "cached" stage
+        # and schedules no shuffle of its own.
+        second_job = ctx.trace.jobs[-1]
+        assert any(s.kind == "cached" for s in second_job.stages)
+        assert all(
+            s.shuffle_read_records == 0 for s in second_job.stages
+        )
+
+    def test_udf_error_propagates_and_context_survives(self):
+        ctx = dag_ctx()
+
+        def boom(kv):
+            raise ValueError("bad record %r" % (kv,))
+
+        left = ctx.bag_of(range(20)).map(lambda x: (x % 2, x))
+        right = (
+            ctx.bag_of(range(20))
+            .map(lambda x: (x % 2, x))
+            .reduce_by_key(lambda a, b: a + b)
+            .map(boom)
+        )
+        with pytest.raises(UdfError):
+            left.cogroup(right).collect()
+        # The context stays usable after a failed DAG job.
+        assert ctx.bag_of(range(5)).count() == 5
+
+    def test_single_unit_plans_skip_the_coordinator(self):
+        # A one-unit plan (plain parallelize + count) runs serially even
+        # under the DAG scheduler; results are unaffected.
+        ctx = dag_ctx()
+        assert ctx.bag_of(range(7), num_partitions=2).count() == 7
+
+    def test_stage_ids_consecutive_under_dag(self):
+        ctx = dag_ctx()
+        branching_cogroup(ctx)
+        for job in ctx.trace.jobs:
+            assert [s.stage_id for s in job.stages] == list(
+                range(len(job.stages))
+            )
+
+
+class TestPlannedOrdinals:
+    def test_unit_ordinals_cover_the_reserved_budget(self):
+        ctx = EngineContext(laptop_config())
+        left = ctx.bag_of(range(12)).map(lambda x: (x % 3, x))
+        wide = left.reduce_by_key(lambda a, b: a + b)
+        units = plan_units(wide.node)
+        budget = total_ordinal_budget(units)
+        assert budget == units[-1].ordinal_offset + units[-1].ordinal_budget
+        offsets = [u.ordinal_offset for u in units]
+        assert offsets == sorted(offsets)
+
+    def test_ordinal_cursor_is_sequential(self):
+        cursor = OrdinalCursor(5)
+        assert [cursor.take() for _ in range(3)] == [5, 6, 7]
+
+
+class TestGather:
+    def test_results_in_submission_order(self):
+        ctx = EngineContext(laptop_config())
+        results = ctx.gather(
+            lambda: ctx.bag_of(range(10)).count(),
+            lambda: sorted(ctx.bag_of([3, 1, 2]).collect()),
+            lambda: ctx.bag_of(range(4)).map(lambda x: x * x).count(),
+        )
+        assert results == [10, [1, 2, 3], 4]
+
+    def test_trace_restored_to_submission_order(self):
+        ctx = dag_ctx()
+        barrier = threading.Barrier(3, timeout=10)
+
+        def job(label, n):
+            def run():
+                barrier.wait()
+                return ctx.bag_of(range(n)).count(label=label)
+
+            return run
+
+        ctx.gather(job("a", 5), job("b", 6), job("c", 7))
+        labels = [job.label for job in ctx.trace.jobs]
+        assert labels == ["a", "b", "c"]
+        assert [job.job_id for job in ctx.trace.jobs] == [0, 1, 2]
+
+    def test_earliest_slot_exception_wins(self):
+        ctx = EngineContext(laptop_config())
+
+        def fail(message):
+            def run():
+                raise RuntimeError(message)
+
+            return run
+
+        with pytest.raises(RuntimeError, match="first"):
+            ctx.gather(
+                lambda: ctx.bag_of(range(3)).count(),
+                fail("first"),
+                fail("second"),
+            )
+
+    def test_empty_gather(self):
+        ctx = EngineContext(laptop_config())
+        assert ctx.gather() == []
+
+    def test_gather_parity_across_schedulers(self):
+        def program(ctx):
+            return ctx.gather(
+                lambda: sorted(
+                    ctx.bag_of(range(20))
+                    .map(lambda x: (x % 2, x))
+                    .reduce_by_key(lambda a, b: a + b)
+                    .collect()
+                ),
+                lambda: ctx.bag_of(range(15)).count(),
+            )
+
+        assert_schedule_parity(program)
