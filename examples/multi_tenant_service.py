@@ -1,0 +1,91 @@
+"""Two tenants sharing one long-lived service and one cached input.
+
+The service keeps a single engine context alive across jobs.  Tenant
+``analytics`` (weight 2) and tenant ``reporting`` (weight 1) both
+resolve the same click-log artifact by key: the first job pays to
+build and materialize it, every later job from *either* tenant reuses
+the cached partitions, and the deficit-round-robin scheduler drains
+analytics twice as fast under contention.
+
+Run:  PYTHONPATH=src python examples/multi_tenant_service.py
+"""
+
+from repro.serve import JobService, ServiceClient
+
+CLICKS_KEY = "clicks:demo"
+
+
+def build_clicks(ctx):
+    # (user, page) click pairs; in real life this is the expensive
+    # read-and-parse step every query repays.
+    return ctx.bag_of(
+        [("user%d" % (i % 50), "page%d" % (i % 7)) for i in range(2000)]
+    )
+
+
+def page_views(job):
+    clicks = job.dataset(CLICKS_KEY, build_clicks)
+    return sorted(
+        clicks.map(lambda kv: (kv[1], 1))
+        .reduce_by_key(lambda a, b: a + b)
+        .collect()
+    )
+
+
+def active_users(job):
+    clicks = job.dataset(CLICKS_KEY, build_clicks)
+    return clicks.map(lambda kv: kv[0]).distinct().count()
+
+
+def main():
+    service = JobService(num_slots=1, seed=1)
+    service.add_tenant("analytics", weight=2.0)
+    service.add_tenant("reporting", weight=1.0)
+    service.start()
+
+    analytics = ServiceClient(service, "analytics")
+    reporting = ServiceClient(service, "reporting")
+
+    # Interleave submissions; the DRR scheduler decides the order.
+    handles = []
+    for round_no in range(3):
+        handles.append(analytics.submit(
+            page_views, label="views-%d" % round_no
+        ))
+        handles.append(reporting.submit(
+            active_users, label="users-%d" % round_no
+        ))
+    for handle in handles:
+        handle.result(timeout=60)
+
+    print("execution order (DRR, weights 2:1):")
+    for tenant, label in service.schedule():
+        print("  %-10s %s" % (tenant, label))
+
+    views = handles[0].result()
+    print("\ntop pages:", views[:3], "...")
+    print("active users:", handles[1].result())
+
+    stats = service.stats()
+    cache = stats["cache"]
+    print(
+        "\nartifact cache: %d build(s), %d reuse(s), %d bytes held"
+        % (cache["misses"], cache["hits"], cache["bytes"])
+    )
+    for name in ("analytics", "reporting"):
+        tenant = stats["tenants"][name]
+        print(
+            "%-10s completed=%d mean queue wait=%.4fs simulated=%.2fs"
+            % (
+                name, tenant["completed"],
+                tenant["mean_queue_wait_seconds"],
+                tenant["simulated_seconds"],
+            )
+        )
+
+    service.shutdown()
+    print("\nclean shutdown.")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,10 @@
 A small, fast, fixed grid of (task, scale) cells -- K-means, PageRank,
 and Bounce Rate, each in the Matryoshka and inner-parallel formulations
 at two group counts, plus a branch-overlap cell exercising the DAG
-scheduler -- measured into one :class:`~repro.observe.RunReport`.  Every
+scheduler and a service-mode pair (``serve-pagerank-cold`` /
+``serve-pagerank-warm``) running repeated PageRank jobs through a
+long-lived :mod:`repro.serve` daemon -- measured into one
+:class:`~repro.observe.RunReport`.  Every
 cell runs under both stage schedules (``serial`` and ``dag``; the DAG
 rows carry a ``+dag`` system suffix), so the gate holds the DAG
 scheduler to the exact same simulated cost as serial execution.  The
@@ -34,6 +37,8 @@ from dataclasses import replace
 from ..baselines.inner_parallel import group_locally
 from ..data import grouped_edges, grouped_points, initial_centroids, visits_log
 from ..observe import RunReport
+from ..serve import JobService
+from ..serve.client import program as service_program
 from ..tasks import bounce_rate, kmeans, pagerank
 from .figures import _cluster
 from .harness import run_measured
@@ -51,6 +56,15 @@ _SCHEDULERS = ("serial", "dag")
 #: the fixed remote-fetch cost of that branch's input split.  Real
 #: wall-clock (the task sleeps), invisible to the simulated counters.
 _BRANCH_TASK_SLEEP_S = 0.05
+
+#: The service-mode cell: how many times the same PageRank program is
+#: resubmitted against one daemon, and the warm artifact budget.  The
+#: cold row pins ``cache_limit_bytes=0`` so every repeat rebuilds the
+#: graph; warm repeats reuse the cached edges/links/vertices artifacts
+#: and adopt the links layout instead of reshuffling.
+_SERVE_REPEATS = 3
+_SERVE_PAGERANK_ITERS = 2
+_SERVE_WARM_BYTES = 256 * 1024 * 1024
 
 
 def _scheduled(config, system, scheduler):
@@ -153,6 +167,49 @@ def _branch_overlap_cell(system, branches, scheduler="serial"):
     return run_measured(config, system, branches, program)
 
 
+def _serve_pagerank_cell(system, groups, scheduler="serial"):
+    """Repeated PageRank jobs through a long-lived :class:`JobService`.
+
+    The service adopts the harness-provided context (``retain_trace=True``
+    keeps every job in the live trace so the harness costs and validates
+    it as usual) and runs ``_SERVE_REPEATS`` identical submissions of the
+    registered ``pagerank`` program on one worker slot.  The only knob
+    that differs between the two rows is the artifact budget, so the
+    cold-vs-warm delta in simulated seconds is exactly what the cache
+    buys.
+    """
+    config, system = _scheduled(_cluster(20.0, 1024), system, scheduler)
+    limit = 0 if system.startswith("serve-pagerank-cold") else _SERVE_WARM_BYTES
+    prog = service_program(
+        "pagerank",
+        num_groups=groups,
+        total_edges=1024,
+        iterations=_SERVE_PAGERANK_ITERS,
+        seed=13,
+    )
+
+    def program(ctx):
+        service = JobService(
+            ctx=ctx,
+            num_slots=1,
+            cache_limit_bytes=limit,
+            seed=1,
+            retain_trace=True,
+        )
+        service.add_tenant("bench")
+        service.start()
+        try:
+            for repeat in range(_SERVE_REPEATS):
+                handle = service.submit(
+                    "bench", prog, label="repeat-%d" % repeat
+                )
+                handle.result(timeout=600)
+        finally:
+            service.shutdown(timeout=600)
+
+    return run_measured(config, system, groups, program)
+
+
 #: The full matrix: system name -> cell runner; every system runs at
 #: every group count in ``_GROUP_COUNTS`` under every scheduler in
 #: ``_SCHEDULERS``.
@@ -164,6 +221,8 @@ CELLS = {
     "bounce-matryoshka": _bounce_rate_cell,
     "bounce-inner": _bounce_rate_cell,
     "branch-overlap": _branch_overlap_cell,
+    "serve-pagerank-cold": _serve_pagerank_cell,
+    "serve-pagerank-warm": _serve_pagerank_cell,
 }
 
 

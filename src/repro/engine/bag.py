@@ -336,8 +336,20 @@ class Bag:
         return self
 
     def uncache(self):
+        """Release this bag's cached partitions and adoptable layouts.
+
+        Beyond un-flagging the node, this drops the materialized
+        partitions *and* every origin->layout registry entry the bag's
+        subtree registered with the executor (see
+        :meth:`repro.engine.executor.Executor.release_plan`) -- a
+        long-lived context would otherwise retain both forever, and a
+        later job could adopt a shuffle layout whose backing partitions
+        no longer exist.  Subsequent jobs recompute (and re-register)
+        from lineage as usual.
+        """
         self.node.cached = False
         self.node.materialized = None
+        self.context.executor.release_plan(self.node)
         return self
 
     def as_meta(self):

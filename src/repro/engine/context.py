@@ -6,6 +6,7 @@ executor, the execution trace, and the cost model that converts the
 trace into simulated seconds.
 """
 
+import itertools
 import threading
 import time
 
@@ -47,6 +48,10 @@ class EngineContext:
             self.config, self.trace, self.runtime, tracer=self.tracer
         )
         self.cost_model = CostModel(self.config)
+        # Accounting-window tickets (begin_job/end_job).  itertools
+        # counters are atomic under the GIL, so concurrent worker slots
+        # can open windows without a dedicated lock.
+        self._tickets = itertools.count(1)
 
     @property
     def fault_injector(self):
@@ -133,6 +138,63 @@ class EngineContext:
         """Start a fresh measurement window (keeps caches)."""
         self.trace.reset()
 
+    # ------------------------------------------------------------------
+    # Bounded per-job accounting (long-lived contexts)
+    # ------------------------------------------------------------------
+
+    def begin_job(self):
+        """Open a per-job accounting window on the calling thread.
+
+        A long-lived context (the :mod:`repro.serve` daemon) runs an
+        unbounded stream of jobs; without windows, ``ExecutionTrace``
+        and the optimizer decision log grow forever.  Every engine job
+        submitted between ``begin_job()`` and the matching
+        ``end_job()`` -- on this thread, or on threads spawned by
+        ``ctx.gather`` inside the window -- is tagged with the window's
+        ticket; ``end_job`` extracts exactly those jobs, summarizes
+        them, and (by default) removes them from the trace, so retained
+        state stays bounded no matter how many jobs run.
+
+        Windows on different threads do not interfere: each worker slot
+        of a service opens its own window and extracts only its own
+        jobs.  Nesting on one thread is not supported (the inner window
+        would steal the outer one's jobs).
+
+        Returns:
+            A :class:`JobWindow` token to pass to :meth:`end_job`.
+        """
+        ticket = next(self._tickets)
+        self.trace.set_job_ticket(ticket)
+        return JobWindow(ticket)
+
+    def end_job(self, window, drain=True):
+        """Close an accounting window; return its :class:`JobAccounting`.
+
+        Args:
+            window: The token from :meth:`begin_job`.
+            drain: Remove the window's jobs from the trace (default).
+                ``drain=False`` keeps them -- for harnesses that still
+                want the full trace (the bench regression gate) -- at
+                the price of unbounded growth.
+
+        Draining also empties the executor's optimizer-decision log
+        into the accounting.  With concurrent windows the decision log
+        cannot be attributed per window (decisions are recorded on
+        dispatch-pool threads), so a window's ``decisions`` are
+        best-effort: everything logged since the last drain.
+        """
+        self.trace.set_job_ticket(-1)
+        jobs = self.trace.take_ticket_jobs(window.ticket, drain=drain)
+        if drain:
+            decisions = self.executor.drain_decisions()
+            # The window's plan graphs are garbage once the caller
+            # drops them; reclaim their layout-registry entries so the
+            # registry tracks only live (cached) subtrees.
+            self.executor.sweep_layouts()
+        else:
+            decisions = list(self.executor.decisions)
+        return JobAccounting(jobs, self.cost_model, decisions)
+
     def validate_trace(self):
         """Assert the trace invariants (:mod:`repro.engine.validate`).
 
@@ -168,18 +230,24 @@ class EngineContext:
         """
         if not thunks:
             return []
-        start = self.trace.num_jobs
+        start = self.trace.next_job_id
         results = [None] * len(thunks)
         errors = [None] * len(thunks)
+        # Jobs submitted by the thunks belong to the caller's accounting
+        # window (if one is open): propagate the ticket into the fresh
+        # threads, whose thread-locals start empty.
+        ticket = self.trace.current_ticket()
 
         def entry(slot, thunk):
             self.trace.set_job_slot(slot)
+            self.trace.set_job_ticket(ticket)
             try:
                 results[slot] = thunk()
             except BaseException as exc:  # noqa: BLE001 -- re-raised below
                 errors[slot] = exc
             finally:
                 self.trace.set_job_slot(-1)
+                self.trace.set_job_ticket(-1)
 
         threads = [
             threading.Thread(
@@ -236,6 +304,80 @@ class EngineContext:
                 self.config.total_cores,
                 self.trace.summary(),
             )
+        )
+
+
+class JobWindow:
+    """Token for one open ``begin_job``/``end_job`` accounting window."""
+
+    __slots__ = ("ticket",)
+
+    def __init__(self, ticket):
+        self.ticket = ticket
+
+    def __repr__(self):
+        return "JobWindow(ticket=%d)" % self.ticket
+
+
+class JobAccounting:
+    """Summary of the engine jobs run inside one accounting window.
+
+    Everything is computed eagerly from the window's
+    :class:`~repro.engine.metrics.JobMetrics` at ``end_job`` time, so
+    the accounting stays valid after the jobs are drained from the
+    trace.  The job objects themselves are retained (``jobs``) for
+    per-stage reporting (:func:`repro.observe.entry_from_jobs`).
+    """
+
+    __slots__ = (
+        "jobs", "decisions", "simulated_seconds",
+        "measured_task_seconds", "num_stages", "total_records",
+        "shuffle_records", "shuffle_records_saved", "task_retries",
+    )
+
+    def __init__(self, jobs, cost_model, decisions=()):
+        self.jobs = list(jobs)
+        self.decisions = list(decisions)
+        self.simulated_seconds = sum(
+            cost_model.job_cost(job).total_s for job in self.jobs
+        )
+        self.measured_task_seconds = sum(
+            job.measured_task_seconds for job in self.jobs
+        )
+        self.num_stages = sum(len(job.stages) for job in self.jobs)
+        self.total_records = sum(job.total_records for job in self.jobs)
+        self.shuffle_records = sum(
+            job.total_shuffle_records for job in self.jobs
+        )
+        self.shuffle_records_saved = sum(
+            stage.shuffle_records_saved
+            for job in self.jobs
+            for stage in job.stages
+        )
+        self.task_retries = sum(job.task_retries for job in self.jobs)
+
+    @property
+    def num_jobs(self):
+        return len(self.jobs)
+
+    def to_dict(self):
+        """JSON-ready summary (the service's per-job JSONL record)."""
+        return {
+            "jobs": self.num_jobs,
+            "stages": self.num_stages,
+            "records": self.total_records,
+            "shuffle_records": self.shuffle_records,
+            "shuffle_records_saved": self.shuffle_records_saved,
+            "simulated_seconds": self.simulated_seconds,
+            "measured_task_seconds": self.measured_task_seconds,
+            "task_retries": self.task_retries,
+            "decisions": len(self.decisions),
+        }
+
+    def __repr__(self):
+        return (
+            "JobAccounting(jobs=%d, stages=%d, simulated=%.3fs)"
+            % (self.num_jobs, self.num_stages, self.simulated_seconds)
         )
 
 

@@ -45,6 +45,7 @@ either commutative or lock-guarded.
 
 import contextlib
 import threading
+import weakref
 
 from ..errors import PlanError, SimulatedOutOfMemory
 from ..observe import NULL_TRACER
@@ -58,7 +59,7 @@ from ..observe.events import (
 )
 from . import dag
 from . import plan as p
-from .optimize import plan_shuffle_elisions
+from .optimize import plan_shuffle_elisions, release_layouts, sweep_layouts
 from .partitioner import build_balanced_assignment, stable_hash
 from .runtime.scheduler import TaskScheduler
 from .runtime.task import (
@@ -107,15 +108,66 @@ class Executor:
         #: :class:`repro.core.optimizer.Decision` records.
         self.decisions = []
         # Concrete shuffle layouts by origin-node identity:
-        # ``{id(node): (node, {key: bucket})}``.  The node reference
-        # pins the object alive so id() cannot be recycled.  Persists
-        # across jobs: a cached bag keeps referencing its origin
-        # shuffle, and later jobs may adopt that layout.
+        # ``{id(node): (weakref(node), {key: bucket})}``.  The weak
+        # reference keeps the registry from pinning dead plan graphs
+        # alive on a long-lived context: a cached bag holds its origin
+        # shuffle node strongly (so its entry survives for cross-job
+        # adoption), while a one-shot job's nodes are collected with
+        # the plan and their entries swept by ``sweep_layouts``.
+        # Because the key is a raw id(), readers must verify the weak
+        # reference still points at the node they asked about -- a
+        # recycled id on a not-yet-swept entry would otherwise serve a
+        # stale layout.
         self._assignments = {}
         # Guards executor-level shared state (the decision log and the
         # layout registry) against concurrent unit evaluation under the
         # DAG schedule and concurrent jobs under ``ctx.gather``.
         self._state_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Cross-job state management (long-lived contexts)
+    # ------------------------------------------------------------------
+
+    def release_plan(self, root):
+        """Release the cross-job layouts registered under ``root``.
+
+        Called by :meth:`Bag.uncache` (and through it, artifact-cache
+        eviction in :mod:`repro.serve`): dropping a cached bag must
+        also drop the origin->layout entries its subtree registered,
+        both to free the pinned key assignments and so no later job can
+        adopt a layout whose materialized partitions are gone.  Returns
+        the number of registry entries released.
+        """
+        with self._state_lock:
+            return release_layouts(self._assignments, root)
+
+    def layout_registry_size(self):
+        """Number of origin->layout entries currently retained."""
+        with self._state_lock:
+            return len(self._assignments)
+
+    def sweep_layouts(self):
+        """Drop layout entries whose origin node has been collected.
+
+        Entries only hold their node weakly, so once a job's plan graph
+        is garbage (nothing cached it), its registered layouts are
+        unreachable by any future plan; ``ctx.end_job`` sweeps them so
+        a long-lived context's registry tracks only live (cached)
+        subtrees.  Returns the number of entries dropped.
+        """
+        with self._state_lock:
+            return sweep_layouts(self._assignments)
+
+    def drain_decisions(self):
+        """Return and clear the optimizer-decision log.
+
+        Long-lived contexts call this per accounting window
+        (``ctx.end_job``) so the log cannot grow without bound.
+        """
+        with self._state_lock:
+            drained = self.decisions[:]
+            del self.decisions[:]
+            return drained
 
     # ------------------------------------------------------------------
     # Job entry points (actions)
@@ -466,7 +518,7 @@ class Executor:
             stage.task_records.append(len(bucket))
         self._trace_shuffle(stage, origin)
         with self._state_lock:
-            self._assignments[id(node)] = (node, assignment)
+            self._assignments[id(node)] = (weakref.ref(node), assignment)
         return buckets, stage
 
     def _planned_elision(self, node, child_partitions, elisions):
@@ -613,7 +665,7 @@ class Executor:
             right, node.num_partitions, assignment
         )
         with self._state_lock:
-            self._assignments[id(node)] = (node, assignment)
+            self._assignments[id(node)] = (weakref.ref(node), assignment)
         # One reduce stage reads both sides' shuffle files (Spark
         # schedules a single reduce task set for a cogroup); each input
         # record is credited exactly once.
@@ -669,7 +721,7 @@ class Executor:
                 return None
             with self._state_lock:
                 entry = self._assignments.get(id(elision.origin))
-            if entry is None:
+            if entry is None or entry[0]() is not elision.origin:
                 return None
             layout = dict(entry[1])
             other_buckets, moved = self._adopt_bucketize(other, n, layout)
@@ -697,7 +749,7 @@ class Executor:
             # register it under this node so stacked joins can adopt
             # it in turn.
             with self._state_lock:
-                self._assignments[id(node)] = (node, layout)
+                self._assignments[id(node)] = (weakref.ref(node), layout)
         self._record_elision(node, elision)
         return self._run_cogroup_buckets(
             node, stage, left_buckets, right_buckets, ordinals

@@ -162,6 +162,12 @@ class JobMetrics:
     #: submitted from the driver thread.  Used to restore submission
     #: order in the trace after a concurrent window closes.
     slot: int = -1
+    #: Accounting-window ticket (``ctx.begin_job``): every job created
+    #: while a window is open on the submitting thread carries the
+    #: window's ticket, so ``ctx.end_job`` can extract exactly its own
+    #: jobs even when several windows run concurrently (the service's
+    #: worker slots).  -1 means "no window".
+    ticket: int = -1
 
     def new_stage(self, kind, meta=False, origin=""):
         stage = StageMetrics(
@@ -202,6 +208,9 @@ class ExecutionTrace:
     """
 
     jobs: list = field(default_factory=list)
+    #: Next job id.  Monotonic across the trace's lifetime, so draining
+    #: completed jobs (``take_ticket_jobs``) never recycles an id.
+    next_job_id: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, init=False, repr=False,
         compare=False,
@@ -225,9 +234,11 @@ class ExecutionTrace:
     def new_job(self, action, label=""):
         with self._lock:
             job = JobMetrics(
-                job_id=len(self.jobs), action=action, label=label,
+                job_id=self.next_job_id, action=action, label=label,
                 slot=getattr(self._slots, "value", -1),
+                ticket=getattr(self._slots, "ticket", -1),
             )
+            self.next_job_id += 1
             self.jobs.append(job)
             return job
 
@@ -244,19 +255,58 @@ class ExecutionTrace:
         """The submission slot tagged on this thread (-1 if none)."""
         return getattr(self._slots, "value", -1)
 
-    def restore_submission_order(self, start=0):
-        """Stable-sort ``jobs[start:]`` by slot and renumber job ids.
+    def set_job_ticket(self, ticket):
+        """Tag jobs created on *this thread* with an accounting ticket.
+
+        ``ctx.begin_job`` opens a window by tagging the calling thread;
+        ``-1`` clears.  Orthogonal to the gather slot: the slot orders
+        concurrent jobs, the ticket groups them into windows.
+        """
+        self._slots.ticket = ticket
+
+    def current_ticket(self):
+        """The accounting ticket tagged on this thread (-1 if none)."""
+        return getattr(self._slots, "ticket", -1)
+
+    def take_ticket_jobs(self, ticket, drain=True):
+        """Jobs tagged with ``ticket``, in trace order.
+
+        With ``drain=True`` (the default) the returned jobs are removed
+        from the trace -- this is how a long-lived context keeps its
+        trace bounded: each completed accounting window carries its own
+        jobs away.  ``drain=False`` returns them but leaves the trace
+        intact (used when a surrounding harness still wants the full
+        trace, e.g. the bench regression gate).
+        """
+        with self._lock:
+            taken = [job for job in self.jobs if job.ticket == ticket]
+            if drain:
+                self.jobs = [
+                    job for job in self.jobs if job.ticket != ticket
+                ]
+            return taken
+
+    def restore_submission_order(self, start_id=0):
+        """Stable-sort the jobs with ``job_id >= start_id`` by slot.
 
         Jobs appended concurrently land in completion order; sorting by
         the submission slot (stable, so a slot's own jobs keep their
         relative order) makes the trace independent of thread timing.
+        The window is addressed by job *id*, not list position, so a
+        concurrent ``take_ticket_jobs`` drain (another worker slot
+        closing its accounting window) cannot shift it; the sorted jobs
+        are renumbered consecutively from the window's smallest id.
         """
         with self._lock:
-            self.jobs[start:] = sorted(
-                self.jobs[start:], key=lambda job: job.slot
-            )
-            for index, job in enumerate(self.jobs):
-                job.job_id = index
+            keep = [j for j in self.jobs if j.job_id < start_id]
+            window = [j for j in self.jobs if j.job_id >= start_id]
+            if not window:
+                return
+            base = min(job.job_id for job in window)
+            window.sort(key=lambda job: job.slot)
+            for index, job in enumerate(window):
+                job.job_id = base + index
+            self.jobs = keep + window
 
     def reset(self):
         with self._lock:

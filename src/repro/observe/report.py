@@ -74,18 +74,23 @@ def _stage_entry(stage, cost_model):
     }
 
 
-def entry_from_context(ctx, system, x, status="ok",
-                       measured_wall_seconds=None, detail=""):
-    """Summarize everything ``ctx`` ran as one report entry (a dict).
+def entry_from_jobs(job_metrics, cost_model, system, x, status="ok",
+                    measured_wall_seconds=None, detail=""):
+    """Summarize a list of :class:`JobMetrics` as one report entry.
 
-    The entry is self-contained JSON data: per-job and per-stage
-    breakdowns plus run-level totals.  ``status`` mirrors the bench
-    harness (``"ok"`` / ``"oom"`` / ``"skipped"``).
+    The general form of :func:`entry_from_context`: it takes the job
+    list directly instead of a context's live trace, so callers that
+    *drain* jobs as they complete -- the :mod:`repro.serve` daemon
+    building per-tenant reports from each job's
+    :class:`~repro.engine.context.JobAccounting` -- can still produce
+    full per-stage report entries.  The entry is self-contained JSON
+    data: per-job and per-stage breakdowns plus run-level totals.
+    ``status`` mirrors the bench harness (``"ok"`` / ``"oom"`` /
+    ``"skipped"``).
     """
-    trace = ctx.trace
-    cost_model = ctx.cost_model
+    job_metrics = list(job_metrics)
     jobs = []
-    for job in trace.jobs:
+    for job in job_metrics:
         jobs.append(
             {
                 "job_id": job.job_id,
@@ -106,19 +111,26 @@ def entry_from_context(ctx, system, x, status="ok",
         "x": x,
         "status": status,
         "detail": detail,
-        "backend": ctx.config.backend,
+        "backend": cost_model.config.backend,
         "simulated_seconds": (
-            ctx.simulated_seconds() if status == "ok" else None
+            sum(job["simulated_seconds"] for job in jobs)
+            if status == "ok" else None
         ),
-        "measured_task_seconds": trace.measured_task_seconds,
+        "measured_task_seconds": sum(
+            job.measured_task_seconds for job in job_metrics
+        ),
         "measured_wall_seconds": measured_wall_seconds,
         "totals": {
-            "jobs": trace.num_jobs,
-            "stages": trace.num_stages,
-            "tasks": trace.num_tasks,
-            "records": trace.total_records,
+            "jobs": len(job_metrics),
+            "stages": sum(len(job.stages) for job in job_metrics),
+            "tasks": sum(
+                stage.num_tasks
+                for job in job_metrics
+                for stage in job.stages
+            ),
+            "records": sum(job.total_records for job in job_metrics),
             "shuffle_records": sum(
-                job.total_shuffle_records for job in trace.jobs
+                job.total_shuffle_records for job in job_metrics
             ),
             "shuffle_bytes": sum(
                 stage["shuffle_bytes"]
@@ -140,7 +152,7 @@ def entry_from_context(ctx, system, x, status="ok",
                 for job in jobs
                 for stage in job["stages"]
             ),
-            "retries": trace.task_retries,
+            "retries": sum(job.task_retries for job in job_metrics),
             "stragglers": sum(
                 stage["stragglers"]
                 for job in jobs
@@ -155,6 +167,18 @@ def entry_from_context(ctx, system, x, status="ok",
         "jobs": jobs,
     }
     return entry
+
+
+def entry_from_context(ctx, system, x, status="ok",
+                       measured_wall_seconds=None, detail=""):
+    """Summarize everything ``ctx`` ran as one report entry (a dict).
+
+    Delegates to :func:`entry_from_jobs` over the context's live trace.
+    """
+    return entry_from_jobs(
+        ctx.trace.jobs, ctx.cost_model, system, x, status=status,
+        measured_wall_seconds=measured_wall_seconds, detail=detail,
+    )
 
 
 class RunReport:

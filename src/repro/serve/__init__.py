@@ -1,0 +1,49 @@
+"""repro.serve: a long-lived multi-tenant job service over the engine.
+
+Where the rest of the repo runs one program per process, this package
+keeps a single :class:`~repro.engine.context.EngineContext` alive and
+shares it between tenants: jobs are admitted through per-tenant quotas,
+scheduled by deficit round-robin in proportion to tenant weights, and
+served by worker slots that account each job with
+``ctx.begin_job()``/``ctx.end_job()`` so the daemon's state stays
+bounded forever.  A memory-bounded LRU :class:`ArtifactCache` keeps hot
+bags and broadcasts materialized across jobs -- the service-mode
+payoff for the paper's iterative workloads -- and evicting an artifact
+also invalidates its adoptable shuffle layouts, so the optimizer can
+never elide a shuffle into partitions that no longer exist.
+
+See ``docs/serving.md`` for the architecture and policies, and
+``python -m repro.serve demo`` for a working multi-client run.
+"""
+
+from .artifacts import ArtifactCache, CacheEntry
+from .client import (
+    PROGRAMS,
+    ServiceClient,
+    decode_program,
+    encode_program,
+    program,
+    register_program,
+)
+from .queue import AdmissionRejected, JobQueue, PendingJob
+from .service import JobContext, JobHandle, JobService
+from .tenants import TenantConfig, TenantStats
+
+__all__ = [
+    "AdmissionRejected",
+    "ArtifactCache",
+    "CacheEntry",
+    "JobContext",
+    "JobHandle",
+    "JobQueue",
+    "JobService",
+    "PendingJob",
+    "PROGRAMS",
+    "ServiceClient",
+    "TenantConfig",
+    "TenantStats",
+    "decode_program",
+    "encode_program",
+    "program",
+    "register_program",
+]

@@ -1,0 +1,321 @@
+"""The service's job queue: admission control + deficit round-robin.
+
+One thread-safe :class:`JobQueue` sits between every client and the
+worker slots.  It enforces two policies:
+
+* **Admission control** on the way in: a submission is rejected with a
+  typed :class:`AdmissionRejected` when its tenant's pending quota is
+  exhausted (``tenant-quota``), when the queue as a whole is at depth
+  (``queue-full``), or when the service is draining or shut down
+  (``draining`` / ``shutdown``).  Rejecting at the door keeps queue
+  wait bounded under overload instead of letting latency grow without
+  limit.
+
+* **Deficit round-robin (DRR)** on the way out: tenants are visited in
+  a fixed cycle; on entering a tenant with pending jobs its *deficit*
+  grows by ``quantum * weight``, and the tenant keeps serving jobs
+  (each costing ``job.cost`` deficit) until the deficit or its queue is
+  exhausted.  Every non-empty tenant gains deficit once per round, so
+  no tenant starves regardless of weights, and service is
+  proportional: with unit job costs, a weight-2 tenant drains two jobs
+  for every one of a weight-1 tenant.
+
+**Determinism**: the visit cycle is fixed at
+``sorted(tenants, key=seeded-hash)`` -- a stable shuffle of the tenant
+names under the queue's ``seed`` -- and deficits evolve only through
+``take()``.  Given the same tenants, submissions, and seed, the
+dequeue order is therefore a pure function of the submission
+interleaving, which is what lets tests assert exact schedules.
+"""
+
+import collections
+import threading
+import time
+
+from ..engine.partitioner import stable_hash
+from ..errors import ReproError
+
+__all__ = ["AdmissionRejected", "JobQueue", "PendingJob"]
+
+#: Admission rejection reasons.
+REJECT_TENANT_QUOTA = "tenant-quota"
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_DRAINING = "draining"
+REJECT_SHUTDOWN = "shutdown"
+REJECT_UNKNOWN_TENANT = "unknown-tenant"
+
+
+class AdmissionRejected(ReproError):
+    """A job submission the service refused to queue.
+
+    Attributes:
+        tenant: The submitting tenant's name.
+        reason: One of ``"tenant-quota"``, ``"queue-full"``,
+            ``"draining"``, ``"shutdown"``, ``"unknown-tenant"``.
+    """
+
+    def __init__(self, tenant, reason, detail=""):
+        self.tenant = tenant
+        self.reason = reason
+        message = "job for tenant %r rejected (%s)" % (tenant, reason)
+        if detail:
+            message += ": " + detail
+        super().__init__(message)
+
+
+class PendingJob:
+    """One queued unit of work.
+
+    ``program`` is a callable taking the service's
+    :class:`~repro.serve.service.JobContext`; ``future`` is the
+    :class:`~repro.serve.service.JobHandle` completed by the worker
+    slot.  ``cost`` is the job's DRR cost in quantum units (default 1:
+    every job is equal; a service may charge known-heavy programs
+    more).
+    """
+
+    __slots__ = ("ticket", "tenant", "label", "program", "future",
+                 "cost", "submitted_at")
+
+    def __init__(self, ticket, tenant, program, future=None, label="",
+                 cost=1.0):
+        if cost <= 0:
+            raise ValueError("job cost must be positive")
+        self.ticket = ticket
+        self.tenant = tenant
+        self.label = label
+        self.program = program
+        self.future = future
+        self.cost = cost
+        self.submitted_at = time.monotonic()
+
+
+class _TenantQueue:
+    """Per-tenant FIFO plus its DRR state."""
+
+    __slots__ = ("config", "jobs", "deficit", "replenished")
+
+    def __init__(self, config):
+        self.config = config
+        self.jobs = collections.deque()
+        self.deficit = 0.0
+        # Whether the current visit already granted this tenant its
+        # quantum (cleared when the scan cursor moves on).
+        self.replenished = False
+
+
+class JobQueue:
+    """Thread-safe multi-tenant queue with fair, deterministic dequeue.
+
+    Args:
+        max_depth: Global bound on queued jobs across all tenants.
+        quantum: Deficit granted per round to a weight-1 tenant.  With
+            the default unit job cost, ``quantum=1`` serves ``weight``
+            jobs per tenant per round.
+        seed: Seeds the tenant visit cycle's tie-break ordering.
+    """
+
+    def __init__(self, max_depth=256, quantum=1.0, seed=0):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self.max_depth = max_depth
+        self.quantum = quantum
+        self.seed = seed
+        self._tenants = {}
+        self._cycle = []
+        self._cursor = 0
+        self._depth = 0
+        # Jobs handed out by take() whose task_done() hasn't arrived:
+        # join()/is_idle count them, closing the window in which a job
+        # is neither queued nor yet visible as running.
+        self._taken = 0
+        self._draining = False
+        self._closed = False
+        self._cv = threading.Condition()
+
+    # -- setup ---------------------------------------------------------
+
+    def add_tenant(self, config):
+        """Register a :class:`~repro.serve.tenants.TenantConfig`."""
+        with self._cv:
+            if config.name in self._tenants:
+                raise ValueError(
+                    "tenant %r already registered" % config.name
+                )
+            self._tenants[config.name] = _TenantQueue(config)
+            current = self._cycle[self._cursor] if self._cycle else None
+            self._cycle = sorted(
+                self._tenants,
+                key=lambda name: (
+                    stable_hash((self.seed, name)), name
+                ),
+            )
+            # Keep the cursor on the tenant it was visiting: inserting
+            # a tenant must not replay or skip anyone mid-round.
+            if current is not None:
+                self._cursor = self._cycle.index(current)
+
+    # -- admission -----------------------------------------------------
+
+    def submit(self, job):
+        """Admit ``job`` or raise :class:`AdmissionRejected`."""
+        with self._cv:
+            if self._closed:
+                raise AdmissionRejected(job.tenant, REJECT_SHUTDOWN)
+            if self._draining:
+                raise AdmissionRejected(job.tenant, REJECT_DRAINING)
+            tq = self._tenants.get(job.tenant)
+            if tq is None:
+                raise AdmissionRejected(
+                    job.tenant, REJECT_UNKNOWN_TENANT
+                )
+            if len(tq.jobs) >= tq.config.max_pending:
+                raise AdmissionRejected(
+                    job.tenant, REJECT_TENANT_QUOTA,
+                    "%d jobs already pending (quota %d)"
+                    % (len(tq.jobs), tq.config.max_pending),
+                )
+            if self._depth >= self.max_depth:
+                raise AdmissionRejected(
+                    job.tenant, REJECT_QUEUE_FULL,
+                    "queue depth %d at limit" % self._depth,
+                )
+            tq.jobs.append(job)
+            self._depth += 1
+            self._cv.notify()
+
+    # -- fair dequeue --------------------------------------------------
+
+    def take(self, timeout=None):
+        """Next job under the DRR schedule; blocks up to ``timeout``.
+
+        Returns ``None`` on timeout or when the queue is closed and
+        empty.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cv:
+            while True:
+                job = self._next_locked()
+                if job is not None:
+                    self._depth -= 1
+                    self._taken += 1
+                    return job
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._cv.wait(remaining)
+
+    def _next_locked(self):
+        """One DRR scheduling step (caller holds the lock)."""
+        if self._depth == 0 or not self._cycle:
+            return None
+        # Progress bound: every full cycle grants each non-empty tenant
+        # quantum * weight, so some head job's cost is reached within
+        # max_cost / (quantum * min_weight) rounds.
+        max_cost = max(
+            tq.jobs[0].cost
+            for tq in self._tenants.values() if tq.jobs
+        )
+        min_grant = self.quantum * min(
+            tq.config.weight
+            for tq in self._tenants.values() if tq.jobs
+        )
+        limit = len(self._cycle) * (int(max_cost / min_grant) + 2)
+        for _ in range(limit):
+            tq = self._tenants[self._cycle[self._cursor]]
+            if tq.jobs:
+                if not tq.replenished:
+                    tq.replenished = True
+                    tq.deficit += self.quantum * tq.config.weight
+                if tq.deficit >= tq.jobs[0].cost:
+                    job = tq.jobs.popleft()
+                    tq.deficit -= job.cost
+                    if not tq.jobs:
+                        # Classic DRR: an emptied queue forfeits its
+                        # leftover deficit (no banking while idle).
+                        tq.deficit = 0.0
+                        tq.replenished = False
+                        self._advance_locked()
+                    return job
+            tq.replenished = False
+            self._advance_locked()
+        raise RuntimeError(
+            "DRR failed to schedule within %d visits" % limit
+        )
+
+    def _advance_locked(self):
+        self._cursor = (self._cursor + 1) % len(self._cycle)
+
+    def task_done(self):
+        """Acknowledge one job handed out by :meth:`take`."""
+        with self._cv:
+            if self._taken > 0:
+                self._taken -= 1
+            self._cv.notify_all()
+
+    def join(self, timeout=None):
+        """Block until no job is queued or unacknowledged.
+
+        Returns ``True`` when idle, ``False`` on timeout.
+        """
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        with self._cv:
+            while self._depth > 0 or self._taken > 0:
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._cv.wait(remaining)
+        return True
+
+    # -- lifecycle -----------------------------------------------------
+
+    def drain(self):
+        """Stop admitting; queued jobs still drain through ``take``."""
+        with self._cv:
+            self._draining = True
+            self._cv.notify_all()
+
+    def close(self):
+        """Stop admitting and wake every blocked ``take``."""
+        with self._cv:
+            self._draining = True
+            self._closed = True
+            self._cv.notify_all()
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def depth(self):
+        """Queued jobs across all tenants."""
+        with self._cv:
+            return self._depth
+
+    def pending(self, tenant):
+        """Queued jobs for one tenant."""
+        with self._cv:
+            tq = self._tenants.get(tenant)
+            return len(tq.jobs) if tq else 0
+
+    @property
+    def is_idle(self):
+        with self._cv:
+            return self._depth == 0 and self._taken == 0
+
+    def cycle_order(self):
+        """The deterministic tenant visit cycle (for tests/stats)."""
+        with self._cv:
+            return list(self._cycle)

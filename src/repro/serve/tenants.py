@@ -1,0 +1,128 @@
+"""Tenants: identity, fair-share weight, admission quota, and stats.
+
+A *tenant* is the service's unit of isolation and accounting: every
+submitted job belongs to exactly one tenant, the fair scheduler divides
+engine capacity between tenants in proportion to their weights, and
+admission control bounds how much queue each tenant may occupy.  See
+``docs/serving.md`` for the policy and its caveats.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Static description of one tenant.
+
+    Attributes:
+        name: Tenant identity; keys the queue, stats, and report files.
+        weight: Fair-share weight.  The deficit-round-robin scheduler
+            grants each tenant ``weight`` quanta of service per round,
+            so a weight-2 tenant drains jobs twice as fast as a
+            weight-1 tenant under contention.  Must be positive.
+        max_pending: Admission quota: the most jobs this tenant may
+            have *queued* (not yet running) at once.  Submissions
+            beyond it are rejected with
+            :class:`~repro.serve.queue.AdmissionRejected` rather than
+            letting one tenant bury the queue.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_pending: int = 16
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be positive")
+        if self.max_pending < 1:
+            raise ValueError("tenant max_pending must be >= 1")
+
+
+class TenantStats:
+    """Mutable per-tenant counters (guarded by the service's lock).
+
+    Queue-wait seconds measure submission to dequeue; execution
+    seconds come from each job's
+    :class:`~repro.engine.context.JobAccounting`.
+    """
+
+    __slots__ = (
+        "submitted", "rejected", "completed", "failed",
+        "queue_wait_seconds", "max_queue_wait_seconds",
+        "simulated_seconds", "measured_task_seconds", "wall_seconds",
+        "cache_hits", "cache_misses",
+    )
+
+    def __init__(self):
+        self.submitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.queue_wait_seconds = 0.0
+        self.max_queue_wait_seconds = 0.0
+        self.simulated_seconds = 0.0
+        self.measured_task_seconds = 0.0
+        self.wall_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    @property
+    def finished(self):
+        return self.completed + self.failed
+
+    def mean_queue_wait_seconds(self):
+        if not self.finished:
+            return 0.0
+        return self.queue_wait_seconds / self.finished
+
+    def throughput(self, elapsed_seconds):
+        """Completed jobs per second over ``elapsed_seconds``."""
+        if elapsed_seconds <= 0:
+            return 0.0
+        return self.completed / elapsed_seconds
+
+    def record_submit(self):
+        self.submitted += 1
+
+    def record_rejection(self):
+        self.rejected += 1
+
+    def record_finished(self, queue_wait, wall, accounting, failed):
+        self.queue_wait_seconds += queue_wait
+        self.max_queue_wait_seconds = max(
+            self.max_queue_wait_seconds, queue_wait
+        )
+        self.wall_seconds += wall
+        if accounting is not None:
+            self.simulated_seconds += accounting.simulated_seconds
+            self.measured_task_seconds += (
+                accounting.measured_task_seconds
+            )
+        if failed:
+            self.failed += 1
+        else:
+            self.completed += 1
+
+    def record_cache(self, hit):
+        if hit:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+
+    def to_dict(self):
+        return {
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "queue_wait_seconds": self.queue_wait_seconds,
+            "mean_queue_wait_seconds": self.mean_queue_wait_seconds(),
+            "max_queue_wait_seconds": self.max_queue_wait_seconds,
+            "simulated_seconds": self.simulated_seconds,
+            "measured_task_seconds": self.measured_task_seconds,
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }

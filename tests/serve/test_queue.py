@@ -1,0 +1,275 @@
+"""JobQueue: deterministic deficit round-robin + admission control."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import (
+    REJECT_DRAINING,
+    REJECT_QUEUE_FULL,
+    REJECT_SHUTDOWN,
+    REJECT_TENANT_QUOTA,
+    REJECT_UNKNOWN_TENANT,
+    AdmissionRejected,
+    JobQueue,
+    PendingJob,
+)
+from repro.serve.tenants import TenantConfig
+
+
+def _queue(tenants, seed=1, **kwargs):
+    queue = JobQueue(seed=seed, **kwargs)
+    for config in tenants:
+        queue.add_tenant(config)
+    return queue
+
+
+def _submit(queue, tenant, label, cost=1.0):
+    queue.submit(
+        PendingJob(ticket=None, tenant=tenant, program=None,
+                   label=label, cost=cost)
+    )
+
+
+def _drain_labels(queue):
+    labels = []
+    while True:
+        job = queue.take(timeout=0)
+        if job is None:
+            return labels
+        labels.append(job.label)
+        queue.task_done()
+
+
+class TestDeficitRoundRobin:
+    def test_cycle_is_seeded_and_stable(self):
+        names = ["alice", "bob", "carol"]
+        order_a = _queue(
+            [TenantConfig(n) for n in names], seed=7
+        ).cycle_order()
+        order_b = _queue(
+            [TenantConfig(n) for n in reversed(names)], seed=7
+        ).cycle_order()
+        # Same tenants + seed -> same cycle, regardless of
+        # registration order.
+        assert order_a == order_b
+        assert sorted(order_a) == names
+        order_c = _queue(
+            [TenantConfig(n) for n in names], seed=8
+        ).cycle_order()
+        assert sorted(order_c) == names
+
+    def test_weighted_schedule_is_exact(self):
+        # seed=1 fixes the visit cycle to [alice, bob]; with weight
+        # 2 vs 1 and unit costs DRR must serve alice twice per
+        # bob's once.
+        queue = _queue(
+            [TenantConfig("alice", weight=2.0), TenantConfig("bob")],
+            seed=1,
+        )
+        assert queue.cycle_order() == ["alice", "bob"]
+        for i in range(4):
+            _submit(queue, "alice", "a%d" % i)
+            _submit(queue, "bob", "b%d" % i)
+        assert _drain_labels(queue) == [
+            "a0", "a1", "b0", "a2", "a3", "b1", "b2", "b3",
+        ]
+
+    def test_equal_weights_round_robin(self):
+        queue = _queue(
+            [TenantConfig("alice"), TenantConfig("bob")], seed=1
+        )
+        for i in range(3):
+            _submit(queue, "alice", "a%d" % i)
+            _submit(queue, "bob", "b%d" % i)
+        assert _drain_labels(queue) == [
+            "a0", "b0", "a1", "b1", "a2", "b2",
+        ]
+
+    def test_emptied_tenant_forfeits_deficit(self):
+        queue = _queue(
+            [TenantConfig("alice", weight=3.0), TenantConfig("bob")],
+            seed=1,
+        )
+        _submit(queue, "alice", "a0")
+        _submit(queue, "bob", "b0")
+        # alice drains her only job (deficit 3 -> 2, then forfeited);
+        # the leftover must not let her pre-empt bob later.
+        assert _drain_labels(queue) == ["a0", "b0"]
+        _submit(queue, "bob", "b1")
+        _submit(queue, "alice", "a1")
+        assert _drain_labels(queue) == ["a1", "b1"]
+
+    def test_heavy_job_accumulates_deficit_without_starving(self):
+        # bob's head job costs 3 quanta: he must wait ~3 rounds but
+        # still run; alice (weight 1) keeps progressing meanwhile.
+        queue = _queue(
+            [TenantConfig("alice"), TenantConfig("bob")], seed=1
+        )
+        for i in range(4):
+            _submit(queue, "alice", "a%d" % i)
+        _submit(queue, "bob", "heavy", cost=3.0)
+        labels = _drain_labels(queue)
+        assert set(labels) == {"a0", "a1", "a2", "a3", "heavy"}
+        assert labels.index("heavy") == 3  # after 3 replenish rounds
+
+    def test_determinism_across_runs(self):
+        def run():
+            queue = _queue(
+                [
+                    TenantConfig("alice", weight=2.0),
+                    TenantConfig("bob"),
+                    TenantConfig("carol", weight=1.5),
+                ],
+                seed=5,
+            )
+            for i in range(5):
+                for tenant in ("carol", "alice", "bob"):
+                    _submit(queue, tenant, "%s%d" % (tenant[0], i))
+            return _drain_labels(queue)
+
+        first = run()
+        assert first == run()
+        assert len(first) == 15
+
+    def test_single_tenant_fifo(self):
+        queue = _queue([TenantConfig("alice")])
+        for i in range(5):
+            _submit(queue, "alice", "a%d" % i)
+        assert _drain_labels(queue) == ["a%d" % i for i in range(5)]
+
+
+class TestAdmission:
+    def test_unknown_tenant(self):
+        queue = _queue([TenantConfig("alice")])
+        with pytest.raises(AdmissionRejected) as exc:
+            _submit(queue, "mallory", "m0")
+        assert exc.value.reason == REJECT_UNKNOWN_TENANT
+        assert exc.value.tenant == "mallory"
+
+    def test_tenant_quota(self):
+        queue = _queue([TenantConfig("alice", max_pending=2)])
+        _submit(queue, "alice", "a0")
+        _submit(queue, "alice", "a1")
+        with pytest.raises(AdmissionRejected) as exc:
+            _submit(queue, "alice", "a2")
+        assert exc.value.reason == REJECT_TENANT_QUOTA
+        # Draining one admits one more.
+        assert queue.take(timeout=0) is not None
+        queue.task_done()
+        _submit(queue, "alice", "a2")
+
+    def test_global_depth(self):
+        queue = _queue(
+            [TenantConfig("alice"), TenantConfig("bob")],
+            max_depth=3,
+        )
+        _submit(queue, "alice", "a0")
+        _submit(queue, "alice", "a1")
+        _submit(queue, "bob", "b0")
+        with pytest.raises(AdmissionRejected) as exc:
+            _submit(queue, "bob", "b1")
+        assert exc.value.reason == REJECT_QUEUE_FULL
+
+    def test_draining_rejects_but_serves(self):
+        queue = _queue([TenantConfig("alice")])
+        _submit(queue, "alice", "a0")
+        queue.drain()
+        with pytest.raises(AdmissionRejected) as exc:
+            _submit(queue, "alice", "a1")
+        assert exc.value.reason == REJECT_DRAINING
+        assert _drain_labels(queue) == ["a0"]
+
+    def test_closed_rejects(self):
+        queue = _queue([TenantConfig("alice")])
+        queue.close()
+        with pytest.raises(AdmissionRejected) as exc:
+            _submit(queue, "alice", "a0")
+        assert exc.value.reason == REJECT_SHUTDOWN
+
+    def test_duplicate_tenant_rejected(self):
+        queue = _queue([TenantConfig("alice")])
+        with pytest.raises(ValueError):
+            queue.add_tenant(TenantConfig("alice"))
+
+
+class TestLifecycle:
+    def test_take_blocks_until_submit(self):
+        queue = _queue([TenantConfig("alice")])
+        out = []
+
+        def taker():
+            out.append(queue.take(timeout=5))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        _submit(queue, "alice", "a0")
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out[0].label == "a0"
+
+    def test_close_wakes_blocked_take(self):
+        queue = _queue([TenantConfig("alice")])
+        out = []
+
+        def taker():
+            out.append(queue.take(timeout=5))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert out == [None]
+
+    def test_join_counts_taken_jobs(self):
+        queue = _queue([TenantConfig("alice")])
+        _submit(queue, "alice", "a0")
+        job = queue.take(timeout=0)
+        assert job is not None
+        # Dequeued but unacknowledged: not idle yet.
+        assert not queue.is_idle
+        assert queue.join(timeout=0.01) is False
+        queue.task_done()
+        assert queue.is_idle
+        assert queue.join(timeout=1) is True
+
+    def test_depth_and_pending(self):
+        queue = _queue([TenantConfig("alice"), TenantConfig("bob")])
+        _submit(queue, "alice", "a0")
+        _submit(queue, "alice", "a1")
+        _submit(queue, "bob", "b0")
+        assert queue.depth == 3
+        assert queue.pending("alice") == 2
+        assert queue.pending("bob") == 1
+        assert queue.pending("nobody") == 0
+
+    def test_add_tenant_mid_stream_keeps_serving(self):
+        queue = _queue([TenantConfig("alice"), TenantConfig("bob")])
+        for i in range(2):
+            _submit(queue, "alice", "a%d" % i)
+            _submit(queue, "bob", "b%d" % i)
+        first = queue.take(timeout=0)
+        queue.task_done()
+        queue.add_tenant(TenantConfig("carol"))
+        _submit(queue, "carol", "c0")
+        rest = _drain_labels(queue)
+        assert sorted([first.label] + rest) == [
+            "a0", "a1", "b0", "b1", "c0",
+        ]
+
+
+class TestValidation:
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            JobQueue(quantum=0)
+        with pytest.raises(ValueError):
+            PendingJob(ticket=None, tenant="a", program=None, cost=0)
+        with pytest.raises(ValueError):
+            TenantConfig("")
+        with pytest.raises(ValueError):
+            TenantConfig("a", weight=0)
+        with pytest.raises(ValueError):
+            TenantConfig("a", max_pending=0)

@@ -1,0 +1,425 @@
+"""JobService: fairness, concurrency, caching, eviction, lifecycle."""
+
+import json
+import threading
+
+import pytest
+
+from repro.engine import laptop_config
+from repro.serve import (
+    AdmissionRejected,
+    JobService,
+    ServiceClient,
+    TenantConfig,
+    encode_program,
+)
+
+
+def _count_program(tag, n=50):
+    def run(job):
+        data = job.dataset(
+            "shared:%d" % n, lambda ctx: ctx.bag_of(range(n))
+        )
+        return data.map(lambda x: x + 1).count(label=tag)
+
+    return run
+
+
+@pytest.fixture
+def service():
+    svc = JobService(num_slots=1, seed=1)
+    svc.add_tenant("alice", weight=2.0)
+    svc.add_tenant("bob")
+    svc.start()
+    yield svc
+    svc.shutdown(drain=False, timeout=10)
+
+
+class _Gate:
+    """A submitted job that parks the single worker slot until opened,
+    so later submissions queue up and dequeue order is pure DRR."""
+
+    def __init__(self, service, tenant="alice"):
+        self.ready = threading.Event()
+        self.open = threading.Event()
+
+        def blocker(job):
+            self.ready.set()
+            assert self.open.wait(timeout=30)
+            return "gate"
+
+        self.handle = service.submit(tenant, blocker, label="gate")
+        assert self.ready.wait(timeout=30)
+
+
+class TestFairScheduling:
+    def test_weighted_schedule_is_deterministic_and_exact(self, service):
+        # Gate through bob: serving it spends bob's quantum and
+        # advances the DRR cursor past him, so the asserted window
+        # starts a fresh round at alice.
+        gate = _Gate(service, tenant="bob")
+        handles = []
+        for i in range(4):
+            handles.append(service.submit(
+                "alice", _count_program("a%d" % i), label="a%d" % i
+            ))
+            handles.append(service.submit(
+                "bob", _count_program("b%d" % i), label="b%d" % i
+            ))
+        gate.open.set()
+        assert gate.handle.result(timeout=30) == "gate"
+        for handle in handles:
+            assert handle.result(timeout=30) == 50
+        # seed=1 -> cycle [alice, bob]; weights 2:1 with unit costs
+        # -> two alice jobs per bob job, starting after the gate.
+        assert service.schedule() == [
+            ("bob", "gate"),
+            ("alice", "a0"), ("alice", "a1"), ("bob", "b0"),
+            ("alice", "a2"), ("alice", "a3"), ("bob", "b1"),
+            ("bob", "b2"), ("bob", "b3"),
+        ]
+
+    def test_no_tenant_starves(self, service):
+        gate = _Gate(service)
+        handles = [
+            service.submit("alice", _count_program("a%d" % i),
+                           label="a%d" % i)
+            for i in range(6)
+        ] + [service.submit("bob", _count_program("b0"), label="b0")]
+        gate.open.set()
+        for handle in handles:
+            assert handle.result(timeout=30) == 50
+        order = [label for _, label in service.schedule()]
+        # bob's lone job runs within one DRR round of the backlog, not
+        # after all of alice's.
+        assert order.index("b0") <= order.index("a2")
+
+
+class TestConcurrentClients:
+    def test_many_threads_many_tenants(self):
+        svc = JobService(num_slots=2, seed=1)
+        tenants = ["t%d" % i for i in range(3)]
+        for name in tenants:
+            svc.add_tenant(name, max_pending=64)
+        svc.start()
+        try:
+            results = {}
+            lock = threading.Lock()
+
+            def client_main(index):
+                client = ServiceClient(svc, tenants[index % 3])
+                got = [
+                    client.run(
+                        _count_program("c%d-j%d" % (index, j)),
+                        label="c%d-j%d" % (index, j), timeout=60,
+                    )
+                    for j in range(3)
+                ]
+                with lock:
+                    results[index] = got
+
+            threads = [
+                threading.Thread(target=client_main, args=(i,))
+                for i in range(6)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            assert all(not t.is_alive() for t in threads)
+            assert results == {i: [50, 50, 50] for i in range(6)}
+            stats = svc.stats()
+            for name in tenants:
+                assert stats["tenants"][name]["completed"] == 6
+                assert stats["tenants"][name]["failed"] == 0
+            cache = stats["cache"]
+            assert cache["misses"] == 1  # one build of the shared bag
+            assert cache["hits"] == 17
+        finally:
+            svc.shutdown(timeout=30)
+
+    def test_backend_parity(self):
+        def run_on(backend):
+            svc = JobService(
+                config=laptop_config(backend=backend),
+                num_slots=2, seed=1,
+            )
+            svc.add_tenant("alice")
+            svc.add_tenant("bob")
+            svc.start()
+            try:
+                handles = [
+                    svc.submit(
+                        ["alice", "bob"][i % 2],
+                        _pagerankish(), label="j%d" % i,
+                    )
+                    for i in range(4)
+                ]
+                return [h.result(timeout=120) for h in handles]
+            finally:
+                svc.shutdown(timeout=60)
+
+        serial = run_on("serial")
+        process = run_on("process")
+        assert serial == process
+        assert len(set(map(str, serial))) == 1  # same job -> same answer
+
+
+def _pagerankish():
+    def run(job):
+        edges = job.dataset(
+            "edges",
+            lambda ctx: ctx.bag_of(
+                [(i % 7, (i * 3) % 7) for i in range(60)]
+            ),
+        )
+        grouped = edges.group_by_key()
+        return sorted(
+            (k, len(v)) for k, v in grouped.collect()
+        )
+
+    return run
+
+
+class TestAdmissionUnderLoad:
+    def test_quota_rejection_is_typed_and_counted(self, service):
+        gate = _Gate(service, tenant="bob")
+        svc = service
+        tight = TenantConfig("carol", max_pending=2)
+        svc.add_tenant(tight)
+        h1 = svc.submit("carol", _count_program("c0"), label="c0")
+        h2 = svc.submit("carol", _count_program("c1"), label="c1")
+        with pytest.raises(AdmissionRejected) as exc:
+            svc.submit("carol", _count_program("c2"), label="c2")
+        assert exc.value.reason == "tenant-quota"
+        gate.open.set()
+        assert h1.result(timeout=30) == 50
+        assert h2.result(timeout=30) == 50
+        assert svc.tenant_stats("carol").rejected == 1
+        assert svc.tenant_stats("carol").submitted == 2
+
+    def test_unknown_tenant_rejected(self, service):
+        with pytest.raises(AdmissionRejected) as exc:
+            service.submit("mallory", _count_program("m0"))
+        assert exc.value.reason == "unknown-tenant"
+
+    def test_submit_before_start_raises(self):
+        svc = JobService()
+        svc.add_tenant("alice")
+        with pytest.raises(RuntimeError):
+            svc.submit("alice", _count_program("x"))
+
+
+class TestArtifactLifecycle:
+    def test_pinned_artifacts_survive_in_job_pressure(self):
+        # Budget fits one artifact; a job resolving two keeps both
+        # pinned (transient overshoot), and only after the job ends is
+        # the cache squeezed back under budget.
+        svc = JobService(num_slots=1, seed=1,
+                         cache_limit_bytes=6000)
+        svc.add_tenant("alice")
+        svc.start()
+        try:
+            observed = {}
+
+            def two_artifacts(job):
+                a = job.dataset(
+                    "a", lambda ctx: ctx.bag_of(range(100))
+                )
+                b = job.dataset(
+                    "b", lambda ctx: ctx.bag_of(range(100))
+                )
+                total = a.count() + b.count()
+                svc.cache.charge("a")
+                svc.cache.charge("b")
+                observed["mid-job"] = svc.cache.keys()
+                return total
+
+            handle = svc.submit("alice", two_artifacts)
+            assert handle.result(timeout=30) == 200
+            assert sorted(observed["mid-job"]) == ["a", "b"]
+            stats = svc.cache.stats()
+            assert stats["evictions"] == 1
+            assert len(svc.cache) == 1
+        finally:
+            svc.shutdown(timeout=30)
+
+    def test_eviction_invalidates_adopted_layout(self):
+        """The acceptance-criterion test: evicting a cached artifact
+        must drop its origin->layout registry entries, so a later job
+        re-shuffles instead of adopting a layout whose partitions are
+        gone.  If a stale layout survived eviction, the warm and
+        post-eviction joins would show the same elision decisions and
+        the post-eviction join would read from released partitions."""
+        svc = JobService(num_slots=1, seed=1,
+                         cache_limit_bytes=1 << 20)
+        svc.add_tenant("alice")
+        svc.start()
+        try:
+            def grouped_bag(ctx):
+                return ctx.bag_of(
+                    [(i % 8, i) for i in range(200)]
+                ).group_by_key(4)
+
+            def join_job(job):
+                grouped = job.dataset("grouped", grouped_bag)
+                other = job.ctx.bag_of(
+                    [(k, k * 10) for k in range(8)]
+                )
+                joined = grouped.join(other, num_partitions=4)
+                return sorted(
+                    (k, len(g), v) for k, (g, v) in joined.collect()
+                )
+
+            warm_up = svc.submit("alice", join_job, label="warm-up")
+            expected = warm_up.result(timeout=30)
+            warm = svc.submit("alice", join_job, label="warm")
+            assert warm.result(timeout=30) == expected
+            # Warm: the artifact's registered layout is adopted.
+            assert "adopt-left" in [
+                d.choice for d in warm.accounting.decisions
+            ]
+            assert warm.accounting.shuffle_records_saved > 0
+            registry_before = svc.ctx.executor.layout_registry_size()
+            assert registry_before > 0
+
+            assert svc.cache.evict("grouped") is True
+            assert svc.ctx.executor.layout_registry_size() < (
+                registry_before
+            )
+
+            cold = svc.submit("alice", join_job, label="cold")
+            assert cold.result(timeout=30) == expected
+            # The artifact was rebuilt from scratch: full shuffle for
+            # the group-by (no cached partitions to elide into).
+            assert cold.accounting.shuffle_records > (
+                warm.accounting.shuffle_records
+            )
+            assert svc.cache.stats()["evictions"] == 1
+        finally:
+            svc.shutdown(timeout=30)
+
+    def test_broadcast_artifacts_are_cached(self, service):
+        def uses_broadcast(job):
+            table = job.broadcast(
+                "lookup", lambda ctx: {i: i * i for i in range(100)}
+            )
+            data = job.dataset(
+                "nums", lambda ctx: ctx.bag_of(range(100))
+            )
+            return data.map(lambda x: table.value[x]).sum()
+
+        first = service.submit("alice", uses_broadcast)
+        second = service.submit("bob", uses_broadcast)
+        expected = sum(i * i for i in range(100))
+        assert first.result(timeout=30) == expected
+        assert second.result(timeout=30) == expected
+        stats = service.cache.stats()
+        assert stats["misses"] == 2  # one bag, one broadcast
+        assert stats["hits"] == 2
+
+
+class TestLifecycleAndReporting:
+    def test_failed_job_reports_and_reraises(self, service):
+        def boom(job):
+            raise ValueError("intentional")
+
+        handle = service.submit("alice", boom, label="boom")
+        with pytest.raises(ValueError, match="intentional"):
+            handle.result(timeout=30)
+        assert handle.state == "failed"
+        assert service.drain(timeout=30)
+        assert service.tenant_stats("alice").failed == 1
+
+    def test_drain_then_submit_rejected(self, service):
+        handle = service.submit("alice", _count_program("a0"))
+        assert service.drain(timeout=30)
+        assert handle.result(timeout=1) == 50
+        with pytest.raises(AdmissionRejected) as exc:
+            service.submit("alice", _count_program("a1"))
+        assert exc.value.reason == "draining"
+
+    def test_shutdown_without_drain_abandons_queued(self):
+        svc = JobService(num_slots=1, seed=1)
+        svc.add_tenant("alice")
+        svc.start()
+        gate = _Gate(svc)
+        queued = svc.submit("alice", _count_program("later"),
+                            label="later")
+        gate.open.set()
+        svc.shutdown(drain=False, timeout=30)
+        with pytest.raises(AdmissionRejected) as exc:
+            queued.result(timeout=5)
+        assert exc.value.reason == "shutdown"
+
+    def test_reports_written_per_tenant(self, tmp_path):
+        svc = JobService(num_slots=1, seed=1,
+                         report_dir=str(tmp_path))
+        svc.add_tenant("alice")
+        svc.add_tenant("bob")
+        svc.start()
+        for i in range(2):
+            svc.submit("alice", _count_program("a%d" % i),
+                       label="a%d" % i)
+        svc.submit("bob", _count_program("b0"), label="b0")
+        svc.shutdown(timeout=30)
+
+        alice_log = (tmp_path / "alice.jsonl").read_text()
+        records = [
+            json.loads(line) for line in alice_log.splitlines()
+        ]
+        assert len(records) == 2
+        assert all(r["status"] == "ok" for r in records)
+        assert all(r["jobs"] >= 1 for r in records)
+        report = json.loads(
+            (tmp_path / "alice-report.json").read_text()
+        )
+        assert report["label"] == "serve:alice"
+        (entry,) = report["entries"]
+        assert entry["system"] == "serve"
+        assert entry["totals"]["jobs"] == 2
+        assert (tmp_path / "bob-report.json").exists()
+        assert report["meta"]["stats"]["completed"] == 2
+
+    def test_serialized_submission_round_trip(self, service):
+        client = ServiceClient(service, "alice")
+        payload = encode_program(_count_program("wire"))
+        handle = client.submit_serialized(payload, label="wire")
+        assert handle.result(timeout=30) == 50
+
+    def test_named_program_submission(self, service):
+        client = ServiceClient(service, "bob")
+        result = client.run(
+            "range-sum", n=100, timeout=60
+        )
+        assert result == sum(range(100))
+
+    def test_context_manager(self):
+        with JobService(num_slots=1, seed=1) as svc:
+            svc.add_tenant("alice")
+            handle = svc.submit("alice", _count_program("cm"))
+            assert handle.result(timeout=30) == 50
+        # Exiting shut the service down cleanly.
+        with pytest.raises(AdmissionRejected):
+            svc.submit("alice", _count_program("late"))
+
+    def test_bounded_service_state_over_many_jobs(self):
+        svc = JobService(num_slots=1, seed=1)
+        svc.add_tenant("alice")
+        svc.start()
+        try:
+            for i in range(30):
+                handle = svc.submit(
+                    "alice", _count_program("j%d" % i),
+                    label="j%d" % i,
+                )
+                assert handle.result(timeout=30) == 50
+            # The shared context's trace was drained per job and the
+            # layout registry tracks only the one cached artifact's
+            # subtree.
+            assert svc.ctx.trace.num_jobs == 0
+            assert len(svc.ctx.executor.decisions) == 0
+            assert svc.ctx.executor.layout_registry_size() <= 2
+            assert svc.tenant_stats("alice").completed == 30
+        finally:
+            svc.shutdown(timeout=30)
