@@ -13,6 +13,10 @@ at all) to decoration / plan-build time, as flake8-style diagnostics:
 * **NPL3xx** (:mod:`plan_lint`) -- plan smells and predicted failures:
   uncached reuse, pushable filters, oversized broadcasts (simulated-OOM
   prediction), redundant repartitions.
+* **NPL5xx** (:mod:`effects`) -- proven effects in UDFs: mutation of
+  state that outlives the call (NPL501), nondeterminism that retries
+  or speculation would observe (NPL502), external I/O (NPL503), and
+  auto-cache rewrites suppressed by unproven purity (NPL504).
 
 Entry points::
 
@@ -27,6 +31,21 @@ import inspect
 import textwrap
 
 from .closure_lint import analyze_closure
+from .effects import (
+    EffectReason,
+    EffectReport,
+    analyze_effects,
+    effect_diagnostics,
+    effects_notes,
+    fingerprint_function,
+    plan_effects,
+    plan_fingerprint,
+    runtime_resolver,
+    scan_effects,
+    static_resolver,
+    subtree_effects,
+    task_effects,
+)
 from .diagnostics import (
     CODES,
     Diagnostic,
@@ -54,31 +73,44 @@ __all__ = [
     "CODES",
     "Diagnostic",
     "ERROR",
+    "EffectReason",
+    "EffectReport",
     "INFO",
     "PlanProperties",
     "WARNING",
     "analyze_bag",
     "analyze_closure",
+    "analyze_effects",
     "analyze_plan",
     "analyze_source",
     "analyze_udf",
     "count_by_severity",
+    "effect_diagnostics",
+    "effects_notes",
     "filter_diagnostics",
+    "fingerprint_function",
     "first_unsupported",
     "infer_properties",
     "make_diagnostic",
     "partitioning_notes",
+    "plan_effects",
+    "plan_fingerprint",
     "render_github",
     "render_json",
     "render_text",
+    "scan_effects",
     "scan_function",
     "sort_key",
+    "static_resolver",
+    "subtree_effects",
+    "task_effects",
     "udf_preserves_key",
 ]
 
 
 def analyze_udf(fn, closure=True):
-    """All UDF-level diagnostics (NPL1xx + NPL2xx) for one function.
+    """All UDF-level diagnostics (NPL1xx + NPL2xx + NPL5xx effect
+    refutations) for one function.
 
     Accepts either a plain function or one already decorated with
     ``@nested_udf`` (the pre-rewrite original is analyzed).  Locations
@@ -101,6 +133,17 @@ def analyze_udf(fn, closure=True):
         diags.extend(
             scan_function(fndef, filename, line_offset, col_offset)
         )
+        report = scan_effects(
+            fndef,
+            resolver=runtime_resolver(original),
+            line_offset=line_offset,
+            col_offset=col_offset,
+        )
+        diags.extend(effect_diagnostics(
+            report,
+            filename=filename,
+            udf_name=getattr(original, "__name__", "<udf>"),
+        ))
     if closure:
         diags.extend(analyze_closure(original))
     return sorted(diags, key=sort_key)
@@ -126,8 +169,13 @@ def analyze_source(source, filename="<source>"):
             )
         ]
     diags = []
+    resolver = static_resolver(tree)
     for fndef in _decorated_functions(tree):
         diags.extend(scan_function(fndef, filename))
+        report = scan_effects(fndef, resolver=resolver)
+        diags.extend(effect_diagnostics(
+            report, filename=filename, udf_name=fndef.name
+        ))
     return sorted(diags, key=sort_key)
 
 

@@ -12,9 +12,11 @@ Two layers per file:
    imported degrade to an NPL002 notice -- the static findings stand
    either way.
 
-Exit status is 1 when any error-severity diagnostic survives
-``--select`` / ``--ignore`` filtering, else 0 -- so a CI job fails on
-errors but tolerates advisory warnings.
+Exit status is 1 when any diagnostic at or above the ``--fail-on``
+threshold (default ``error``) survives ``--select`` / ``--ignore``
+filtering, else 0 -- so a CI job fails on errors but tolerates
+advisory warnings, while an effects-focused job can pass
+``--select NPL5 --fail-on warning`` to enforce a clean tree.
 """
 
 import argparse
@@ -27,6 +29,8 @@ from . import analyze_source
 from .closure_lint import analyze_closure
 from .diagnostics import (
     ERROR,
+    INFO,
+    WARNING,
     count_by_severity,
     filter_diagnostics,
     make_diagnostic,
@@ -66,8 +70,21 @@ def main(argv=None):
             "repro.analysis: %d file(s), %d error(s), %d warning(s)"
             % (len(files), counts[ERROR], counts["warning"])
         )
-    has_errors = any(d.severity == ERROR for d in diagnostics)
-    return 1 if has_errors else 0
+    return 1 if _fails(diagnostics, args.fail_on) else 0
+
+
+#: Severity rank for the ``--fail-on`` threshold.
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+def _fails(diagnostics, fail_on):
+    if fail_on == "never":
+        return False
+    threshold = _SEVERITY_RANK[fail_on]
+    return any(
+        _SEVERITY_RANK.get(d.severity, 0) >= threshold
+        for d in diagnostics
+    )
 
 
 def _parse_args(argv):
@@ -96,6 +113,12 @@ def _parse_args(argv):
     parser.add_argument(
         "--no-import", dest="imports", action="store_false",
         help="skip the import-based closure pass (static checks only)",
+    )
+    parser.add_argument(
+        "--fail-on", choices=("error", "warning", "info", "never"),
+        default="error",
+        help="lowest severity that makes the exit status 1 "
+        "(default: error; 'never' always exits 0)",
     )
     return parser.parse_args(argv)
 

@@ -14,7 +14,16 @@ semantically wrong to ship: engine runtime objects such as an
 :class:`~repro.engine.bag.Bag`.  A UDF holding a context would launch
 jobs from inside a job -- the inner-parallel antipattern the paper's
 flattening exists to remove.
+
+Both checks unwrap ``functools.partial`` objects and bound methods
+before inspecting captures: a partial's frozen arguments and a method's
+bound instance ship with the task exactly like closure cells do, so the
+diagnostics name the offending value rather than the opaque wrapper
+(which used to hide the real capture entirely -- a bare ``partial`` has
+no ``__code__``, and the pass silently skipped it).
 """
+
+import functools
 
 from ..engine.runtime.serde import check_serializable
 from .diagnostics import make_diagnostic
@@ -30,25 +39,27 @@ def analyze_closure(fn, filename=None, line=None):
             function's defining file and first line).
     """
     original = getattr(fn, "original", fn)
-    code = getattr(original, "__code__", None)
-    if code is None:
+    inner, wrapper_bindings = _unwrap_wrappers(original)
+    code = getattr(inner, "__code__", None)
+    if code is None and not wrapper_bindings:
         return []
     if filename is None:
-        filename = code.co_filename
+        filename = code.co_filename if code is not None else "<unknown>"
     if line is None:
-        line = code.co_firstlineno
+        line = code.co_firstlineno if code is not None else 1
+    name = getattr(inner, "__name__", None) or "<callable>"
     diags = []
-    for name, value in _captured_bindings(original):
+    for desc, value in wrapper_bindings + _captured_bindings(inner):
         engine_kind = _engine_object_kind(value)
         if engine_kind is not None:
             diags.append(
                 make_diagnostic(
                     "NPL202",
-                    "UDF %r captures %s %r; engine runtime objects "
+                    "UDF %r captures %s (%s); engine runtime objects "
                     "must not be shipped into tasks (launching jobs "
                     "from inside a job is the inner-parallel "
                     "antipattern)"
-                    % (original.__name__, engine_kind, name),
+                    % (name, engine_kind, desc),
                     file=filename,
                     line=line,
                     col=1,
@@ -60,7 +71,7 @@ def analyze_closure(fn, filename=None, line=None):
                 "NPL201",
                 "UDF %r: %s -- the process backend would fail at task "
                 "launch; fix the capture or use backend='serial'"
-                % (original.__name__, problem),
+                % (name, problem),
                 file=filename,
                 line=line,
                 col=1,
@@ -69,15 +80,53 @@ def analyze_closure(fn, filename=None, line=None):
     return diags
 
 
+def _unwrap_wrappers(fn):
+    """Peel ``functools.partial`` and bound-method wrappers off ``fn``.
+
+    Returns ``(inner, bindings)`` where ``inner`` is the underlying
+    plain function and ``bindings`` is a list of ``(description,
+    value)`` pairs the wrappers contribute: partial positional/keyword
+    arguments and bound instances all ship with the task exactly like
+    closure cells, so they get the same NPL202 engine-object scrutiny.
+    """
+    bindings = []
+    depth = 0
+    while depth < 16:
+        depth += 1
+        if isinstance(fn, functools.partial):
+            for index, value in enumerate(fn.args):
+                bindings.append(("partial argument %d" % index, value))
+            for key in sorted(fn.keywords or {}):
+                bindings.append(
+                    ("partial keyword %r" % key, fn.keywords[key])
+                )
+            fn = fn.func
+            continue
+        bound_self = getattr(fn, "__self__", None)
+        bound_func = getattr(fn, "__func__", None)
+        if bound_self is not None and bound_func is not None:
+            bindings.append(
+                ("bound instance of %s" % type(bound_self).__name__,
+                 bound_self)
+            )
+            fn = bound_func
+            continue
+        break
+    return fn, bindings
+
+
 def _captured_bindings(fn):
-    """``(name, value)`` pairs for the function's closure cells."""
+    """``(description, value)`` pairs for the function's closure cells."""
     closure = getattr(fn, "__closure__", None)
-    if not closure:
+    code = getattr(fn, "__code__", None)
+    if not closure or code is None:
         return []
     bindings = []
-    for name, cell in zip(fn.__code__.co_freevars, closure):
+    for cell_name, cell in zip(code.co_freevars, closure):
         try:
-            bindings.append((name, cell.cell_contents))
+            bindings.append(
+                ("captured variable %r" % cell_name, cell.cell_contents)
+            )
         except ValueError:  # pragma: no cover - empty cell
             continue
     return bindings

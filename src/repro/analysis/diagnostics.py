@@ -13,6 +13,10 @@ Code families:
 * ``NPL3xx`` -- plan-level smells and predicted failures.
 * ``NPL4xx`` -- partitioning-property findings from
   :mod:`repro.analysis.properties` (redundant or avoidable shuffles).
+* ``NPL5xx`` -- effect & determinism findings from
+  :mod:`repro.analysis.effects` (impure, nondeterministic, or
+  I/O-performing UDFs, and auto-cache opportunities the optimizer had
+  to pass up).
 """
 
 import json
@@ -59,6 +63,14 @@ CODES = {
     "NPL403": (WARNING, "partition-count mismatch forces a reshuffle"),
     "NPL404": (INFO, "a preserves-partitioning hint could elide this "
                      "shuffle"),
+    # -- effects & determinism -------------------------------------------
+    "NPL501": (WARNING, "UDF provably mutates state that outlives the "
+                        "call (impure)"),
+    "NPL502": (WARNING, "UDF provably nondeterministic; retries and "
+                        "speculation may observe different results"),
+    "NPL503": (WARNING, "UDF performs external I/O"),
+    "NPL504": (INFO, "auto-cache opportunity suppressed: subtree "
+                     "purity not proven"),
 }
 
 

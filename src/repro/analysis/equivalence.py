@@ -28,11 +28,20 @@ report totals up to the measured-time fields (wall-clock, per-task
 seconds, and the straggler/retry counters derived from them, which
 legitimately vary run to run).
 
-Run it from the command line (CI does, on both backends and both
+A third comparison proves the effect-gated auto-cache rewrite
+(:func:`repro.engine.optimize.plan_auto_caches`): ``--compare caching``
+runs every program with ``optimize_caching`` off and on and demands
+equivalent results, valid traces, and a cached run that is never
+slower in simulated seconds.  Stage shapes are deliberately not
+compared there -- replacing recompute stages with a ``cached`` read in
+later jobs is the rewrite working as intended.
+
+Run it from the command line (CI does, on both backends and all
 comparisons)::
 
     PYTHONPATH=src python -m repro.analysis.equivalence --backend serial
     PYTHONPATH=src python -m repro.analysis.equivalence --compare schedulers
+    PYTHONPATH=src python -m repro.analysis.equivalence --compare caching
 """
 
 import argparse
@@ -50,8 +59,10 @@ __all__ = [
     "Verification",
     "library_programs",
     "verify_library",
+    "verify_library_caching",
     "verify_library_schedules",
     "verify_program",
+    "verify_program_caching",
     "verify_program_schedules",
     "main",
 ]
@@ -471,6 +482,89 @@ def verify_library_schedules(config=None, only=None):
     return verifications
 
 
+# ----------------------------------------------------------------------
+# Auto-cache verification (optimize_caching off vs on)
+# ----------------------------------------------------------------------
+
+
+def verify_program_caching(program, config=None, name="<program>"):
+    """Prove one program unchanged (and never slower) by auto-caching.
+
+    Runs ``program`` once with ``optimize_caching=False`` and once with
+    ``True`` and demands equivalent canonicalized results, valid traces
+    on both runs, and a cached simulated wall-clock that never exceeds
+    the uncached one.  Unlike the elision comparison, stage *shapes*
+    are deliberately **not** compared: an auto-cached subtree
+    legitimately replaces its recompute stages with a single ``cached``
+    stage in later jobs -- the rewrite's entire point.
+
+    Returns:
+        A :class:`Verification`; ``elisions`` counts the ``auto-cache``
+        optimizer decisions the cached run took.
+
+    Raises:
+        EquivalenceError: When results diverge or caching made the
+            program slower in simulated seconds.
+    """
+    from ..observe.report import entry_from_context
+
+    base_config = config if config is not None else laptop_config()
+    runs = {}
+    for caching in (False, True):
+        ctx = EngineContext(
+            replace(base_config, optimize_caching=caching)
+        )
+        try:
+            result = program(ctx)
+            validate_trace(ctx.trace)
+            runs[caching] = (
+                result,
+                entry_from_context(ctx, "caching", name)[
+                    "simulated_seconds"
+                ],
+                sum(_job_shuffle(job) for job in ctx.trace.jobs),
+                len(
+                    [
+                        d for d in ctx.optimizer_decisions
+                        if d.kind == "auto-cache"
+                    ]
+                ),
+            )
+        finally:
+            ctx.close()
+    base_result, base_seconds, base_shuffle, _ = runs[False]
+    opt_result, opt_seconds, opt_shuffle, auto_caches = runs[True]
+    if not results_equivalent(base_result, opt_result):
+        raise EquivalenceError(
+            "%s: auto-cached result differs from uncached result:\n"
+            "%r\nvs\n%r" % (name, opt_result, base_result)
+        )
+    if opt_seconds > base_seconds + 1e-9:
+        raise EquivalenceError(
+            "%s: auto-caching made the program slower: %.6f simulated "
+            "seconds vs %.6f without" % (name, opt_seconds, base_seconds)
+        )
+    return Verification(
+        name=name,
+        shuffle_records=base_shuffle,
+        shuffle_records_optimized=opt_shuffle,
+        shuffle_records_saved=0,
+        elisions=auto_caches,
+    )
+
+
+def verify_library_caching(config=None, only=None):
+    """Caching-verify every registry program; returns Verifications."""
+    verifications = []
+    for name, program in library_programs():
+        if only and not any(fragment in name for fragment in only):
+            continue
+        verifications.append(
+            verify_program_caching(program, config=config, name=name)
+        )
+    return verifications
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.equivalence",
@@ -483,11 +577,12 @@ def main(argv=None):
         help="task runtime backend for both runs (default: serial)",
     )
     parser.add_argument(
-        "--compare", choices=("elision", "schedulers"),
+        "--compare", choices=("elision", "schedulers", "caching"),
         default="elision",
         help="what to differentially verify: shuffle 'elision' "
-        "(optimize off vs on; default) or stage 'schedulers' "
-        "(serial vs dag)",
+        "(optimize off vs on; default), stage 'schedulers' "
+        "(serial vs dag), or effect-gated auto-'caching' "
+        "(optimize_caching off vs on)",
     )
     parser.add_argument(
         "--workers", type=int, default=2,
@@ -502,10 +597,11 @@ def main(argv=None):
     config = replace(
         laptop_config(), backend=args.backend, num_workers=args.workers
     )
-    verify = (
-        verify_program if args.compare == "elision"
-        else verify_program_schedules
-    )
+    verify = {
+        "elision": verify_program,
+        "schedulers": verify_program_schedules,
+        "caching": verify_program_caching,
+    }[args.compare]
     failures = 0
     verified = []
     for name, program in library_programs():
@@ -529,6 +625,11 @@ def main(argv=None):
                     verification.elisions,
                 )
             )
+        elif args.compare == "caching":
+            print(
+                "ok   %-24s cached run never slower  (%d auto-cache(s))"
+                % (verification.name, verification.elisions)
+            )
         else:
             print(
                 "ok   %-24s serial == dag  (shuffle %d, %d elisions)"
@@ -544,6 +645,14 @@ def main(argv=None):
             "repro.analysis.equivalence: %d program(s) verified on the "
             "%s backend, %d failure(s), %d shuffle records elided"
             % (len(verified), args.backend, failures, total_saved)
+        )
+    elif args.compare == "caching":
+        total_caches = sum(v.elisions for v in verified)
+        print(
+            "repro.analysis.equivalence: %d program(s) caching-"
+            "verified on the %s backend, %d failure(s), %d auto-cache "
+            "decision(s)"
+            % (len(verified), args.backend, failures, total_caches)
         )
     else:
         print(

@@ -33,6 +33,11 @@ the waste *before* the job runs):
 * **NPL404** -- a shuffle input whose map could not be *proven*
   key-preserving; a ``preserves_partitioning=True`` hint (if truthful)
   would enable elision.
+* **NPL504** -- only with ``config.optimize_caching`` on: an uncached
+  reused subtree the auto-cache rewrite *declined* because its effect
+  verdicts (:mod:`repro.analysis.effects`) are not proven pure and
+  deterministic.  When the rewrite does fire, the NPL301 for that node
+  is suppressed -- the optimizer has already solved it.
 
 NPL4xx findings come from :mod:`repro.analysis.properties`.
 Diagnostics carry the node's stable id (see
@@ -70,13 +75,18 @@ def analyze_plan(root, config=None):
     has_wide = any(
         isinstance(node, _WIDE) for node in p.iter_nodes(root)
     )
+    effects = None
+    if config is not None and getattr(config, "optimize_caching", False):
+        from .effects import plan_effects
+
+        effects = plan_effects(root)
     diags = []
 
     def ref(node):
         return p.describe_node(node, ids, parts)
 
     for node in p.iter_nodes_ordered(root):
-        _check_uncached_reuse(node, consumers, ref, diags)
+        _check_uncached_reuse(node, consumers, effects, ref, diags)
         _check_filter_pushdown(node, ref, diags)
         if config is not None:
             _check_broadcast_size(node, config, ref, diags)
@@ -106,13 +116,36 @@ def _consumer_counts(root):
     return counts
 
 
-def _check_uncached_reuse(node, consumers, ref, diags):
+def _check_uncached_reuse(node, consumers, effects, ref, diags):
     uses = consumers.get(id(node), 0)
     if uses < 2 or node.cached:
         return
     if isinstance(node, p.Parallelize):
         # Driver-side data re-splits cheaply; no lineage recompute.
         return
+    if effects is not None and not isinstance(node, p.Union):
+        # optimize_caching is on: when the subtree is proven pure and
+        # deterministic the auto-cache rewrite inserts the cache()
+        # itself, so NPL301 would nag about a solved problem.  An
+        # unproven subtree keeps NPL301 (the waste is real) and gains
+        # NPL504 explaining why the rewrite held back.
+        report = effects.get(id(node))
+        if (
+            report is not None
+            and report.pure is True
+            and report.deterministic is True
+        ):
+            return
+        diags.append(
+            make_diagnostic(
+                "NPL504",
+                "%s is reused %d times and auto-caching is enabled, "
+                "but its subtree could not be proven pure and "
+                "deterministic, so the optimizer will not cache() it "
+                "for you" % (ref(node), uses),
+                node=ref(node),
+            )
+        )
     diags.append(
         make_diagnostic(
             "NPL301",

@@ -3,9 +3,12 @@
 A small, fast, fixed grid of (task, scale) cells -- K-means, PageRank,
 and Bounce Rate, each in the Matryoshka and inner-parallel formulations
 at two group counts, plus a branch-overlap cell exercising the DAG
-scheduler and a service-mode pair (``serve-pagerank-cold`` /
+scheduler, a service-mode pair (``serve-pagerank-cold`` /
 ``serve-pagerank-warm``) running repeated PageRank jobs through a
-long-lived :mod:`repro.serve` daemon -- measured into one
+long-lived :mod:`repro.serve` daemon, and a reuse-heavy pair
+(``reuse-baseline`` / ``reuse-autocache``) where the only difference
+is ``optimize_caching``, so the row delta is the simulated seconds the
+verified auto-``cache()`` rewrite saves -- measured into one
 :class:`~repro.observe.RunReport`.  Every
 cell runs under both stage schedules (``serial`` and ``dag``; the DAG
 rows carry a ``+dag`` system suffix), so the gate holds the DAG
@@ -65,6 +68,14 @@ _BRANCH_TASK_SLEEP_S = 0.05
 _SERVE_REPEATS = 3
 _SERVE_PAGERANK_ITERS = 2
 _SERVE_WARM_BYTES = 256 * 1024 * 1024
+
+#: The reuse cell: how many identical jobs consume the same shared,
+#: deliberately *uncached* feature subtree.  With ``optimize_caching``
+#: off every job recomputes the subtree once per consumer; with it on
+#: the effect analysis proves the subtree pure and deterministic, the
+#: optimizer inserts the ``cache()`` itself, and jobs after the first
+#: short-circuit through the materialized partitions.
+_REUSE_JOBS = 3
 
 
 def _scheduled(config, system, scheduler):
@@ -210,6 +221,46 @@ def _serve_pagerank_cell(system, groups, scheduler="serial"):
     return run_measured(config, system, groups, program)
 
 
+def _reuse_scale(x):
+    return (x * 3 + 1) % 997
+
+
+def _reuse_shift(x):
+    return x - 500
+
+
+def _auto_cache_cell(system, groups, scheduler="serial"):
+    """A reuse-heavy workload: ``_REUSE_JOBS`` jobs over one shared
+    uncached subtree with two consumers each.
+
+    The two rows differ only in ``optimize_caching``: the baseline row
+    recomputes the shared feature map twice per job, the autocache row
+    lets the verified rewrite materialize it once -- the simulated
+    delta is exactly what the auto-inserted ``cache()`` buys.  The
+    UDFs are module-level and provably pure/deterministic on purpose:
+    an unprovable subtree would (correctly) suppress the rewrite and
+    collapse the delta to zero.
+    """
+    config, system = _scheduled(_cluster(2.0, 512), system, scheduler)
+    config = replace(
+        config,
+        optimize_caching=system.startswith("reuse-autocache"),
+    )
+
+    def program(ctx):
+        feats = ctx.bag_of(range(groups * 128)).map(_reuse_scale)
+        total = 0
+        for _ in range(_REUSE_JOBS):
+            total += (
+                feats.map(_reuse_shift)
+                .union(feats.map(_reuse_scale))
+                .sum()
+            )
+        return total
+
+    return run_measured(config, system, groups, program)
+
+
 #: The full matrix: system name -> cell runner; every system runs at
 #: every group count in ``_GROUP_COUNTS`` under every scheduler in
 #: ``_SCHEDULERS``.
@@ -223,6 +274,8 @@ CELLS = {
     "branch-overlap": _branch_overlap_cell,
     "serve-pagerank-cold": _serve_pagerank_cell,
     "serve-pagerank-warm": _serve_pagerank_cell,
+    "reuse-baseline": _auto_cache_cell,
+    "reuse-autocache": _auto_cache_cell,
 }
 
 

@@ -372,7 +372,7 @@ class Bag:
         self.node.label = label
         return self
 
-    def explain(self, compact=False, properties=False):
+    def explain(self, compact=False, properties=False, effects=False):
         """Textual rendering of this bag's plan tree.
 
         Every node carries a stable ``#id`` and an inferred partition
@@ -387,12 +387,30 @@ class Bag:
         with id ``N`` (an elided or adoptable shuffle), and
         ``[drops hash(k0)]`` on the node that destroyed a provable
         layout.
+
+        ``effects=True`` annotates every UDF-carrying node with its
+        effect verdicts (:mod:`repro.analysis.effects`): three
+        tokens for purity, determinism, and I/O -- e.g.
+        ``[pure det io-free]`` when all proven, ``[pure? nondet io?]``
+        with ``?`` marking unknown and the bare negative a refutation.
         """
         notes = None
         if properties:
             from ..analysis.properties import partitioning_notes
 
             notes = partitioning_notes(self.node)
+        if effects:
+            from ..analysis.effects import effects_notes
+
+            effect_notes = effects_notes(self.node)
+            if notes is None:
+                notes = effect_notes
+            else:
+                for key, text in effect_notes.items():
+                    notes[key] = (
+                        "%s; %s" % (notes[key], text)
+                        if notes.get(key) else text
+                    )
         if compact:
             return p.explain_compact(self.node, notes=notes)
         ids = p.assign_node_ids(self.node)

@@ -47,6 +47,16 @@ def _default_optimize_shuffles():
     return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
+def _default_optimize_caching():
+    raw = os.environ.get("REPRO_OPTIMIZE_CACHING", "0")
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
+def _default_speculative_execution():
+    raw = os.environ.get("REPRO_SPECULATE", "0")
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the simulated cluster.
@@ -163,6 +173,24 @@ class ClusterConfig:
     #: ``REPRO_OPTIMIZE_SHUFFLES`` environment variable, else on.
     optimize_shuffles: bool = field(
         default_factory=_default_optimize_shuffles
+    )
+    #: Auto-insert ``cache()`` on plan subtrees that are reused by more
+    #: than one consumer when the effect analysis
+    #: (:mod:`repro.analysis.effects`) *proves* every UDF below pure
+    #: and deterministic -- an unproven subtree is left alone (see
+    #: :func:`repro.engine.optimize.plan_auto_caches`).  Off by
+    #: default; defaults to the ``REPRO_OPTIMIZE_CACHING`` environment
+    #: variable.
+    optimize_caching: bool = field(
+        default_factory=_default_optimize_caching
+    )
+    #: Re-dispatch one speculative copy of each detected straggler,
+    #: but only when its task's UDFs are *proven* pure, deterministic,
+    #: and I/O-free (see :class:`repro.engine.runtime.TaskScheduler`).
+    #: Off by default; defaults to the ``REPRO_SPECULATE`` environment
+    #: variable.
+    speculative_execution: bool = field(
+        default_factory=_default_speculative_execution
     )
 
     def __post_init__(self):

@@ -58,6 +58,7 @@ __all__ = [
     "plan_units",
     "run_serial",
     "run_dag",
+    "snapshot_plan_state",
 ]
 
 #: Provisional stage-id stride per unit under the DAG schedule: wide
@@ -116,11 +117,37 @@ class EvalUnit:
 # ----------------------------------------------------------------------
 
 
-def compute_refcounts(root):
+def snapshot_plan_state(root):
+    """One consistent read of every node's mutable planning inputs.
+
+    ``cached`` and ``materialized`` are the only plan-node attributes
+    that change after construction: ``Bag.cache()``, the auto-cache
+    optimizer pass, and a concurrently gathered job materializing a
+    shared cached subtree all flip them while other jobs may be
+    planning over the same nodes.  The planning walk consults both
+    attributes several times per node (refcounts, fusion, the unit
+    emit), so reading them live would let one walk observe *different*
+    values for the same node -- making the unit graph, the stage
+    layout, and with them the plan's stable node ids depend on thread
+    interleaving.  Snapshotting once up front pins one consistent view
+    for the whole walk; whether a concurrent flip lands before or
+    after the snapshot, the resulting unit graph is one of the two
+    valid serial outcomes, never a hybrid.
+
+    Returns ``{id(node): (cached, materialized)}``.
+    """
+    return {
+        id(node): (node.cached, node.materialized)
+        for node in p.iter_nodes(root)
+    }
+
+
+def compute_refcounts(root, state):
     """Number of evaluated parents per node (by id).
 
     Only edges that evaluation will actually traverse count: children
-    below an already-materialized node are never evaluated.
+    below an already-materialized node are never evaluated.  ``state``
+    is the :func:`snapshot_plan_state` of the walk.
     """
     counts = {}
     seen = set()
@@ -130,7 +157,7 @@ def compute_refcounts(root):
         if id(node) in seen:
             continue
         seen.add(id(node))
-        if node.materialized is not None:
+        if state[id(node)][1] is not None:
             continue
         for child in node.children:
             counts[id(child)] = counts.get(id(child), 0) + 1
@@ -154,25 +181,29 @@ def dep_order(node):
     return tuple(node.children)
 
 
-def fused_chain(node, refcounts):
+def fused_chain(node, refcounts, state):
     """The maximal fusable elementwise chain ending at ``node``.
 
     Returns the chain bottom-up (``chain[0]`` closest to the data)
     or ``None`` when ``node`` is not elementwise.  Fusion never
     crosses a node that is cached, already materialized, or shared
     by another parent (those must produce a memoized result of
-    their own).
+    their own).  ``cached`` / ``materialized`` come from the walk's
+    :func:`snapshot_plan_state`, never from the live node.
     """
     if not node.fusable:
         return None
     chain = [node]
     child = node.child
-    while (
-        child.fusable
-        and not child.cached
-        and child.materialized is None
-        and refcounts.get(id(child), 0) == 1
-    ):
+    while True:
+        cached, materialized = state[id(child)]
+        if not (
+            child.fusable
+            and not cached
+            and materialized is None
+            and refcounts.get(id(child), 0) == 1
+        ):
+            break
         chain.append(child)
         child = child.child
     chain.reverse()
@@ -209,7 +240,8 @@ def plan_units(root):
     runs.  Dispatch ordinals are reserved cumulatively over that
     order.
     """
-    refcounts = compute_refcounts(root)
+    state = snapshot_plan_state(root)
+    refcounts = compute_refcounts(root, state)
     units = []
     done = set()
     stack = [root]
@@ -219,14 +251,14 @@ def plan_units(root):
         if key in done:
             stack.pop()
             continue
-        if node.materialized is not None:
+        if state[key][1] is not None:
             units.append(
                 EvalUnit(len(units), node, None, True, ())
             )
             done.add(key)
             stack.pop()
             continue
-        chain = fused_chain(node, refcounts)
+        chain = fused_chain(node, refcounts, state)
         if chain is not None:
             deps = (chain[0].child,)
         else:

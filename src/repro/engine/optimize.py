@@ -1,18 +1,81 @@
-"""The engine's static optimizer pass: shuffle-elision planning.
+"""The engine's static optimizer passes: shuffle elision, auto-caching.
 
 The executor consults this once per job.  The heavy lifting -- proving
-which wide nodes re-shuffle data that is already laid out correctly --
-lives in :mod:`repro.analysis.properties`; this module is the thin
-engine-side entry point that honors ``ClusterConfig.optimize_shuffles``.
+which wide nodes re-shuffle data that is already laid out correctly,
+and which UDFs are pure and deterministic -- lives in
+:mod:`repro.analysis.properties` and :mod:`repro.analysis.effects`;
+this module is the thin engine-side entry point that honors
+``ClusterConfig.optimize_shuffles`` / ``optimize_caching``.
 
 Soundness note: a static :class:`~repro.analysis.properties.Elision` is
 a *permission*, not a command.  The executor still checks the runtime
 preconditions (partition counts match, the origin shuffle's concrete
 assignment is registered) and falls back to a normal shuffle when they
-do not hold.
+do not hold.  Auto-caching is held to a stricter bar: it only fires on
+subtrees whose every UDF is *proven* pure and deterministic, because a
+cache substitutes one recorded evaluation for repeated evaluations --
+only provable effect-freedom makes those interchangeable.
 """
 
-__all__ = ["plan_shuffle_elisions", "release_layouts", "sweep_layouts"]
+__all__ = [
+    "plan_auto_caches",
+    "plan_shuffle_elisions",
+    "release_layouts",
+    "sweep_layouts",
+]
+
+
+def plan_auto_caches(root, config=None):
+    """Plan nodes the executor should auto-cache for this plan.
+
+    The NPL301 lint predicts the waste (an uncached node consumed by
+    two or more parents recomputes once per consumer); this pass is
+    the rewrite that removes it.  A node qualifies when:
+
+    * two or more parent edges consume it (``CoGroup(x, x)`` counts
+      twice, matching the lint),
+    * it is not already ``cache()``d,
+    * it is not a :class:`~repro.engine.plan.Parallelize` (driver data
+      re-splits for free) or a :class:`~repro.engine.plan.Union`
+      (``flatten_union_inputs`` rewrites unions structurally at
+      bag-construction time, keyed on ``cached``; flipping the flag
+      later would make plan shape depend on optimizer timing), and
+    * every UDF in its subtree is **proven** pure and deterministic by
+      :func:`repro.analysis.effects.plan_effects`.  Unknown does not
+      qualify: caching trades re-evaluation for replay, which is only
+      an equivalence when the subtree provably has no effects for the
+      skipped evaluations to skip.
+
+    Returns ``{id(node): node}`` for the qualifying nodes.  The
+    executor flips ``node.cached`` and records an ``auto-cache``
+    :class:`~repro.core.optimizer.Decision` per entry.
+    """
+    if config is not None and not getattr(config, "optimize_caching", False):
+        return {}
+    # Lazy import: repro.analysis imports repro.engine, so engine
+    # modules must not import the analysis layer at module scope.
+    from ..analysis.effects import plan_effects
+    from . import plan as p
+
+    consumers = {}
+    for node in p.iter_nodes_ordered(root):
+        for child in node.children:
+            consumers[id(child)] = consumers.get(id(child), 0) + 1
+    reports = None
+    chosen = {}
+    for node in p.iter_nodes_ordered(root):
+        if consumers.get(id(node), 0) < 2 or node.cached:
+            continue
+        if isinstance(node, (p.Parallelize, p.Union)):
+            continue
+        if reports is None:
+            reports = plan_effects(root)
+        report = reports.get(id(node))
+        if report is None:
+            continue
+        if report.pure is True and report.deterministic is True:
+            chosen[id(node)] = node
+    return chosen
 
 
 def plan_shuffle_elisions(root, config=None):

@@ -20,6 +20,21 @@ whose ``retryable`` attribute is true.  Deterministic failures
 job on first occurrence: rerunning a UDF bug ``max_task_attempts``
 times would only repeat its side effects.
 
+Effect gating (:mod:`repro.analysis.effects`): a retry silently
+re-executes the task's UDFs, which is only sound when they are
+deterministic.  When the effect analysis *refutes* determinism for a
+task about to be retried, the scheduler refuses to do so silently: it
+warns once per operator and surfaces a ``nondeterministic_retry``
+trace instant before proceeding (retries stay on -- a loud retry beats
+a lost job, but the discrepancy is now observable).  Speculative
+re-execution of stragglers (``config.speculative_execution``) is
+gated the other way around: a speculative copy runs *only* when all
+three effect dimensions (purity, determinism, I/O-freedom) are
+**proven** -- an unknown verdict suppresses speculation and surfaces
+the same instant with ``reason="speculation"``.  Speculative seconds
+accrue to ``stage.failed_attempt_seconds``: redundant work, never
+billed as task time.
+
 Tracing (:mod:`repro.observe`): when the context traces, every
 dispatch emits a ``stage`` span wrapping one ``task_set`` span per
 retry wave, ``task`` spans re-anchored from worker outcomes onto the
@@ -46,12 +61,15 @@ import os
 import statistics
 import threading
 import time
+import warnings
 
 from ...errors import TaskFailedError
 from ...observe import NULL_TRACER
 from ...observe.events import (
     DRIVER_LANE,
     KIND_FAULT,
+    KIND_NONDETERMINISTIC_RETRY,
+    KIND_SPECULATION,
     KIND_STAGE,
     KIND_STRAGGLER,
     KIND_TASK,
@@ -93,9 +111,14 @@ class TaskScheduler:
         self.tasks_launched = 0
         self.tasks_failed = 0
         self.tasks_retried = 0
+        #: Speculative straggler copies dispatched (proven-safe only).
+        self.tasks_speculated = 0
         # Guards the counters above: concurrent dispatch threads all
         # credit them.
         self._counter_lock = threading.Lock()
+        # Operators already warned about unproven re-execution; the
+        # warning fires once per operator, the trace instant every time.
+        self._effect_warned = set()
         # Per-dispatch-thread trace lane (driver thread: DRIVER_LANE).
         self._lanes = threading.local()
         # Bounded pool backing submit()/submit_stage(); created lazily
@@ -206,8 +229,11 @@ class TaskScheduler:
         if (
             not tracer.enabled
             and not self.fault_injector.pending
+            and not getattr(self.config, "speculative_execution", False)
             and isinstance(self.backend, SerialBackend)
         ):
+            # (Speculative execution needs the invocation/outcome
+            # machinery below, so enabling it forfeits this fast path.)
             # Hot path: a paper-scale stage dispatches >1000 tasks and
             # the serial backend runs them right here, so skip the
             # invocation/outcome machinery -- real failures are
@@ -322,6 +348,19 @@ class TaskScheduler:
                     self.tasks_retried += 1
                 if stage is not None:
                     stage.add_task_retries(1)
+                # No silent retry of a provably nondeterministic task:
+                # the re-run may legitimately produce a different
+                # result, so make the hazard observable before it runs.
+                report = self._task_effects(task)
+                if report is not None and report.deterministic is False:
+                    self._note_unproven_reexecution(
+                        operator, ordinal, outcome.task_index, lane,
+                        "retry",
+                        "retrying task of operator %r: its UDFs are "
+                        "provably nondeterministic, so the repeated "
+                        "attempt may observe a different result"
+                        % operator,
+                    )
                 if collect:
                     tracer.instant(
                         "retry:%s#%d" % (operator, outcome.task_index),
@@ -361,7 +400,114 @@ class TaskScheduler:
                     partition=index,
                     seconds=final[index].seconds,
                 )
+        if stragglers and getattr(
+            self.config, "speculative_execution", False
+        ):
+            self._speculate(
+                task, args_list, stage, ordinal, operator, stragglers,
+                final, lane,
+            )
         return [outcome.value for outcome in final]
+
+    # ------------------------------------------------------------------
+    # Effect gating: nondeterministic retries, speculative copies
+    # ------------------------------------------------------------------
+
+    def _task_effects(self, task):
+        """Combined effect report over the task's UDFs, or ``None``.
+
+        Tasks that carry no user code (shuffle buckets, broadcast
+        probes) expose no ``udfs`` attribute and are trivially safe to
+        re-execute, so they skip the analysis entirely.  Imported
+        lazily: the scheduler must not pull :mod:`repro.analysis` in
+        on the plain execution path.
+        """
+        udfs = getattr(task, "udfs", ())
+        if not udfs:
+            return None
+        from ...analysis.effects import task_effects
+        return task_effects(udfs)
+
+    def _note_unproven_reexecution(self, operator, ordinal, index, lane,
+                                   reason, message):
+        """Warn once per (operator, reason); trace every occurrence."""
+        key = (operator, reason)
+        with self._counter_lock:
+            warn = key not in self._effect_warned
+            if warn:
+                self._effect_warned.add(key)
+        if warn:
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "nondeterministic-%s:%s#%d" % (reason, operator, index),
+                KIND_NONDETERMINISTIC_RETRY,
+                lane=lane,
+                dispatch=ordinal,
+                task=index,
+                reason=reason,
+            )
+
+    def _speculate(self, task, args_list, stage, ordinal, operator,
+                   stragglers, final, lane):
+        """Re-dispatch straggler partitions once, if provably safe.
+
+        A speculative copy re-runs a task whose original attempt
+        already succeeded, so it is admissible only when every effect
+        dimension is *proven*: pure (no state outlives the call),
+        deterministic (the copy computes the same value), and I/O-free
+        (no externally visible double effect).  Unknown is not good
+        enough -- an unproven task surfaces a
+        ``nondeterministic_retry`` instant instead of a copy.
+
+        The winning value is the same value by the determinism proof,
+        so the original results stand; the copy's wall-clock accrues
+        to ``stage.failed_attempt_seconds`` (redundant work, never
+        task time), and ``tasks_speculated`` counts the copies.
+        """
+        report = self._task_effects(task)
+        if report is None or not report.proven:
+            what = (
+                "carries no analyzable UDFs"
+                if report is None
+                else "is not proven pure, deterministic, and I/O-free"
+            )
+            self._note_unproven_reexecution(
+                operator, ordinal, stragglers[0], lane, "speculation",
+                "not speculating stragglers of operator %r: it %s, so "
+                "a redundant copy is not provably safe"
+                % (operator, what),
+            )
+            return
+        invocations = [
+            self._invocation(
+                task, args_list[index], ordinal, operator, index,
+                final[index].attempt + 1,
+            )
+            for index in stragglers
+        ]
+        outcomes = self.backend.run_invocations(invocations)
+        with self._counter_lock:
+            self.tasks_launched += len(invocations)
+            self.tasks_speculated += len(invocations)
+        tracer = self.tracer
+        for outcome in outcomes:
+            if stage is not None:
+                stage.add_failed_attempt_seconds(outcome.seconds)
+            if tracer.enabled:
+                tracer.instant(
+                    "speculate:%s#%d" % (operator, outcome.task_index),
+                    KIND_SPECULATION,
+                    lane=lane,
+                    dispatch=ordinal,
+                    task=outcome.task_index,
+                    seconds=outcome.seconds,
+                    won=bool(
+                        outcome.ok
+                        and outcome.seconds
+                        < final[outcome.task_index].seconds
+                    ),
+                )
 
     #: Clock skew tolerated between a worker's ``start_epoch`` read and
     #: the driver's dispatch-window reads before re-anchoring falls

@@ -23,6 +23,7 @@ serialize (locks, sockets, generators) surface as
 :func:`ensure_serializable`.
 """
 
+import functools
 import importlib
 import io
 import marshal
@@ -94,6 +95,10 @@ def check_serializable(fn):
     the object serializes cleanly.  When the top-level dump fails, the
     probe drills into the function's closure cells and defaults to name
     exactly which captured values cannot cross a process boundary.
+    ``functools.partial`` objects and bound methods are unwrapped first:
+    their frozen arguments and bound instances ship with the task just
+    like closure cells do, so the report names the offending *value*
+    (``partial keyword 'conn'``), not the opaque wrapper.
 
     This is the single source of truth for "can this closure be
     serialized": the scheduler's pre-flight error path
@@ -106,6 +111,52 @@ def check_serializable(fn):
         return []
     except Exception as exc:
         top_level = "%s: %s" % (type(exc).__name__, exc)
+    problems = _callable_problems(fn)
+    if not problems:
+        problems.append(top_level)
+    return problems
+
+
+def _callable_problems(fn, depth=0):
+    """Per-capture problem descriptions for one callable.
+
+    Recursively unwraps ``functools.partial`` and bound methods before
+    probing, so wrapped UDFs report the same root cause a plain closure
+    would.  ``depth`` bounds pathological wrapper towers.
+    """
+    if depth > 16:  # pragma: no cover - absurd wrapper nesting
+        return []
+    if isinstance(fn, functools.partial):
+        problems = []
+        for index, value in enumerate(fn.args):
+            problem = _probe_value(value)
+            if problem is not None:
+                problems.append(
+                    "partial argument %d (%s) is not serializable: %s"
+                    % (index, type(value).__name__, problem)
+                )
+        for name in sorted(fn.keywords or {}):
+            value = fn.keywords[name]
+            problem = _probe_value(value)
+            if problem is not None:
+                problems.append(
+                    "partial keyword %r (%s) is not serializable: %s"
+                    % (name, type(value).__name__, problem)
+                )
+        problems.extend(_callable_problems(fn.func, depth + 1))
+        return problems
+    bound_self = getattr(fn, "__self__", None)
+    bound_func = getattr(fn, "__func__", None)
+    if bound_self is not None and bound_func is not None:
+        problems = []
+        problem = _probe_value(bound_self)
+        if problem is not None:
+            problems.append(
+                "bound instance (%s) is not serializable: %s"
+                % (type(bound_self).__name__, problem)
+            )
+        problems.extend(_callable_problems(bound_func, depth + 1))
+        return problems
     problems = []
     code = getattr(fn, "__code__", None)
     closure = getattr(fn, "__closure__", None)
@@ -130,8 +181,6 @@ def check_serializable(fn):
                 "default argument %d (%s) is not serializable: %s"
                 % (index, type(default).__name__, problem)
             )
-    if not problems:
-        problems.append(top_level)
     return problems
 
 

@@ -62,6 +62,10 @@ class FusedPipelineTask:
     def operator(self):
         return "+".join(step[2] for step in self.steps)
 
+    @property
+    def udfs(self):
+        return tuple(step[1] for step in self.steps)
+
     def __call__(self, part):
         steps = self.steps
         num = len(steps)
@@ -107,6 +111,10 @@ class MapPartitionsTask:
         self.fn = fn
         self.operator = operator
 
+    @property
+    def udfs(self):
+        return (self.fn,)
+
     def __call__(self, part, index):
         return list(call_udf(self.operator, self.fn, part, index))
 
@@ -124,6 +132,10 @@ class CombineTask:
     def __init__(self, fn, operator):
         self.fn = fn
         self.operator = operator
+
+    @property
+    def udfs(self):
+        return (self.fn,)
 
     def __call__(self, records):
         acc = {}

@@ -32,6 +32,11 @@ KIND_SERDE = "serde"            # closure/outcome (de)serialization span
 KIND_TASK_RETRY = "task_retry"  # scheduler re-launched a failed attempt
 KIND_FAULT = "fault"            # a task attempt failed (instant)
 KIND_STRAGGLER = "straggler"    # a task ran far beyond its set's median
+#: A re-execution (retry or speculation) touched a task whose UDFs the
+#: effect analysis could not prove deterministic -- the repeated run may
+#: legitimately observe a different result.
+KIND_NONDETERMINISTIC_RETRY = "nondeterministic_retry"
+KIND_SPECULATION = "speculation"  # a proven-safe straggler re-dispatch
 
 ALL_KINDS = (
     KIND_DRIVER,
@@ -45,6 +50,8 @@ ALL_KINDS = (
     KIND_TASK_RETRY,
     KIND_FAULT,
     KIND_STRAGGLER,
+    KIND_NONDETERMINISTIC_RETRY,
+    KIND_SPECULATION,
 )
 
 #: Kinds that form the span hierarchy (everything else is an instant or

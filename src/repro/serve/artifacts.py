@@ -41,9 +41,9 @@ class CacheEntry:
     """One cached artifact and its bookkeeping."""
 
     __slots__ = ("key", "kind", "value", "bytes", "pins", "hits",
-                 "node_id")
+                 "node_id", "fingerprint")
 
-    def __init__(self, key, kind, value):
+    def __init__(self, key, kind, value, fingerprint=None):
         self.key = key
         self.kind = kind
         self.value = value
@@ -55,6 +55,12 @@ class CacheEntry:
         self.node_id = (
             id(value.node) if kind == KIND_BAG else None
         )
+        # Canonical program fingerprint (see
+        # :func:`repro.analysis.effects.fingerprint_function`): reuse
+        # under the same key is only offered when the caller's
+        # fingerprint matches, so an artifact name cannot serve stale
+        # data after its builder's code changed.
+        self.fingerprint = fingerprint
 
     def __repr__(self):
         return (
@@ -92,15 +98,39 @@ class ArtifactCache:
 
     # -- core ----------------------------------------------------------
 
-    def get_or_build(self, key, factory, kind=KIND_BAG, pin=False):
+    def get_or_build(self, key, factory, kind=KIND_BAG, pin=False,
+                     fingerprint=None):
         """Look up ``key``, building it via ``factory()`` on a miss.
 
         Returns ``(value, hit)``.  With ``pin=True`` the entry is
         pinned before the lock is released, so a concurrent rebalance
         can never evict it between lookup and use.
+
+        ``fingerprint`` (optional) is the canonical identity of the
+        program that produces this artifact (see
+        :func:`repro.analysis.effects.fingerprint_function`).  A hit
+        is only served when it matches the stored entry's fingerprint;
+        a mismatch means the builder's code changed (or is not
+        provably deterministic, in which case the service hands in a
+        fresh fingerprint per job), so the stale entry is evicted and
+        the artifact rebuilt.  If the stale entry is still pinned by a
+        running job it stays untouched and the fresh value is built
+        *outside* the cache; a later call replaces the slot once the
+        entry is unpinned.
         """
         with self._lock:
             entry = self._entries.get(key)
+            if (
+                entry is not None
+                and fingerprint is not None
+                and entry.fingerprint != fingerprint
+            ):
+                if entry.pins == 0:
+                    self._evict_locked(key)
+                    entry = None
+                else:
+                    self.misses += 1
+                    return factory(), False
             hit = entry is not None
             if hit:
                 entry.hits += 1
@@ -109,7 +139,8 @@ class ArtifactCache:
             else:
                 self.misses += 1
                 value = factory()
-                entry = CacheEntry(key, kind, value)
+                entry = CacheEntry(key, kind, value,
+                                   fingerprint=fingerprint)
                 if kind == KIND_BROADCAST:
                     entry.bytes = estimate_size(value.value)
                 self._entries[key] = entry

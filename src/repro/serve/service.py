@@ -214,6 +214,11 @@ class JobService:
             cache_limit_bytes, on_evict=self._on_evict
         )
         self._lock = threading.Lock()
+        # Monotonic source of never-matching fingerprints for builders
+        # whose determinism the effect analysis refuted: each of their
+        # jobs gets a fresh fingerprint, so the cache never serves a
+        # value one nondeterministic build produced to another.
+        self._volatile_fingerprints = 0
         self._stats = {}
         self._recent_jobs = {}
         self._sinks = {}
@@ -446,7 +451,8 @@ class JobService:
             return value
 
         value, hit = self._cache.get_or_build(
-            key, factory, kind=kind, pin=True
+            key, factory, kind=kind, pin=True,
+            fingerprint=self._artifact_fingerprint(build),
         )
         jc._pinned.append(key)
         with self._lock:
@@ -454,6 +460,34 @@ class JobService:
             if stats is not None:
                 stats.record_cache(hit)
         return value
+
+    def _artifact_fingerprint(self, build):
+        """Canonical identity of an artifact's builder program.
+
+        Two jobs may share a cached artifact only when they would have
+        built the same value, which requires (a) the same builder code
+        -- captured by the canonical AST fingerprint
+        (:func:`repro.analysis.effects.fingerprint_function`), which
+        also covers the module-level helpers the builder calls -- and
+        (b) a builder that produces the same value every run.  When
+        the effect analysis *refutes* determinism, (b) provably fails:
+        the builder gets a fresh, never-matching fingerprint per job,
+        so cross-job reuse is never offered for it.  A builder whose
+        source is unavailable keeps a stable opaque fingerprint
+        (matching the pre-fingerprint behavior for artifacts the
+        analysis cannot see into).
+        """
+        from ..analysis.effects import (
+            analyze_effects,
+            fingerprint_function,
+        )
+
+        if analyze_effects(build).deterministic is False:
+            with self._lock:
+                self._volatile_fingerprints += 1
+                return "volatile:%d" % self._volatile_fingerprints
+        digest = fingerprint_function(build)
+        return digest if digest is not None else "opaque"
 
     def _on_evict(self, entry):
         """Cache eviction hook: release executor-side state too.

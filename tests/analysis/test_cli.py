@@ -81,10 +81,15 @@ def test_json_format(dirty_file, capsys):
     payload = json.loads(out)
     assert payload["summary"]["error"] == 2
     found = {d["code"] for d in payload["diagnostics"]}
-    assert found == {"NPL101", "NPL104"}
+    # the global declaration is both unliftable (NPL104) and a proven
+    # purity refutation (NPL501)
+    assert found == {"NPL101", "NPL104", "NPL501"}
     for entry in payload["diagnostics"]:
         assert entry["line"] > 0
-        assert entry["severity"] == "error"
+        if entry["code"] == "NPL501":
+            assert entry["severity"] == "warning"
+        else:
+            assert entry["severity"] == "error"
 
 
 def test_select_filters_codes(dirty_file, capsys):

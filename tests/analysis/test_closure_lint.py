@@ -1,5 +1,6 @@
 """NPL2xx closure-serializability pass and strict decoration mode."""
 
+import functools
 import threading
 
 import pytest
@@ -65,6 +66,54 @@ def test_decorated_udf_is_unwrapped_to_original():
     diags = analyze_closure(udf)
     assert codes(diags) == ["NPL201"]
     assert "'lock'" in diags[0].message
+
+
+def _scale(x, factor):
+    return x * factor
+
+
+def test_partial_capture_is_unwrapped_to_npl201():
+    fn = functools.partial(_scale, factor=threading.Lock())
+    diags = analyze_closure(fn)
+    assert "NPL201" in codes(diags)
+    message = diags[codes(diags).index("NPL201")].message
+    assert "partial keyword 'factor'" in message
+    assert "'_scale'" in message
+
+
+def test_partial_over_engine_bag_is_npl202(ctx):
+    bag = ctx.bag_of([1, 2, 3])
+    fn = functools.partial(_scale, factor=bag)
+    diags = analyze_closure(fn)
+    assert "NPL202" in codes(diags)
+    message = diags[codes(diags).index("NPL202")].message
+    assert "partial keyword 'factor'" in message
+    assert "inner-parallel" in message
+
+
+def test_clean_partial_is_clean():
+    assert analyze_closure(functools.partial(_scale, factor=2)) == []
+
+
+class _LockHolder:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+    def work(self, x):
+        return x
+
+
+def test_bound_method_instance_is_npl201():
+    diags = analyze_closure(_LockHolder().work)
+    assert "NPL201" in codes(diags)
+    assert "bound instance (_LockHolder)" in diags[0].message
+
+
+def test_bound_method_of_engine_context_is_npl202(ctx):
+    diags = analyze_closure(ctx.bag_of)
+    assert "NPL202" in codes(diags)
+    message = diags[codes(diags).index("NPL202")].message
+    assert "bound instance of EngineContext" in message
 
 
 def test_location_override():

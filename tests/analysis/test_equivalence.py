@@ -63,3 +63,43 @@ def test_cli_subset_run(capsys):
     out = capsys.readouterr().out
     assert "ok   pagerank-parallel" in out
     assert "1 program(s) verified" in out
+
+
+# ---------------------------------------------------------------------------
+# --compare caching: optimize_caching off vs on
+# ---------------------------------------------------------------------------
+
+
+def test_verify_program_caching_counts_decisions():
+    from repro.analysis.equivalence import verify_program_caching
+
+    def program(ctx):
+        feats = ctx.bag_of(range(50)).map(lambda x: x * 2)
+        return (
+            feats.map(lambda x: x + 1)
+            .union(feats.map(lambda x: -x))
+            .sum()
+        )
+
+    verification = verify_program_caching(program, name="reuse")
+    assert verification.elisions == 1
+
+
+def test_verify_program_caching_rejects_divergence():
+    from repro.analysis.equivalence import verify_program_caching
+
+    def rigged(ctx):
+        return ctx.config.optimize_caching
+
+    with pytest.raises(EquivalenceError, match="differs"):
+        verify_program_caching(rigged, name="rigged")
+
+
+def test_verify_program_caching_clean_without_reuse():
+    from repro.analysis.equivalence import verify_program_caching
+
+    def linear(ctx):
+        return ctx.bag_of(range(30)).map(lambda x: x + 1).sum()
+
+    verification = verify_program_caching(linear, name="linear")
+    assert verification.elisions == 0

@@ -350,8 +350,10 @@ def f(x):
     yield x  # second
 """
     diags = lint(body)
-    assert [d.code for d in diags] == ["NPL104", "NPL102"]
-    assert diags[0].line < diags[1].line
+    # the global declaration also refutes purity (NPL501 at the same
+    # line); position ordering puts it between the construct findings
+    assert [d.code for d in diags] == ["NPL104", "NPL501", "NPL102"]
+    assert diags[0].line < diags[-1].line
 
 
 def test_syntax_error_degrades_to_npl001():

@@ -1,5 +1,6 @@
 """check_serializable: the shared closure-probing primitive."""
 
+import functools
 import threading
 
 import pytest
@@ -58,3 +59,58 @@ def test_ensure_serializable_message_includes_details():
         ensure_serializable(fn, "map")
     assert "captured variable 'value'" in str(err.value)
     assert "'map'" in str(err.value)
+
+
+# ---------------------------------------------------------------------------
+# Wrapper unwrapping: partials and bound methods used to report only the
+# generic top-level error, hiding the actual offending capture.
+# ---------------------------------------------------------------------------
+
+
+def _add(x, extra):
+    return (x, extra)
+
+
+def test_partial_keyword_names_the_value():
+    fn = functools.partial(_add, extra=threading.Lock())
+    problems = check_serializable(fn)
+    assert any("partial keyword 'extra'" in p for p in problems)
+    assert any("lock" in p for p in problems)
+
+
+def test_partial_positional_names_the_index():
+    fn = functools.partial(_add, threading.Lock())
+    problems = check_serializable(fn)
+    assert any("partial argument 0" in p for p in problems)
+
+
+def test_partial_over_closure_drills_into_both():
+    lock = threading.Lock()
+    fn = functools.partial(_closure_over(lock), )
+    problems = check_serializable(fn)
+    assert any("captured variable 'value'" in p for p in problems)
+
+
+def test_nested_partial_unwraps_recursively():
+    fn = functools.partial(
+        functools.partial(_add, extra=threading.Lock())
+    )
+    problems = check_serializable(fn)
+    assert any("partial keyword 'extra'" in p for p in problems)
+
+
+def test_clean_partial_is_clean():
+    assert check_serializable(functools.partial(_add, extra=2)) == []
+
+
+class _Holder:
+    def __init__(self):
+        self.lock = threading.Lock()
+
+    def work(self, x):
+        return x
+
+
+def test_bound_method_names_the_instance():
+    problems = check_serializable(_Holder().work)
+    assert any("bound instance (_Holder)" in p for p in problems)
