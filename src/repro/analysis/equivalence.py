@@ -36,17 +36,27 @@ slower in simulated seconds.  Stage shapes are deliberately not
 compared there -- replacing recompute stages with a ``cached`` read in
 later jobs is the rewrite working as intended.
 
+A fourth comparison proves the compiled fused pipelines
+(:mod:`repro.engine.codegen`): ``--compare compiled`` runs every
+program once with ``compile_pipelines`` off and on and demands
+equivalent results, valid traces, an identical trace signature (the
+generated loops must credit exactly the interpreter's per-operator
+record counts, so simulated seconds are equal by construction), and
+reports the measured wall-clock of both runs.
+
 Run it from the command line (CI does, on both backends and all
 comparisons)::
 
     PYTHONPATH=src python -m repro.analysis.equivalence --backend serial
     PYTHONPATH=src python -m repro.analysis.equivalence --compare schedulers
     PYTHONPATH=src python -m repro.analysis.equivalence --compare caching
+    PYTHONPATH=src python -m repro.analysis.equivalence --compare compiled
 """
 
 import argparse
 import math
 import sys
+import time
 from dataclasses import dataclass, replace
 
 from ..engine.config import laptop_config
@@ -60,9 +70,11 @@ __all__ = [
     "library_programs",
     "verify_library",
     "verify_library_caching",
+    "verify_library_compiled",
     "verify_library_schedules",
     "verify_program",
     "verify_program_caching",
+    "verify_program_compiled",
     "verify_program_schedules",
     "main",
 ]
@@ -82,6 +94,10 @@ class Verification:
         shuffle_records_optimized: Shuffle volume of the optimized run.
         shuffle_records_saved: Volume the optimizer declared elided.
         elisions: Number of shuffle-elision decisions taken.
+        seconds_interpreted: Measured wall-clock of the baseline run,
+            only set by the ``compiled`` comparison.
+        seconds_compiled: Measured wall-clock of the compiled run,
+            only set by the ``compiled`` comparison.
     """
 
     name: str
@@ -89,6 +105,8 @@ class Verification:
     shuffle_records_optimized: int
     shuffle_records_saved: int
     elisions: int
+    seconds_interpreted: float = 0.0
+    seconds_compiled: float = 0.0
 
 
 # ----------------------------------------------------------------------
@@ -565,6 +583,109 @@ def verify_library_caching(config=None, only=None):
     return verifications
 
 
+# ----------------------------------------------------------------------
+# Compiled-pipeline verification (compile_pipelines off vs on)
+# ----------------------------------------------------------------------
+
+
+def verify_program_compiled(program, config=None, name="<program>"):
+    """Prove one program unchanged by compiled fused pipelines.
+
+    Runs ``program`` once with ``compile_pipelines=False`` (interpreted
+    :class:`FusedPipelineTask`) and once with ``True`` (generated
+    specialized loops where provable, interpreter fallback elsewhere)
+    and demands: equivalent canonicalized results, valid traces on both
+    runs, and an **identical trace signature** -- which pins stage
+    kinds, per-task record counts, and shuffle volumes exactly, so the
+    two runs' simulated seconds are equal by construction (the
+    signature includes every ``task_records`` tuple the cost model
+    reads).  Simulated seconds are additionally compared directly as a
+    belt-and-braces check.  Measured wall-clock of both runs is
+    recorded on the returned :class:`Verification` for reporting; it is
+    *not* asserted on (machine noise is not a correctness property).
+
+    Returns:
+        A :class:`Verification`; ``elisions`` counts the fused chains
+        the compiled run actually compiled, and the two ``seconds_*``
+        fields carry the measured wall-clock.
+
+    Raises:
+        EquivalenceError: When results, signatures, or simulated
+            seconds diverge.
+    """
+    from ..engine.validate import trace_signature
+    from ..observe.report import entry_from_context
+
+    base_config = config if config is not None else laptop_config()
+    runs = {}
+    for compiled in (False, True):
+        ctx = EngineContext(
+            replace(base_config, compile_pipelines=compiled)
+        )
+        try:
+            started = time.perf_counter()
+            result = program(ctx)
+            elapsed = time.perf_counter() - started
+            validate_trace(ctx.trace)
+            runs[compiled] = (
+                result,
+                trace_signature(ctx.trace),
+                entry_from_context(ctx, "compiled", name)[
+                    "simulated_seconds"
+                ],
+                elapsed,
+                sum(_job_shuffle(job) for job in ctx.trace.jobs),
+                len(
+                    [
+                        d for d in ctx.optimizer_decisions
+                        if d.kind == "compiled-pipeline"
+                        and d.choice == "compile"
+                    ]
+                ),
+            )
+        finally:
+            ctx.close()
+    base = runs[False]
+    comp = runs[True]
+    if comp[1] != base[1]:
+        raise EquivalenceError(
+            "%s: compiled run produced a different trace signature:\n"
+            "%r\nvs\n%r" % (name, comp[1], base[1])
+        )
+    if not results_equivalent(base[0], comp[0]):
+        raise EquivalenceError(
+            "%s: compiled result differs from interpreted result:\n"
+            "%r\nvs\n%r" % (name, comp[0], base[0])
+        )
+    if comp[2] != base[2]:
+        raise EquivalenceError(
+            "%s: compiled run simulates %.9f seconds, interpreted "
+            "%.9f -- compiled loops must credit identical work"
+            % (name, comp[2], base[2])
+        )
+    return Verification(
+        name=name,
+        shuffle_records=base[4],
+        shuffle_records_optimized=comp[4],
+        shuffle_records_saved=0,
+        elisions=comp[5],
+        seconds_interpreted=base[3],
+        seconds_compiled=comp[3],
+    )
+
+
+def verify_library_compiled(config=None, only=None):
+    """Compile-verify every registry program; returns Verifications."""
+    verifications = []
+    for name, program in library_programs():
+        if only and not any(fragment in name for fragment in only):
+            continue
+        verifications.append(
+            verify_program_compiled(program, config=config, name=name)
+        )
+    return verifications
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.equivalence",
@@ -577,12 +698,14 @@ def main(argv=None):
         help="task runtime backend for both runs (default: serial)",
     )
     parser.add_argument(
-        "--compare", choices=("elision", "schedulers", "caching"),
+        "--compare",
+        choices=("elision", "schedulers", "caching", "compiled"),
         default="elision",
         help="what to differentially verify: shuffle 'elision' "
         "(optimize off vs on; default), stage 'schedulers' "
-        "(serial vs dag), or effect-gated auto-'caching' "
-        "(optimize_caching off vs on)",
+        "(serial vs dag), effect-gated auto-'caching' "
+        "(optimize_caching off vs on), or 'compiled' fused pipelines "
+        "(compile_pipelines off vs on)",
     )
     parser.add_argument(
         "--workers", type=int, default=2,
@@ -601,6 +724,7 @@ def main(argv=None):
         "elision": verify_program,
         "schedulers": verify_program_schedules,
         "caching": verify_program_caching,
+        "compiled": verify_program_compiled,
     }[args.compare]
     failures = 0
     verified = []
@@ -630,6 +754,17 @@ def main(argv=None):
                 "ok   %-24s cached run never slower  (%d auto-cache(s))"
                 % (verification.name, verification.elisions)
             )
+        elif args.compare == "compiled":
+            print(
+                "ok   %-24s interpreted == compiled  "
+                "(%d chain(s) compiled, wall %.3fs -> %.3fs)"
+                % (
+                    verification.name,
+                    verification.elisions,
+                    verification.seconds_interpreted,
+                    verification.seconds_compiled,
+                )
+            )
         else:
             print(
                 "ok   %-24s serial == dag  (shuffle %d, %d elisions)"
@@ -653,6 +788,19 @@ def main(argv=None):
             "verified on the %s backend, %d failure(s), %d auto-cache "
             "decision(s)"
             % (len(verified), args.backend, failures, total_caches)
+        )
+    elif args.compare == "compiled":
+        total_chains = sum(v.elisions for v in verified)
+        wall_base = sum(v.seconds_interpreted for v in verified)
+        wall_comp = sum(v.seconds_compiled for v in verified)
+        print(
+            "repro.analysis.equivalence: %d program(s) compile-"
+            "verified on the %s backend, %d failure(s), %d chain(s) "
+            "compiled, wall %.3fs interpreted vs %.3fs compiled"
+            % (
+                len(verified), args.backend, failures, total_chains,
+                wall_base, wall_comp,
+            )
         )
     else:
         print(

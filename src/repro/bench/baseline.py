@@ -8,7 +8,11 @@ scheduler, a service-mode pair (``serve-pagerank-cold`` /
 long-lived :mod:`repro.serve` daemon, and a reuse-heavy pair
 (``reuse-baseline`` / ``reuse-autocache``) where the only difference
 is ``optimize_caching``, so the row delta is the simulated seconds the
-verified auto-``cache()`` rewrite saves -- measured into one
+verified auto-``cache()`` rewrite saves, and a compiled-pipeline pair
+(``pipeline-interpreted`` / ``pipeline-compiled``) where the only
+difference is ``compile_pipelines`` -- identical simulated seconds by
+construction, with the compiled row's measured wall-clock the
+observable win -- measured into one
 :class:`~repro.observe.RunReport`.  Every
 cell runs under both stage schedules (``serial`` and ``dag``; the DAG
 rows carry a ``+dag`` system suffix), so the gate holds the DAG
@@ -68,6 +72,13 @@ _BRANCH_TASK_SLEEP_S = 0.05
 _SERVE_REPEATS = 3
 _SERVE_PAGERANK_ITERS = 2
 _SERVE_WARM_BYTES = 256 * 1024 * 1024
+
+#: The pipeline cell: records per group for the interpreted-vs-compiled
+#: pair.  Large enough that the per-record interpreter overhead (step
+#: dispatch, ``call_udf`` frames, ``unwrap`` checks) dominates the
+#: measured wall-clock, so the compiled row's speedup is stable across
+#: hosts.
+_PIPELINE_RECORDS_PER_GROUP = 8192
 
 #: The reuse cell: how many identical jobs consume the same shared,
 #: deliberately *uncached* feature subtree.  With ``optimize_caching``
@@ -261,6 +272,72 @@ def _auto_cache_cell(system, groups, scheduler="serial"):
     return run_measured(config, system, groups, program)
 
 
+def _pipe_scale(x):
+    return x * 3 + 1
+
+
+def _pipe_mix(x):
+    return x ^ (x >> 3)
+
+
+def _pipe_keep(x):
+    return x % 7 != 0
+
+
+def _pipe_shift(x):
+    return x * 2 - 5
+
+
+def _pipe_sparse(x):
+    return x % 11 != 3
+
+
+def _pipe_offset(x):
+    return x + 13
+
+
+def _pipe_bucket(x):
+    return x % 1000
+
+
+def _pipeline_cell(system, groups, scheduler="serial"):
+    """A map/filter-heavy fused chain, interpreted vs compiled.
+
+    The two rows differ only in ``compile_pipelines``: the interpreted
+    row runs the chain through :class:`FusedPipelineTask`'s per-record
+    step machine, the compiled row through the generated specialized
+    loop (:mod:`repro.engine.codegen`).  Simulated seconds are
+    *identical by construction* -- the compiled loop credits exactly
+    the interpreter's per-operator record counts -- so the gated metric
+    cannot regress; the interesting delta is the recorded measured
+    wall-clock, where the compiled row must be at least ~2x faster on
+    the serial backend (asserted by the baseline tests).  The UDFs are
+    module-level and provably pure on purpose: a lambda here would fall
+    back to the interpreter and collapse the wall-clock delta.
+    """
+    config, system = _scheduled(_cluster(2.0, 512), system, scheduler)
+    config = replace(
+        config,
+        compile_pipelines=system.startswith("pipeline-compiled"),
+    )
+    n = groups * _PIPELINE_RECORDS_PER_GROUP
+
+    def program(ctx):
+        return (
+            ctx.bag_of(range(n), num_partitions=8)
+            .map(_pipe_scale)
+            .map(_pipe_mix)
+            .filter(_pipe_keep)
+            .map(_pipe_shift)
+            .filter(_pipe_sparse)
+            .map(_pipe_offset)
+            .map(_pipe_bucket)
+            .count()
+        )
+
+    return run_measured(config, system, groups, program)
+
+
 #: The full matrix: system name -> cell runner; every system runs at
 #: every group count in ``_GROUP_COUNTS`` under every scheduler in
 #: ``_SCHEDULERS``.
@@ -276,6 +353,8 @@ CELLS = {
     "serve-pagerank-warm": _serve_pagerank_cell,
     "reuse-baseline": _auto_cache_cell,
     "reuse-autocache": _auto_cache_cell,
+    "pipeline-interpreted": _pipeline_cell,
+    "pipeline-compiled": _pipeline_cell,
 }
 
 

@@ -13,6 +13,7 @@ Public surface:
 
 from .bag import Bag, JoinHint
 from .broadcast import Broadcast
+from .columnar import ColumnarPartition
 from .config import (
     GB,
     MB,
@@ -47,6 +48,7 @@ __all__ = [
     "Bag",
     "Broadcast",
     "ClusterConfig",
+    "ColumnarPartition",
     "CostBreakdown",
     "CostModel",
     "EngineContext",

@@ -372,7 +372,8 @@ class Bag:
         self.node.label = label
         return self
 
-    def explain(self, compact=False, properties=False, effects=False):
+    def explain(self, compact=False, properties=False, effects=False,
+                compile=False):
         """Textual rendering of this bag's plan tree.
 
         Every node carries a stable ``#id`` and an inferred partition
@@ -393,24 +394,40 @@ class Bag:
         tokens for purity, determinism, and I/O -- e.g.
         ``[pure det io-free]`` when all proven, ``[pure? nondet io?]``
         with ``?`` marking unknown and the bare negative a refutation.
+
+        ``compile=True`` annotates the top of every fused elementwise
+        chain with ``compiled=yes(<fingerprint>)`` or
+        ``compiled=no(<reason>)`` -- whether the chain would run as a
+        generated specialized loop under
+        ``ClusterConfig(compile_pipelines=True)``, and if not, why it
+        falls back to the interpreter (see
+        :mod:`repro.engine.codegen`).
         """
         notes = None
         if properties:
             from ..analysis.properties import partitioning_notes
 
             notes = partitioning_notes(self.node)
+
+        def _merge(extra):
+            nonlocal notes
+            if notes is None:
+                notes = extra
+                return
+            for key, text in extra.items():
+                notes[key] = (
+                    "%s; %s" % (notes[key], text)
+                    if notes.get(key) else text
+                )
+
         if effects:
             from ..analysis.effects import effects_notes
 
-            effect_notes = effects_notes(self.node)
-            if notes is None:
-                notes = effect_notes
-            else:
-                for key, text in effect_notes.items():
-                    notes[key] = (
-                        "%s; %s" % (notes[key], text)
-                        if notes.get(key) else text
-                    )
+            _merge(effects_notes(self.node))
+        if compile:
+            from .codegen import compile_notes
+
+            _merge(compile_notes(self.node))
         if compact:
             return p.explain_compact(self.node, notes=notes)
         ids = p.assign_node_ids(self.node)

@@ -1,0 +1,403 @@
+"""Textual code generation for fused elementwise chains.
+
+The interpreted :class:`~repro.engine.runtime.task.FusedPipelineTask`
+evaluates a fused map/filter/flat_map chain with a per-record stack
+machine: every record pays a step-tuple unpack, a ``call_udf``
+try/except, an :func:`~repro.engine.work.unwrap` isinstance check, and
+a counter update *per operator*.  Following Flare's approach of
+compiling Spark's interpreted operator pipelines to straight-line
+code, this module generates Python source for one specialized function
+per chain -- a single nested loop with direct UDF calls and no
+per-operator dispatch -- compiles it once, and caches it by the
+chain's AST fingerprint.
+
+The generated function must be *observationally identical* to the
+interpreter, including the cost model's inputs: it returns the same
+``(records, counts, works)`` triple, where ``counts[i]`` is the number
+of records operator ``i`` processed.  Counts are maintained with one
+counter per cardinality-changing step (filters and flat_maps) instead
+of one increment per record per operator -- operators between two such
+boundaries share the boundary's count.
+
+Fallback rules (the chain stays on the interpreter, with the reason
+recorded in an ``Optimizer.Decision``):
+
+* a UDF's purity is refuted or unknown
+  (:func:`repro.analysis.effects.analyze_effects` must *prove* it);
+* a UDF (or any helper it calls) can produce
+  :class:`~repro.engine.work.Weighted` results -- the generated loop
+  does per-record work accounting away, so it must be provable that
+  there is none to account;
+* a UDF has no recoverable source (no AST fingerprint, no cache key).
+
+Compiled functions are cached per process keyed by the chain
+fingerprint; the picklable task object
+(:class:`~repro.engine.runtime.task.CompiledPipelineTask`) carries
+only the source text and the key, so worker processes compile at most
+once per distinct chain.
+"""
+
+import ast
+import hashlib
+import threading
+import types
+import weakref
+
+from .runtime.task import (
+    STEP_FILTER,
+    STEP_FLATMAP,
+    STEP_MAP,
+    CompiledPipelineTask,
+)
+from .work import Weighted
+
+__all__ = [
+    "chain_compilability",
+    "chain_fingerprint",
+    "compile_notes",
+    "generate_source",
+    "compiled_pipeline_fn",
+    "plan_compiled_task",
+]
+
+#: How deep the Weighted-escape scan follows resolvable helper calls.
+_WEIGHTED_SCAN_DEPTH = 4
+
+#: Per-process cache of compiled pipeline functions, keyed by chain
+#: fingerprint.  Shared by the driver and (after fork/pickle) each
+#: worker process builds its own on first use.
+_COMPILED = {}
+_COMPILED_LOCK = threading.Lock()
+
+_STEP_NAMES = {
+    STEP_MAP: "map",
+    STEP_FILTER: "filter",
+    STEP_FLATMAP: "flat_map",
+}
+
+#: Per-UDF compilability memo: function object -> (fingerprint | None,
+#: reason | None).  Iterative programs re-evaluate the same chains
+#: every superstep; the AST fingerprint and Weighted scan are pure
+#: functions of the live function object, so memoize per object (weak
+#: keys: dropping a UDF drops its entry).  ``analyze_effects`` keeps
+#: its own cache.
+_UDF_MEMO = weakref.WeakKeyDictionary()
+_UDF_MEMO_LOCK = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# Gating: which chains may compile
+# ----------------------------------------------------------------------
+
+
+def _unwrap_callable(fn):
+    fn = getattr(fn, "original", fn)
+    func = getattr(fn, "func", None)
+    if func is not None and hasattr(fn, "keywords"):
+        return _unwrap_callable(func)
+    bound = getattr(fn, "__func__", None)
+    if bound is not None:
+        return _unwrap_callable(bound)
+    return fn
+
+
+def _resolve_name(fn, name):
+    """A bare name as the UDF would resolve it: closure, then globals."""
+    code = getattr(fn, "__code__", None)
+    closure = getattr(fn, "__closure__", None)
+    if code is not None and closure:
+        for var, cell in zip(code.co_freevars, closure):
+            if var == name:
+                try:
+                    return cell.cell_contents
+                except ValueError:  # pragma: no cover - empty cell
+                    return None
+    return getattr(fn, "__globals__", {}).get(name)
+
+
+def _mentions_weighted(fn, _visited=None, _depth=_WEIGHTED_SCAN_DEPTH):
+    """Can ``fn`` (or a resolvable helper it calls) produce a
+    :class:`Weighted` result?
+
+    Conservative: any syntactic reference to the name ``Weighted``
+    (including via attribute access) counts, an unavailable AST counts,
+    and a resolvable called class that subclasses ``Weighted`` counts.
+    Bare-name calls that do not resolve are ignored -- callers only
+    consult this scan after purity is *proven*, which already required
+    every effectful call to resolve.
+    """
+    from ..analysis.effects import function_ast
+
+    fn = _unwrap_callable(fn)
+    fndef = function_ast(fn)
+    if fndef is None:
+        return True
+    for node in ast.walk(fndef):
+        if isinstance(node, ast.Name) and node.id == "Weighted":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "Weighted":
+            return True
+    if _depth <= 0:
+        return True
+    visited = _visited if _visited is not None else set()
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        if id(code) in visited:
+            return False
+        visited.add(id(code))
+    called = sorted({
+        node.func.id
+        for node in ast.walk(fndef)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+    })
+    for name in called:
+        value = _resolve_name(fn, name)
+        value = getattr(value, "original", value)
+        if value is None:
+            continue
+        if isinstance(value, type):
+            if issubclass(value, Weighted):
+                return True
+            continue
+        if isinstance(value, types.FunctionType):
+            if _mentions_weighted(value, visited, _depth - 1):
+                return True
+    return False
+
+
+def chain_compilability(steps):
+    """``(fingerprint, None)`` when every step may compile, else
+    ``(None, reason)`` naming the first step that cannot.
+
+    ``steps`` are ``(kind, fn, operator)`` triples as built by the
+    executor (see :class:`~repro.engine.runtime.task.FusedPipelineTask`).
+    """
+    fingerprints = []
+    for kind, fn, operator in steps:
+        fingerprint, reason = _udf_compilability(fn)
+        if fingerprint is None:
+            return None, "%s %s" % (operator, reason)
+        fingerprints.append((_STEP_NAMES[kind], fingerprint))
+    return chain_fingerprint(fingerprints), None
+
+
+def _udf_compilability(fn):
+    """``(fingerprint, None)`` or ``(None, reason-sans-operator)`` for
+    one UDF, memoized per function object."""
+    try:
+        cached = _UDF_MEMO.get(fn)
+    except TypeError:  # pragma: no cover - non-weakref-able callable
+        cached = None
+        memoizable = False
+    else:
+        memoizable = True
+    if cached is not None:
+        return cached
+    result = _udf_compilability_uncached(fn)
+    if memoizable:
+        with _UDF_MEMO_LOCK:
+            _UDF_MEMO[fn] = result
+    return result
+
+
+def _udf_compilability_uncached(fn):
+    from ..analysis.effects import analyze_effects, fingerprint_function
+
+    report = analyze_effects(fn)
+    if report.pure is False:
+        return None, "is impure"
+    if report.pure is not True:
+        return None, "purity unproven"
+    if _mentions_weighted(fn):
+        return None, "may return Weighted"
+    fingerprint = fingerprint_function(fn)
+    if fingerprint is None:
+        return None, "has no recoverable source"
+    return fingerprint, None
+
+
+def chain_fingerprint(kind_fingerprint_pairs):
+    """Stable hex key for a chain of (step kind, UDF fingerprint)."""
+    digest = hashlib.sha256()
+    for kind, fingerprint in kind_fingerprint_pairs:
+        digest.update(("%s:%s\n" % (kind, fingerprint)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Source generation
+# ----------------------------------------------------------------------
+
+
+def generate_source(kinds, name="_pipeline"):
+    """Python source of the specialized loop for a chain's step kinds.
+
+    The function takes ``(_part, _udfs)`` and returns
+    ``(_out, counts)`` with exactly the per-operator counts the
+    interpreter reports: every operator is counted once per record
+    *entering* it, so one counter per filter/flat_map boundary
+    suffices.  The source depends only on the step-kind sequence; UDFs
+    are passed in at call time, which keeps the compiled code object
+    free of closure state.
+    """
+    num = len(kinds)
+    if num == 0:
+        raise ValueError("cannot generate a pipeline with no steps")
+    lines = [
+        "def %s(_part, _udfs):" % name,
+        "    %s = _udfs" % "".join("_f%d, " % i for i in range(num)),
+        "    _out = []",
+        "    _append = _out.append",
+        "    _n = len(_part)",
+    ]
+    # A counter only exists where cardinality changes *and* a later
+    # operator consumes the changed count.
+    counted = [
+        i
+        for i, kind in enumerate(kinds[:-1])
+        if kind in (STEP_FILTER, STEP_FLATMAP)
+    ]
+    for i in counted:
+        lines.append("    _c%d = 0" % i)
+    lines.append("    for _v0 in _part:")
+    indent = 2
+    var = 0
+    count_exprs = []
+    current = "_n"
+    for i, kind in enumerate(kinds):
+        pad = "    " * indent
+        count_exprs.append(current)
+        if kind == STEP_MAP:
+            lines.append("%s_v%d = _f%d(_v%d)" % (pad, var + 1, i, var))
+            var += 1
+        elif kind == STEP_FILTER:
+            lines.append("%sif not _f%d(_v%d):" % (pad, i, var))
+            lines.append("%s    continue" % pad)
+            if i in counted:
+                lines.append("%s_c%d += 1" % (pad, i))
+                current = "_c%d" % i
+        elif kind == STEP_FLATMAP:
+            lines.append(
+                "%sfor _v%d in _f%d(_v%d):" % (pad, var + 1, i, var)
+            )
+            indent += 1
+            var += 1
+            if i in counted:
+                lines.append("%s_c%d += 1" % ("    " * indent, i))
+                current = "_c%d" % i
+        else:
+            raise ValueError("unknown step kind %r" % (kind,))
+    lines.append("%s_append(_v%d)" % ("    " * indent, var))
+    lines.append("    return _out, [%s]" % ", ".join(count_exprs))
+    return "\n".join(lines) + "\n"
+
+
+def compiled_pipeline_fn(key, source, name="_pipeline"):
+    """The compiled callable for ``source``, cached per process."""
+    fn = _COMPILED.get(key)
+    if fn is not None:
+        return fn
+    with _COMPILED_LOCK:
+        fn = _COMPILED.get(key)
+        if fn is None:
+            namespace = {}
+            code = compile(source, "<repro.codegen %s>" % key, "exec")
+            exec(code, namespace)
+            fn = namespace[name]
+            _COMPILED[key] = fn
+    return fn
+
+
+def compiled_cache_size():
+    """Number of distinct chains compiled in this process."""
+    return len(_COMPILED)
+
+
+def clear_compiled_cache():
+    """Drop every cached compiled pipeline (test isolation hook)."""
+    with _COMPILED_LOCK:
+        _COMPILED.clear()
+
+
+# ----------------------------------------------------------------------
+# Planning entry point (the executor calls this per fused chain)
+# ----------------------------------------------------------------------
+
+
+def plan_compiled_task(steps, tracer=None):
+    """A :class:`CompiledPipelineTask` for ``steps``, or
+    ``(None, reason)`` when the chain must stay interpreted.
+
+    Compilation happens at most once per chain fingerprint per
+    process; a cache hit builds the (cheap, picklable) task object
+    without touching ``compile``.  On a miss, a ``codegen`` span is
+    emitted through ``tracer`` covering source generation and
+    compilation.
+
+    Returns ``(task, None)`` or ``(None, reason)``.
+    """
+    key, reason = chain_compilability(steps)
+    if key is None:
+        return None, reason
+    kinds = [kind for kind, _fn, _operator in steps]
+    if key in _COMPILED:
+        source = generate_source(kinds)
+        return CompiledPipelineTask(steps, source, key), None
+    operator = "+".join(operator for _kind, _fn, operator in steps)
+    if tracer is not None and tracer.enabled:
+        from ..observe.events import KIND_CODEGEN
+
+        with tracer.span(
+            "codegen:%s" % operator,
+            KIND_CODEGEN,
+            chain=operator,
+            steps=len(steps),
+            key=key,
+        ) as args:
+            source = generate_source(kinds)
+            compiled_pipeline_fn(key, source)
+            args["source_lines"] = source.count("\n")
+    else:
+        source = generate_source(kinds)
+        compiled_pipeline_fn(key, source)
+    return CompiledPipelineTask(steps, source, key), None
+
+
+# ----------------------------------------------------------------------
+# Explain support
+# ----------------------------------------------------------------------
+
+
+def compile_notes(root):
+    """Per-node notes for ``Bag.explain(compile=True)``.
+
+    Each fused chain's top node is annotated ``compiled=yes(<key>)``
+    or ``compiled=no(<reason>)``, mirroring what the executor would
+    decide with ``compile_pipelines`` on.
+    """
+    from . import dag
+    from . import plan as p
+
+    notes = {}
+    for unit in dag.plan_units(root):
+        if unit.chain is None:
+            continue
+        steps = []
+        for op in unit.chain:
+            if isinstance(op, p.Map):
+                kind = STEP_MAP
+            elif isinstance(op, p.Filter):
+                kind = STEP_FILTER
+            else:
+                kind = STEP_FLATMAP
+            name = op.name
+            if op.label:
+                name += "[%s]" % op.label
+            steps.append((kind, op.fn, name))
+        key, reason = chain_compilability(steps)
+        if key is not None:
+            notes[id(unit.node)] = "compiled=yes(%s)" % key
+        else:
+            notes[id(unit.node)] = "compiled=no(%s)" % reason
+    return notes

@@ -57,6 +57,11 @@ def _default_speculative_execution():
     return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
+def _default_compile_pipelines():
+    raw = os.environ.get("REPRO_COMPILE", "0")
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the simulated cluster.
@@ -191,6 +196,21 @@ class ClusterConfig:
     #: variable.
     speculative_execution: bool = field(
         default_factory=_default_speculative_execution
+    )
+    #: Execute fused elementwise chains as generated, specialized loop
+    #: functions over columnar partitions (:mod:`repro.engine.codegen`
+    #: and :mod:`repro.engine.columnar`) instead of the interpreted
+    #: per-record pipeline -- but only for chains whose UDFs the effect
+    #: analysis *proves* pure and free of
+    #: :class:`~repro.engine.work.Weighted` results; anything unproven
+    #: falls back to the interpreter with the reason recorded as an
+    #: optimizer decision.  Results, trace signatures, and simulated
+    #: seconds are identical either way (see ``--compare compiled`` in
+    #: :mod:`repro.analysis.equivalence`); only measured wall-clock
+    #: changes.  Off by default; defaults to the ``REPRO_COMPILE``
+    #: environment variable.
+    compile_pipelines: bool = field(
+        default_factory=_default_compile_pipelines
     )
 
     def __post_init__(self):

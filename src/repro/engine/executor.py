@@ -57,8 +57,10 @@ from ..observe.events import (
     KIND_SHUFFLE,
     gather_lane,
 )
+from . import codegen
 from . import dag
 from . import plan as p
+from .columnar import as_records, maybe_columnar
 from .optimize import (
     plan_auto_caches,
     plan_shuffle_elisions,
@@ -404,6 +406,16 @@ class Executor:
         wherever the backend puts it; each operator is then credited
         its input record count (plus reported UDF work) on the input's
         stage, exactly as unfused evaluation would.
+
+        With ``config.compile_pipelines`` on, chains whose UDFs pass
+        the codegen gate run as one generated, specialized loop
+        (:class:`~repro.engine.runtime.task.CompiledPipelineTask`)
+        instead, and output partitions are re-encoded columnar at the
+        fusion boundary when their records pack
+        (:mod:`repro.engine.columnar`).  Either way the credited
+        counts -- and with them the simulated seconds -- are identical;
+        the per-chain compile-or-fallback choice is recorded as a
+        ``compiled-pipeline`` optimizer decision.
         """
         steps = []
         for op in chain:
@@ -415,7 +427,15 @@ class Executor:
                 steps.append((STEP_FLATMAP, op.fn, _origin(op)))
         factor = self.config.sequential_work_factor
         stage = child.stage
-        task = FusedPipelineTask(steps)
+        compiled = self.config.compile_pipelines
+        task = None
+        if compiled:
+            task, reason = codegen.plan_compiled_task(
+                steps, tracer=self.tracer
+            )
+            self._record_compile_decision(steps, task, reason)
+        if task is None:
+            task = FusedPipelineTask(steps)
         results = self.scheduler.run_stage(
             task,
             [(part,) for part in child.partitions],
@@ -424,7 +444,7 @@ class Executor:
         )
         out = []
         for index, (records, counts, works) in enumerate(results):
-            out.append(records)
+            out.append(maybe_columnar(records) if compiled else records)
             for i in range(len(steps)):
                 stage.add_task_records(index, counts[i])
                 if works[i]:
@@ -434,21 +454,52 @@ class Executor:
                     stage.add_task_records(index, int(works[i] * factor))
         return _Result(out, stage)
 
+    def _record_compile_decision(self, steps, task, reason):
+        """Log one ``compiled-pipeline`` decision for a fused chain."""
+        from ..core.optimizer import Decision
+
+        operator = "+".join(step[2] for step in steps)
+        if task is not None:
+            decision = Decision(
+                kind="compiled-pipeline",
+                choice="compile",
+                num_tags=len(steps),
+                detail="%s compiled as %s" % (operator, task.key),
+            )
+        else:
+            decision = Decision(
+                kind="compiled-pipeline",
+                choice="interpret",
+                num_tags=len(steps),
+                detail="%s: %s" % (operator, reason),
+            )
+        with self._state_lock:
+            self.decisions.append(decision)
+
     # -- other narrow operators ----------------------------------------
 
     def _eval_map_partitions(self, node, child, ordinals):
         task = MapPartitionsTask(node.fn, _origin(node))
-        out = self.scheduler.run_stage(
+        results = self.scheduler.run_stage(
             task,
             [
-                (part, index)
+                # The UDF's contract is a real list, whatever the
+                # upstream boundary produced.
+                (as_records(part), index)
                 for index, part in enumerate(child.partitions)
             ],
             stage=child.stage,
             ordinal=ordinals.take(),
         )
-        for index, part in enumerate(child.partitions):
-            child.stage.add_task_records(index, len(part))
+        factor = self.config.sequential_work_factor
+        out = []
+        for index, (records, work) in enumerate(results):
+            out.append(records)
+            child.stage.add_task_records(
+                index, len(child.partitions[index])
+            )
+            if work:
+                child.stage.add_task_records(index, int(work * factor))
         return _Result(out, child.stage)
 
     def _eval_zip_with_unique_id(self, node, child):
@@ -591,6 +642,26 @@ class Executor:
                 counts[key] = counts.get(key, 0) + 1
         return build_balanced_assignment(counts, num_partitions)
 
+    def _combine_pass(self, task, parts, stage, ordinal):
+        """Run one combine task set; credit reported UDF work.
+
+        Returns the combined partitions.  ``CombineTask`` reports the
+        ``Weighted`` work its reductions declared; it is charged to
+        the same stage (and task index) the reductions ran on, at the
+        sequential-work slowdown, like every other UDF's work.
+        """
+        results = self.scheduler.run_stage(
+            task, [(part,) for part in parts], stage=stage,
+            ordinal=ordinal,
+        )
+        factor = self.config.sequential_work_factor
+        out = []
+        for index, (records, work) in enumerate(results):
+            out.append(records)
+            if work:
+                stage.add_task_records(index, int(work * factor))
+        return out
+
     def _eval_reduce_by_key(self, node, job, child, elisions, ordinals):
         task = CombineTask(node.fn, _origin(node))
         elision = self._planned_elision(node, child.partitions, elisions)
@@ -604,12 +675,13 @@ class Executor:
             stage = job.new_stage(
                 "shuffle", meta=node.meta, origin=_origin(node)
             )
-            out = self.scheduler.run_stage(
-                task, [(part,) for part in child.partitions], stage=stage,
-                ordinal=ordinals.take(),
+            for _ in child.partitions:
+                stage.task_records.append(0)
+            out = self._combine_pass(
+                task, child.partitions, stage, ordinals.take()
             )
-            for bucket in out:
-                stage.task_records.append(len(bucket))
+            for index, bucket in enumerate(out):
+                stage.add_task_records(index, len(bucket))
             stage.shuffle_records_saved = sum(len(b) for b in out)
             self._account_spill(stage)
             self._record_elision(node, elision)
@@ -618,19 +690,13 @@ class Executor:
         # shuffle only moves one record per (partition, key) pair.  The
         # same combine task runs on both sides of the shuffle.
         combined = _Result(
-            self.scheduler.run_stage(
-                task,
-                [(part,) for part in child.partitions],
-                stage=child.stage,
-                ordinal=ordinals.take(),
+            self._combine_pass(
+                task, child.partitions, child.stage, ordinals.take()
             ),
             child.stage,
         )
         buckets, stage = self._shuffle(combined, node, job)
-        out = self.scheduler.run_stage(
-            task, [(bucket,) for bucket in buckets], stage=stage,
-            ordinal=ordinals.take(),
-        )
+        out = self._combine_pass(task, buckets, stage, ordinals.take())
         self._account_spill(stage)
         return _Result(out, stage)
 

@@ -102,8 +102,68 @@ class FusedPipelineTask:
         return out, counts, [work[0] for work in works]
 
 
+class CompiledPipelineTask:
+    """A fused chain specialized into one generated loop function.
+
+    Built by :mod:`repro.engine.codegen` for chains whose UDFs are
+    proven pure and Weighted-free; observationally identical to
+    :class:`FusedPipelineTask` (same records, same per-operator
+    counts, ``works`` all zero -- which the compile gate guarantees the
+    interpreter would also report).
+
+    Carries only picklable state: the steps (for operator names, UDFs,
+    and the interpreted-fallback contract), the generated source text,
+    and the chain-fingerprint cache key.  The code object itself is
+    compiled lazily -- at most once per key per process -- so the task
+    ships across the process-pool boundary as cheaply as the
+    interpreted one.
+    """
+
+    __slots__ = ("steps", "source", "key", "_fn")
+
+    def __init__(self, steps, source, key):
+        self.steps = list(steps)
+        self.source = source
+        self.key = key
+        self._fn = None
+
+    @property
+    def operator(self):
+        return "+".join(step[2] for step in self.steps)
+
+    @property
+    def udfs(self):
+        return tuple(step[1] for step in self.steps)
+
+    def __reduce__(self):
+        return (CompiledPipelineTask, (self.steps, self.source, self.key))
+
+    def __call__(self, part):
+        fn = self._fn
+        if fn is None:
+            from ...engine.codegen import compiled_pipeline_fn
+
+            fn = self._fn = compiled_pipeline_fn(self.key, self.source)
+        try:
+            out, counts = fn(part, tuple(step[1] for step in self.steps))
+        except (SimulatedOutOfMemory, UdfError):
+            raise
+        except Exception as exc:
+            # The specialized loop has no per-call wrapper; attribute
+            # the failure to the whole chain.
+            raise UdfError(self.operator, exc) from exc
+        return out, counts, [0] * len(self.steps)
+
+
 class MapPartitionsTask:
-    """Apply ``fn(items, partition_index)`` to one whole partition."""
+    """Apply ``fn(items, partition_index)`` to one whole partition.
+
+    Returns ``(records, work)``: a UDF that processes the partition
+    record-at-a-time internally may wrap its result in
+    :class:`~repro.engine.work.Weighted`, and the declared work is
+    credited to the stage exactly as the fused elementwise steps
+    credit theirs.
+    """
 
     __slots__ = ("fn", "operator")
 
@@ -116,7 +176,11 @@ class MapPartitionsTask:
         return (self.fn,)
 
     def __call__(self, part, index):
-        return list(call_udf(self.operator, self.fn, part, index))
+        work = [0]
+        result = unwrap(
+            call_udf(self.operator, self.fn, part, index), work
+        )
+        return list(result), work[0]
 
 
 class CombineTask:
@@ -124,7 +188,10 @@ class CombineTask:
 
     Folds ``(key, value)`` records into one record per key with the
     user's reduce function; used unchanged on both sides of the
-    shuffle.
+    shuffle.  Returns ``(records, work)``: each reduction's result is
+    unwrapped like every other UDF result, so a ``Weighted``-returning
+    reducer credits its declared work instead of leaking wrapper
+    objects into the shuffle.
     """
 
     __slots__ = ("fn", "operator")
@@ -138,15 +205,19 @@ class CombineTask:
         return (self.fn,)
 
     def __call__(self, records):
+        work = [0]
         acc = {}
         for record in records:
             require_keyed(record)
             key, value = record
             if key in acc:
-                acc[key] = call_udf(self.operator, self.fn, acc[key], value)
+                acc[key] = unwrap(
+                    call_udf(self.operator, self.fn, acc[key], value),
+                    work,
+                )
             else:
                 acc[key] = value
-        return list(acc.items())
+        return list(acc.items()), work[0]
 
 
 class GroupBucketTask:

@@ -37,6 +37,10 @@ KIND_STRAGGLER = "straggler"    # a task ran far beyond its set's median
 #: legitimately observe a different result.
 KIND_NONDETERMINISTIC_RETRY = "nondeterministic_retry"
 KIND_SPECULATION = "speculation"  # a proven-safe straggler re-dispatch
+#: One fused chain compiled to a specialized loop function (span
+#: covering source generation + ``compile``; emitted once per distinct
+#: chain fingerprint per process, never per task or per record).
+KIND_CODEGEN = "codegen"
 
 ALL_KINDS = (
     KIND_DRIVER,
@@ -52,6 +56,7 @@ ALL_KINDS = (
     KIND_STRAGGLER,
     KIND_NONDETERMINISTIC_RETRY,
     KIND_SPECULATION,
+    KIND_CODEGEN,
 )
 
 #: Kinds that form the span hierarchy (everything else is an instant or

@@ -1,0 +1,98 @@
+"""The compiled-vs-interpreted mode of the differential verifier."""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    EquivalenceError,
+    main,
+    verify_library_compiled,
+    verify_program_compiled,
+)
+
+
+def _scale(x):
+    return x * 3 + 1
+
+
+def _keep(x):
+    return x % 7 != 0
+
+
+def _split(x):
+    return [x, x + 1]
+
+
+def _key(x):
+    return (x % 5, x)
+
+
+def _add(a, b):
+    return a + b
+
+
+def chain_program(ctx):
+    return sorted(
+        ctx.bag_of(range(120), num_partitions=4)
+        .map(_scale)
+        .filter(_keep)
+        .flat_map(_split)
+        .map(_key)
+        .reduce_by_key(_add)
+        .collect()
+    )
+
+
+def test_verify_program_compiled_passes():
+    verification = verify_program_compiled(
+        chain_program, name="chain"
+    )
+    assert verification.name == "chain"
+    assert verification.elisions >= 1  # at least one chain compiled
+    assert verification.seconds_interpreted > 0
+    assert verification.seconds_compiled > 0
+    # The signature check pins identical shuffle volume.
+    assert (
+        verification.shuffle_records
+        == verification.shuffle_records_optimized
+    )
+
+
+def test_unprovable_udfs_still_verify():
+    # A chain the compiler refuses still passes: the compiled run just
+    # falls back to the interpreter, and the comparison is off-vs-on of
+    # the *flag*, not of compilation success.
+    state = {"calls": 0}
+
+    def impure(x):
+        state["calls"] += 1
+        return x + 1
+
+    def program(ctx):
+        return sorted(ctx.bag_of(range(20)).map(impure).collect())
+
+    verification = verify_program_compiled(program, name="impure")
+    assert verification.elisions == 0
+
+
+def test_verify_library_compiled_subset():
+    subset = verify_library_compiled(only=["bounce-rate-flat"])
+    assert len(subset) == 1
+    assert subset[0].name == "bounce-rate-flat"
+
+
+def test_detects_result_divergence():
+    def rigged(ctx):
+        return [1] if ctx.config.compile_pipelines else [0]
+
+    with pytest.raises(EquivalenceError, match="signature|result"):
+        verify_program_compiled(rigged, name="rigged-result")
+
+
+def test_cli_compare_compiled(capsys):
+    code = main(
+        ["--compare", "compiled", "--only", "matrix-row-norms"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "interpreted == compiled" in out
+    assert "compile-verified" in out

@@ -1,4 +1,4 @@
-"""The engine baseline matrix: the service-mode cold/warm cells.
+"""The engine baseline matrix: the service-mode and pipeline cells.
 
 The ``serve-pagerank-*`` pair runs repeated PageRank jobs through one
 long-lived :class:`repro.serve.JobService`; the only difference between
@@ -6,6 +6,12 @@ the rows is the artifact budget, so warm must beat cold by exactly the
 cost the cache removes -- and the committed ``BENCH_engine.json``
 snapshot must show the same advantage, since ``--check-regressions``
 gates it.
+
+The ``pipeline-*`` pair differs only in ``compile_pipelines``: the
+compiled row must simulate *exactly* the interpreted row's seconds
+(the generated loop credits identical per-operator counts) while its
+measured wall-clock -- recorded in the committed snapshot -- must be
+at least 2x lower on the serial rows.
 """
 
 import json
@@ -14,12 +20,19 @@ from pathlib import Path
 from repro.bench.baseline import (
     _GROUP_COUNTS,
     _SCHEDULERS,
+    _pipeline_cell,
     _serve_pagerank_cell,
     BASELINE_FILENAME,
     CELLS,
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Wall-clock advantage the committed compiled rows must show over the
+#: interpreted rows on the serial backend (the live-run assertion uses
+#: a softer floor -- CI machines are noisy, the snapshot was not).
+_COMMITTED_SPEEDUP_FLOOR = 2.0
+_LIVE_SPEEDUP_FLOOR = 1.3
 
 
 class TestServeCells:
@@ -61,3 +74,57 @@ class TestServeCells:
                 cold = rows["serve-pagerank-cold" + suffix, groups]
                 warm = rows["serve-pagerank-warm" + suffix, groups]
                 assert warm < cold
+
+
+class TestPipelineCells:
+    def test_matrix_includes_pipeline_pair(self):
+        assert "pipeline-interpreted" in CELLS
+        assert "pipeline-compiled" in CELLS
+
+    def test_compiled_simulates_identical_seconds(self):
+        interpreted = _pipeline_cell("pipeline-interpreted", 4)
+        compiled = _pipeline_cell("pipeline-compiled", 4)
+        assert interpreted.status == "ok"
+        assert compiled.status == "ok"
+        # Not approximately: the generated loop credits exactly the
+        # interpreter's per-operator record counts, so the cost model
+        # sees the same trace.
+        assert compiled.seconds == interpreted.seconds
+        assert (
+            compiled.entry["totals"]["records"]
+            == interpreted.entry["totals"]["records"]
+        )
+
+    def test_compiled_is_faster_in_wall_clock(self):
+        # Warm both paths once so neither row pays one-time costs
+        # (effect analysis cache, codegen compile) inside the timing.
+        _pipeline_cell("pipeline-interpreted", 4)
+        _pipeline_cell("pipeline-compiled", 4)
+        interpreted = _pipeline_cell("pipeline-interpreted", 16)
+        compiled = _pipeline_cell("pipeline-compiled", 16)
+        speedup = interpreted.measured_seconds / compiled.measured_seconds
+        assert speedup >= _LIVE_SPEEDUP_FLOOR, (
+            "compiled pipeline only %.2fx faster" % speedup
+        )
+
+    def test_committed_snapshot_has_compiled_speedup(self):
+        data = json.loads((REPO_ROOT / BASELINE_FILENAME).read_text())
+        rows = {
+            (entry["system"], entry["x"]): entry
+            for entry in data["entries"]
+        }
+        for groups in _GROUP_COUNTS:
+            interpreted = rows["pipeline-interpreted", groups]
+            compiled = rows["pipeline-compiled", groups]
+            assert (
+                compiled["simulated_seconds"]
+                == interpreted["simulated_seconds"]
+            )
+            ratio = (
+                interpreted["measured_wall_seconds"]
+                / compiled["measured_wall_seconds"]
+            )
+            assert ratio >= _COMMITTED_SPEEDUP_FLOOR, (
+                "committed compiled row at %d groups only %.2fx faster"
+                % (groups, ratio)
+            )

@@ -48,7 +48,7 @@ class TestSerialBackend:
         assert [o.task_index for o in outcomes] == [0, 1, 2, 3]
         assert all(o.ok for o in outcomes)
         assert [o.value for o in outcomes] == [
-            [2, 4], [6], [], [8, 10, 12]
+            ([2, 4], 0), ([6], 0), ([], 0), ([8, 10, 12], 0)
         ]
         assert all(o.worker_pid == os.getpid() for o in outcomes)
 
@@ -80,7 +80,7 @@ class TestProcessPoolBackend:
         )
         assert all(o.ok for o in outcomes)
         assert [o.value for o in outcomes] == [
-            [2, 4], [6], [], [8, 10, 12]
+            ([2, 4], 0), ([6], 0), ([], 0), ([8, 10, 12], 0)
         ]
 
     def test_tasks_run_in_other_processes(self):

@@ -51,6 +51,62 @@ class TestWeighted:
         factor = ctx.config.sequential_work_factor
         assert ctx.trace.total_records - before >= 200 * factor
 
+    def test_weighted_flat_map_mid_chain_unwraps(self, ctx):
+        """Regression: a Weighted-returning flat_map in the *middle* of
+        a fused chain must hand downstream operators plain values (and
+        still credit its work) -- the step machine unwraps at every
+        step, not just the last."""
+        seen = []
+
+        def tag(x):
+            return Weighted([x], 25)
+
+        def probe(x):
+            seen.append(type(x))
+            return x + 1
+
+        before = ctx.trace.total_records
+        out = (
+            ctx.bag_of(range(6))
+            .map(lambda x: x * 10)
+            .flat_map(tag)
+            .map(probe)
+            .collect()
+        )
+        assert sorted(out) == [1, 11, 21, 31, 41, 51]
+        assert all(t is int for t in seen)
+        factor = ctx.config.sequential_work_factor
+        assert ctx.trace.total_records - before >= 6 * 25 * factor
+
+    def test_weighted_reduce_by_key_unwraps_and_credits(self, ctx):
+        """Regression: a Weighted-returning combiner must store the
+        unwrapped value (collect() returns plain ints) and credit its
+        work to the stage."""
+        before = ctx.trace.total_records
+        out = (
+            ctx.bag_of([(i % 2, i) for i in range(8)])
+            .reduce_by_key(lambda a, b: Weighted(a + b, 40))
+            .collect()
+        )
+        assert sorted(out) == [(0, 12), (1, 16)]
+        assert all(type(v) is int for _k, v in out)
+        factor = ctx.config.sequential_work_factor
+        # 6 combine calls (8 records, 2 keys), each worth 40.
+        assert ctx.trace.total_records - before >= 6 * 40 * factor
+
+    def test_weighted_map_partitions_unwraps(self, ctx):
+        before = ctx.trace.total_records
+        out = (
+            ctx.bag_of(range(4), num_partitions=2)
+            .map_partitions(
+                lambda part, _i: Weighted(list(part), 30)
+            )
+            .collect()
+        )
+        assert sorted(out) == [0, 1, 2, 3]
+        factor = ctx.config.sequential_work_factor
+        assert ctx.trace.total_records - before >= 2 * 30 * factor
+
 
 class TestBroadcastHandles:
     def test_value_accessible(self, ctx):
