@@ -17,6 +17,10 @@ at all) to decoration / plan-build time, as flake8-style diagnostics:
   state that outlives the call (NPL501), nondeterminism that retries
   or speculation would observe (NPL502), external I/O (NPL503), and
   auto-cache rewrites suppressed by unproven purity (NPL504).
+* **NPL6xx** (:mod:`schema`) -- record schema & shape findings from
+  whole-plan type inference: join/cogroup key-type mismatch (NPL601),
+  union shape mismatch (NPL602), statically non-hashable shuffle keys
+  (NPL603), and refuted-columnar fused chains (NPL604).
 
 Entry points::
 
@@ -67,6 +71,17 @@ from .properties import (
     partitioning_notes,
     udf_preserves_key,
 )
+from .schema import (
+    ChainSchema,
+    PlanSchemas,
+    chain_schema,
+    columnar_verdict,
+    hashable_verdict,
+    infer_schemas,
+    infer_udf_schema,
+    schema_diagnostics,
+    schema_notes,
+)
 from .udf_lint import first_unsupported, scan_function
 
 __all__ = [
@@ -84,15 +99,22 @@ __all__ = [
     "analyze_plan",
     "analyze_source",
     "analyze_udf",
+    "chain_schema",
+    "ChainSchema",
+    "columnar_verdict",
     "count_by_severity",
     "effect_diagnostics",
     "effects_notes",
     "filter_diagnostics",
     "fingerprint_function",
     "first_unsupported",
+    "hashable_verdict",
     "infer_properties",
+    "infer_schemas",
+    "infer_udf_schema",
     "make_diagnostic",
     "partitioning_notes",
+    "PlanSchemas",
     "plan_effects",
     "plan_fingerprint",
     "render_github",
@@ -100,6 +122,8 @@ __all__ = [
     "render_text",
     "scan_effects",
     "scan_function",
+    "schema_diagnostics",
+    "schema_notes",
     "sort_key",
     "static_resolver",
     "subtree_effects",

@@ -7,10 +7,12 @@ Two layers per file:
    construct lint with file-absolute line numbers.  Nothing is
    imported or executed.
 2. An **import pass** (default, disable with ``--no-import``): import
-   the module and run the NPL2xx closure-serializability pass on each
-   decorated function found at module scope.  Files that cannot be
-   imported degrade to an NPL002 notice -- the static findings stand
-   either way.
+   the module, run the NPL2xx closure-serializability pass on each
+   decorated function found at module scope, and run the full plan
+   lint (NPL3xx smells plus the NPL6xx schema & shape findings from
+   :mod:`repro.analysis.schema`) on each :class:`~repro.engine.bag
+   .Bag` found at module scope.  Files that cannot be imported degrade
+   to an NPL002 notice -- the static findings stand either way.
 
 Exit status is 1 when any diagnostic at or above the ``--fail-on``
 threshold (default ``error``) survives ``--select`` / ``--ignore``
@@ -20,6 +22,7 @@ advisory warnings, while an effects-focused job can pass
 """
 
 import argparse
+import dataclasses
 import importlib
 import importlib.util
 import os
@@ -154,13 +157,17 @@ def _analyze_file(path, do_import=True):
             )
         ]
     diagnostics = analyze_source(source, filename=path)
-    if do_import and ("nested_udf" in source or "lifted" in source):
-        diagnostics.extend(_closure_pass(path))
+    if do_import and (
+        "nested_udf" in source or "lifted" in source
+        or "bag_of" in source
+    ):
+        diagnostics.extend(_import_pass(path))
     return diagnostics
 
 
-def _closure_pass(path):
-    """Import ``path`` and closure-check its decorated UDFs."""
+def _import_pass(path):
+    """Import ``path``; closure-check its decorated UDFs and plan-lint
+    its module-level bags."""
     module, problem = _import_module(path)
     if module is None:
         return [
@@ -184,6 +191,30 @@ def _closure_pass(path):
         diagnostics.extend(
             analyze_closure(original, filename=path)
         )
+    diagnostics.extend(_plan_pass(module, path))
+    return diagnostics
+
+
+def _plan_pass(module, path):
+    """Plan-lint every module-level :class:`Bag` (NPL3xx + NPL6xx).
+
+    Plan findings carry a ``#id NodeKind`` path instead of a source
+    position; the defining file is attached so ``--format github``
+    annotations land on the right file.
+    """
+    # Lazy import: the CLI's static pass must not pull in the engine.
+    from ..engine.bag import Bag
+    from .plan_lint import analyze_plan
+
+    diagnostics = []
+    for name in sorted(vars(module)):
+        obj = vars(module)[name]
+        if not isinstance(obj, Bag):
+            continue
+        for diag in analyze_plan(obj.node, obj.context.config):
+            if not diag.file:
+                diag = dataclasses.replace(diag, file=path)
+            diagnostics.append(diag)
     return diagnostics
 
 

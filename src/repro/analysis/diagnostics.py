@@ -17,6 +17,9 @@ Code families:
   :mod:`repro.analysis.effects` (impure, nondeterministic, or
   I/O-performing UDFs, and auto-cache opportunities the optimizer had
   to pass up).
+* ``NPL6xx`` -- record schema & shape findings from
+  :mod:`repro.analysis.schema` (key-type mismatches, union arity
+  mismatches, unhashable shuffle keys, refuted-columnar chains).
 """
 
 import json
@@ -71,6 +74,11 @@ CODES = {
     "NPL503": (WARNING, "UDF performs external I/O"),
     "NPL504": (INFO, "auto-cache opportunity suppressed: subtree "
                      "purity not proven"),
+    # -- record schemas & shapes ------------------------------------------
+    "NPL601": (WARNING, "join/cogroup key types provably mismatch"),
+    "NPL602": (WARNING, "union branches have mismatched record shapes"),
+    "NPL603": (ERROR, "shuffle key is statically non-hashable"),
+    "NPL604": (INFO, "fused chain schema refutes columnar encoding"),
 }
 
 

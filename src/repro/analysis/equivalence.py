@@ -44,6 +44,15 @@ generated loops must credit exactly the interpreter's per-operator
 record counts, so simulated seconds are equal by construction), and
 reports the measured wall-clock of both runs.
 
+A fifth comparison proves whole-plan schema inference
+(:mod:`repro.analysis.schema`): ``--compare schema`` runs every
+program with ``compile_pipelines=True`` and ``schema_inference`` off
+and on and demands equivalent results, valid traces, an identical
+trace signature, and equal simulated seconds -- the columnar-direct
+loops, probe-free encode commits, and refuted-chain interpreter
+fallbacks the inference unlocks must be pure execution-strategy
+changes, invisible to both values and the cost model.
+
 Run it from the command line (CI does, on both backends and all
 comparisons)::
 
@@ -51,6 +60,7 @@ comparisons)::
     PYTHONPATH=src python -m repro.analysis.equivalence --compare schedulers
     PYTHONPATH=src python -m repro.analysis.equivalence --compare caching
     PYTHONPATH=src python -m repro.analysis.equivalence --compare compiled
+    PYTHONPATH=src python -m repro.analysis.equivalence --compare schema
 """
 
 import argparse
@@ -72,10 +82,12 @@ __all__ = [
     "verify_library_caching",
     "verify_library_compiled",
     "verify_library_schedules",
+    "verify_library_schema",
     "verify_program",
     "verify_program_caching",
     "verify_program_compiled",
     "verify_program_schedules",
+    "verify_program_schema",
     "main",
 ]
 
@@ -686,6 +698,115 @@ def verify_library_compiled(config=None, only=None):
     return verifications
 
 
+# ----------------------------------------------------------------------
+# Schema-inference verification (schema_inference off vs on)
+# ----------------------------------------------------------------------
+
+
+def verify_program_schema(program, config=None, name="<program>"):
+    """Prove one program unchanged by whole-plan schema inference.
+
+    Runs ``program`` twice with ``compile_pipelines=True`` -- once with
+    ``schema_inference=False`` (probe-based columnar encoding, generic
+    compiled loops) and once with ``True`` (columnar-direct loops on
+    proven input schemas, probe-free ``encode_committed`` on proven
+    output schemas, interpreter fallback on refuted/unknown chains) --
+    and demands: equivalent canonicalized results, valid traces, an
+    **identical trace signature** (the direct loops must credit exactly
+    the generic loops' per-operator record counts, so simulated seconds
+    are equal by construction), and directly-equal simulated seconds as
+    a belt-and-braces check.  Measured wall-clock of both runs is
+    recorded for reporting, not asserted on.
+
+    Returns:
+        A :class:`Verification`; ``elisions`` counts the
+        ``columnar-commit`` decisions with ``choice="commit"`` the
+        inferring run made (proven chains that skipped the encode
+        probe), and the ``seconds_*`` fields carry measured wall-clock
+        (``seconds_interpreted`` is the probing run,
+        ``seconds_compiled`` the inferring run).
+
+    Raises:
+        EquivalenceError: When results, signatures, or simulated
+            seconds diverge.
+    """
+    from ..engine.validate import trace_signature
+    from ..observe.report import entry_from_context
+
+    base_config = config if config is not None else laptop_config()
+    runs = {}
+    for inferring in (False, True):
+        ctx = EngineContext(
+            replace(
+                base_config,
+                compile_pipelines=True,
+                schema_inference=inferring,
+            )
+        )
+        try:
+            started = time.perf_counter()
+            result = program(ctx)
+            elapsed = time.perf_counter() - started
+            validate_trace(ctx.trace)
+            runs[inferring] = (
+                result,
+                trace_signature(ctx.trace),
+                entry_from_context(ctx, "schema", name)[
+                    "simulated_seconds"
+                ],
+                elapsed,
+                sum(_job_shuffle(job) for job in ctx.trace.jobs),
+                len(
+                    [
+                        d for d in ctx.optimizer_decisions
+                        if d.kind == "columnar-commit"
+                        and d.choice == "commit"
+                    ]
+                ),
+            )
+        finally:
+            ctx.close()
+    base = runs[False]
+    inferred = runs[True]
+    if inferred[1] != base[1]:
+        raise EquivalenceError(
+            "%s: schema-inferring run produced a different trace "
+            "signature:\n%r\nvs\n%r" % (name, inferred[1], base[1])
+        )
+    if not results_equivalent(base[0], inferred[0]):
+        raise EquivalenceError(
+            "%s: schema-inferring result differs from probing "
+            "result:\n%r\nvs\n%r" % (name, inferred[0], base[0])
+        )
+    if inferred[2] != base[2]:
+        raise EquivalenceError(
+            "%s: schema-inferring run simulates %.9f seconds, probing "
+            "run %.9f -- inference must not change credited work"
+            % (name, inferred[2], base[2])
+        )
+    return Verification(
+        name=name,
+        shuffle_records=base[4],
+        shuffle_records_optimized=inferred[4],
+        shuffle_records_saved=0,
+        elisions=inferred[5],
+        seconds_interpreted=base[3],
+        seconds_compiled=inferred[3],
+    )
+
+
+def verify_library_schema(config=None, only=None):
+    """Schema-verify every registry program; returns Verifications."""
+    verifications = []
+    for name, program in library_programs():
+        if only and not any(fragment in name for fragment in only):
+            continue
+        verifications.append(
+            verify_program_schema(program, config=config, name=name)
+        )
+    return verifications
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.equivalence",
@@ -699,13 +820,14 @@ def main(argv=None):
     )
     parser.add_argument(
         "--compare",
-        choices=("elision", "schedulers", "caching", "compiled"),
+        choices=("elision", "schedulers", "caching", "compiled", "schema"),
         default="elision",
         help="what to differentially verify: shuffle 'elision' "
         "(optimize off vs on; default), stage 'schedulers' "
         "(serial vs dag), effect-gated auto-'caching' "
-        "(optimize_caching off vs on), or 'compiled' fused pipelines "
-        "(compile_pipelines off vs on)",
+        "(optimize_caching off vs on), 'compiled' fused pipelines "
+        "(compile_pipelines off vs on), or whole-plan 'schema' "
+        "inference (schema_inference off vs on, both compiled)",
     )
     parser.add_argument(
         "--workers", type=int, default=2,
@@ -725,6 +847,7 @@ def main(argv=None):
         "schedulers": verify_program_schedules,
         "caching": verify_program_caching,
         "compiled": verify_program_compiled,
+        "schema": verify_program_schema,
     }[args.compare]
     failures = 0
     verified = []
@@ -758,6 +881,17 @@ def main(argv=None):
             print(
                 "ok   %-24s interpreted == compiled  "
                 "(%d chain(s) compiled, wall %.3fs -> %.3fs)"
+                % (
+                    verification.name,
+                    verification.elisions,
+                    verification.seconds_interpreted,
+                    verification.seconds_compiled,
+                )
+            )
+        elif args.compare == "schema":
+            print(
+                "ok   %-24s probing == inferring  "
+                "(%d commit(s), wall %.3fs -> %.3fs)"
                 % (
                     verification.name,
                     verification.elisions,
@@ -800,6 +934,19 @@ def main(argv=None):
             % (
                 len(verified), args.backend, failures, total_chains,
                 wall_base, wall_comp,
+            )
+        )
+    elif args.compare == "schema":
+        total_commits = sum(v.elisions for v in verified)
+        wall_base = sum(v.seconds_interpreted for v in verified)
+        wall_inf = sum(v.seconds_compiled for v in verified)
+        print(
+            "repro.analysis.equivalence: %d program(s) schema-"
+            "verified on the %s backend, %d failure(s), %d columnar "
+            "commit(s), wall %.3fs probing vs %.3fs inferring"
+            % (
+                len(verified), args.backend, failures, total_commits,
+                wall_base, wall_inf,
             )
         )
     else:

@@ -38,6 +38,11 @@ the waste *before* the job runs):
   verdicts (:mod:`repro.analysis.effects`) are not proven pure and
   deterministic.  When the rewrite does fire, the NPL301 for that node
   is suppressed -- the optimizer has already solved it.
+* **NPL6xx** -- record schema & shape findings from
+  :mod:`repro.analysis.schema` (key-type mismatches, union shape
+  mismatches, unhashable shuffle keys, refuted-columnar chains);
+  NPL604 only fires with ``config.compile_pipelines`` on, and NPL001
+  skip notices only with ``config.schema_inference`` on.
 
 NPL4xx findings come from :mod:`repro.analysis.properties`.
 Diagnostics carry the node's stable id (see
@@ -94,6 +99,9 @@ def analyze_plan(root, config=None):
         _check_partitioning(node, props, ref, diags)
         if has_wide:
             _check_unstable_keys(node, ref, diags)
+    from .schema import schema_diagnostics
+
+    diags.extend(schema_diagnostics(root, config))
     return diags
 
 

@@ -8,11 +8,14 @@ scheduler, a service-mode pair (``serve-pagerank-cold`` /
 long-lived :mod:`repro.serve` daemon, and a reuse-heavy pair
 (``reuse-baseline`` / ``reuse-autocache``) where the only difference
 is ``optimize_caching``, so the row delta is the simulated seconds the
-verified auto-``cache()`` rewrite saves, and a compiled-pipeline pair
-(``pipeline-interpreted`` / ``pipeline-compiled``) where the only
-difference is ``compile_pipelines`` -- identical simulated seconds by
-construction, with the compiled row's measured wall-clock the
-observable win -- measured into one
+verified auto-``cache()`` rewrite saves, and a compiled-pipeline trio
+(``pipeline-interpreted`` / ``pipeline-compiled`` /
+``pipeline-columnar-direct``) where the rows differ only in
+``compile_pipelines`` and ``schema_inference`` -- identical simulated
+seconds by construction, with the compiled rows' measured wall-clock
+the observable win (the columnar-direct row additionally skips the
+per-partition encode probe and reads column buffers directly off the
+proven schema) -- measured into one
 :class:`~repro.observe.RunReport`.  Every
 cell runs under both stage schedules (``serial`` and ``dag``; the DAG
 rows carry a ``+dag`` system suffix), so the gate holds the DAG
@@ -301,24 +304,35 @@ def _pipe_bucket(x):
 
 
 def _pipeline_cell(system, groups, scheduler="serial"):
-    """A map/filter-heavy fused chain, interpreted vs compiled.
+    """A map/filter-heavy fused chain: interpreted vs compiled vs
+    columnar-direct.
 
-    The two rows differ only in ``compile_pipelines``: the interpreted
-    row runs the chain through :class:`FusedPipelineTask`'s per-record
-    step machine, the compiled row through the generated specialized
-    loop (:mod:`repro.engine.codegen`).  Simulated seconds are
-    *identical by construction* -- the compiled loop credits exactly
-    the interpreter's per-operator record counts -- so the gated metric
-    cannot regress; the interesting delta is the recorded measured
-    wall-clock, where the compiled row must be at least ~2x faster on
-    the serial backend (asserted by the baseline tests).  The UDFs are
-    module-level and provably pure on purpose: a lambda here would fall
-    back to the interpreter and collapse the wall-clock delta.
+    The three rows differ only in ``compile_pipelines`` and
+    ``schema_inference``: the interpreted row runs the chain through
+    :class:`FusedPipelineTask`'s per-record step machine, the compiled
+    row through the generated specialized loop
+    (:mod:`repro.engine.codegen`) plus the per-partition columnar
+    encode *probe*, and the columnar-direct row adds whole-plan schema
+    inference (:mod:`repro.analysis.schema`) -- the proven ``int``
+    schema lets the generated loop read column buffers directly and
+    replaces the probe with a probe-free ``encode_committed``.
+    Simulated seconds are *identical by construction* across all three
+    -- every variant credits exactly the interpreter's per-operator
+    record counts -- so the gated metric cannot regress; the
+    interesting delta is the recorded measured wall-clock, where the
+    compiled row must be at least ~2x faster than interpreted and the
+    columnar-direct row at least as fast as compiled (asserted by the
+    baseline tests).  The UDFs are module-level and provably pure on
+    purpose: a lambda here would fall back to the interpreter and
+    collapse the wall-clock delta.
     """
     config, system = _scheduled(_cluster(2.0, 512), system, scheduler)
     config = replace(
         config,
-        compile_pipelines=system.startswith("pipeline-compiled"),
+        compile_pipelines=system.startswith(
+            ("pipeline-compiled", "pipeline-columnar-direct")
+        ),
+        schema_inference=system.startswith("pipeline-columnar-direct"),
     )
     n = groups * _PIPELINE_RECORDS_PER_GROUP
 
@@ -355,6 +369,7 @@ CELLS = {
     "reuse-autocache": _auto_cache_cell,
     "pipeline-interpreted": _pipeline_cell,
     "pipeline-compiled": _pipeline_cell,
+    "pipeline-columnar-direct": _pipeline_cell,
 }
 
 

@@ -373,7 +373,7 @@ class Bag:
         return self
 
     def explain(self, compact=False, properties=False, effects=False,
-                compile=False):
+                compile=False, schema=False):
         """Textual rendering of this bag's plan tree.
 
         Every node carries a stable ``#id`` and an inferred partition
@@ -402,6 +402,13 @@ class Bag:
         ``ClusterConfig(compile_pipelines=True)``, and if not, why it
         falls back to the interpreter (see
         :mod:`repro.engine.codegen`).
+
+        ``schema=True`` annotates every node with its inferred record
+        schema (:mod:`repro.analysis.schema`): ``schema=(int, float)``
+        for a proven fixed-arity tuple, ``schema=int`` for a proven
+        scalar, ``schema=?`` where inference gave up.  Flags compose;
+        a node's annotations always render in the fixed order
+        properties, effects, compile, schema.
         """
         notes = None
         if properties:
@@ -428,6 +435,10 @@ class Bag:
             from .codegen import compile_notes
 
             _merge(compile_notes(self.node))
+        if schema:
+            from ..analysis.schema import schema_notes
+
+            _merge(schema_notes(self.node))
         if compact:
             return p.explain_compact(self.node, notes=notes)
         ids = p.assign_node_ids(self.node)

@@ -57,6 +57,7 @@ __all__ = [
     "compile_notes",
     "generate_source",
     "compiled_pipeline_fn",
+    "plan_chain_schema",
     "plan_compiled_task",
 ]
 
@@ -230,7 +231,7 @@ def chain_fingerprint(kind_fingerprint_pairs):
 # ----------------------------------------------------------------------
 
 
-def generate_source(kinds, name="_pipeline"):
+def generate_source(kinds, name="_pipeline", input_spec=None):
     """Python source of the specialized loop for a chain's step kinds.
 
     The function takes ``(_part, _udfs)`` and returns
@@ -240,6 +241,16 @@ def generate_source(kinds, name="_pipeline"):
     suffices.  The source depends only on the step-kind sequence; UDFs
     are passed in at call time, which keeps the compiled code object
     free of closure state.
+
+    With ``input_spec`` (a proven ``(kinds, scalar)`` columnar schema
+    from :mod:`repro.analysis.schema`), the loop reads
+    :class:`~repro.engine.columnar.ColumnarPartition` buffers
+    *directly* -- one ``tolist()`` per column, lazily zipped for tuple
+    records -- instead of decoding the whole partition to a record
+    list at the loop boundary.  The specialization is guarded at
+    runtime (shape-checked against the actual partition), so a plain
+    list or a differently-shaped partition falls through to ordinary
+    iteration and the loop stays value-identical.
     """
     num = len(kinds)
     if num == 0:
@@ -251,6 +262,25 @@ def generate_source(kinds, name="_pipeline"):
         "    _append = _out.append",
         "    _n = len(_part)",
     ]
+    source_var = "_part"
+    if input_spec is not None:
+        in_kinds, in_scalar = input_spec
+        source_var = "_src"
+        if in_scalar:
+            direct = "_cols[0].tolist()"
+        else:
+            direct = "zip(%s)" % ", ".join(
+                "_cols[%d].tolist()" % j for j in range(len(in_kinds))
+            )
+        lines += [
+            '    _cols = getattr(_part, "columns", None)',
+            "    if (_cols is not None and _part.kinds == %r"
+            % in_kinds,
+            "            and _part.scalar is %r):" % bool(in_scalar),
+            "        _src = %s" % direct,
+            "    else:",
+            "        _src = _part",
+        ]
     # A counter only exists where cardinality changes *and* a later
     # operator consumes the changed count.
     counted = [
@@ -260,7 +290,7 @@ def generate_source(kinds, name="_pipeline"):
     ]
     for i in counted:
         lines.append("    _c%d = 0" % i)
-    lines.append("    for _v0 in _part:")
+    lines.append("    for _v0 in %s:" % source_var)
     indent = 2
     var = 0
     count_exprs = []
@@ -325,7 +355,7 @@ def clear_compiled_cache():
 # ----------------------------------------------------------------------
 
 
-def plan_compiled_task(steps, tracer=None):
+def plan_compiled_task(steps, tracer=None, schema=None):
     """A :class:`CompiledPipelineTask` for ``steps``, or
     ``(None, reason)`` when the chain must stay interpreted.
 
@@ -335,14 +365,38 @@ def plan_compiled_task(steps, tracer=None):
     emitted through ``tracer`` covering source generation and
     compilation.
 
+    ``schema`` (a :class:`repro.analysis.schema.ChainSchema`, supplied
+    when ``schema_inference`` is on) switches planning to the
+    schema-specialized mode: a *proven* chain input schema generates
+    the columnar-direct loop, with the schema spec folded into the
+    chain fingerprint so direct and plain variants never share a cache
+    slot; any unknown or refuted input verdict falls back to the
+    interpreter, with the verdict as the reason.
+
     Returns ``(task, None)`` or ``(None, reason)``.
     """
     key, reason = chain_compilability(steps)
     if key is None:
         return None, reason
+    input_spec = None
+    if schema is not None:
+        if schema.input_verdict is not True:
+            verdict = (
+                "refuted" if schema.input_verdict is False else "unknown"
+            )
+            return None, "input schema %s (%r)" % (
+                verdict, schema.input_schema,
+            )
+        input_spec = schema.input_spec
+        # Fold the schema spec into the key: the direct source text
+        # differs from the plain variant, so they must never share a
+        # compiled-cache slot.
+        key = chain_fingerprint([("schema", "%s|%s" % (
+            key, schema.spec_token(),
+        ))])
     kinds = [kind for kind, _fn, _operator in steps]
     if key in _COMPILED:
-        source = generate_source(kinds)
+        source = generate_source(kinds, input_spec=input_spec)
         return CompiledPipelineTask(steps, source, key), None
     operator = "+".join(operator for _kind, _fn, operator in steps)
     if tracer is not None and tracer.enabled:
@@ -355,13 +409,25 @@ def plan_compiled_task(steps, tracer=None):
             steps=len(steps),
             key=key,
         ) as args:
-            source = generate_source(kinds)
+            source = generate_source(kinds, input_spec=input_spec)
             compiled_pipeline_fn(key, source)
             args["source_lines"] = source.count("\n")
     else:
-        source = generate_source(kinds)
+        source = generate_source(kinds, input_spec=input_spec)
         compiled_pipeline_fn(key, source)
     return CompiledPipelineTask(steps, source, key), None
+
+
+def plan_chain_schema(chain):
+    """The :class:`~repro.analysis.schema.ChainSchema` for a fused
+    chain of plan nodes.
+
+    Lazy import: ``repro.analysis`` imports ``repro.engine``, so
+    engine modules must not import the analysis layer at module scope.
+    """
+    from ..analysis.schema import chain_schema
+
+    return chain_schema(chain)
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,7 @@ __all__ = [
     "HAVE_NUMPY",
     "ColumnarPartition",
     "as_records",
+    "encode_committed",
     "maybe_columnar",
 ]
 
@@ -86,6 +87,39 @@ def _column_kind(values):
         elif kind != k:
             return None
     return kind
+
+
+def _promote_mixed_column(values):
+    """A mixed int/float column as all-floats, or ``None`` when lossy.
+
+    Every int must survive the round-trip exactly -- ``2**53 + 1``
+    (not representable in a double) and ``10**400`` (overflows) are
+    rejected, so promotion never silently truncates.  Pure int or pure
+    float columns also answer ``None``: they already encode as-is, and
+    promoting an unmixed int column would change its decoded values.
+    """
+    promoted = []
+    append = promoted.append
+    saw_int = saw_float = False
+    for value in values:
+        t = type(value)
+        if t is float:
+            saw_float = True
+            append(value)
+        elif t is int:
+            saw_int = True
+            try:
+                as_float = float(value)
+            except OverflowError:
+                return None
+            if int(as_float) != value:
+                return None
+            append(as_float)
+        else:
+            return None
+    if not (saw_int and saw_float):
+        return None
+    return promoted
 
 
 def _encode_column(kind, values):
@@ -144,9 +178,18 @@ class ColumnarPartition:
     # -- construction --------------------------------------------------
 
     @classmethod
-    def from_records(cls, records):
+    def from_records(cls, records, promote_mixed=False):
         """Encode a list of records, or return ``None`` when the shape
-        is not columnar (empty, non-numeric, ragged, or out of range)."""
+        is not columnar (empty, non-numeric, ragged, or out of range).
+
+        ``promote_mixed=True`` additionally accepts columns mixing
+        ``int`` and ``float`` by promoting the ints to floats -- but
+        only when every promotion is numerically exact (see
+        :func:`_promote_mixed_column`); a lossy column still rejects
+        the whole partition.  Off by default because promotion changes
+        decoded types (``1`` comes back as ``1.0``), which the engine's
+        value-fidelity contract forbids.
+        """
         if not isinstance(records, list) or not records:
             return None
         first = records[0]
@@ -163,8 +206,13 @@ class ColumnarPartition:
             raw_columns = [records]
             scalar = True
         kinds = []
-        for values in raw_columns:
+        for index, values in enumerate(raw_columns):
             kind = _column_kind(values)
+            if kind is None and promote_mixed:
+                promoted = _promote_mixed_column(values)
+                if promoted is not None:
+                    raw_columns[index] = promoted
+                    kind = "f"
             if kind is None:
                 return None
             kinds.append(kind)
@@ -295,6 +343,56 @@ def maybe_columnar(records):
     else the list unchanged (the stage-boundary adapter)."""
     part = ColumnarPartition.from_records(records)
     return records if part is None else part
+
+
+def encode_committed(kinds, scalar, records):
+    """Probe-free encode for a *statically proven* columnar schema.
+
+    Where :meth:`ColumnarPartition.from_records` scans every value of
+    every column to discover the shape, this trusts the
+    ``(kinds, scalar)`` spec proven by :mod:`repro.analysis.schema`
+    and goes straight to the typed-buffer constructors.  The guards
+    that remain are all C-speed or per-column:
+
+    * arity is verified exactly without touching individual values --
+      ``zip(*records)`` yields ``min(arity)`` columns and
+      ``sum(map(len, records))`` gives ``mean(arity) * n``, and
+      ``min == mean == proven`` forces every record to the proven
+      arity, so a ragged partition can never be silently truncated;
+    * the buffer constructors themselves reject wrong-typed or
+      out-of-range values (``OverflowError``/``ValueError``/
+      ``TypeError``).
+
+    Any failure returns ``None`` with ``records`` untouched -- the
+    caller keeps the intact plain list, exactly as if no encode had
+    been attempted.  Proven schemas cannot rule out >64-bit ints (a
+    value property, not a type property), so this fallback is load-
+    bearing, not defensive decoration.
+    """
+    if not isinstance(records, list) or not records:
+        return None
+    if scalar:
+        raw_columns = [records]
+    else:
+        if type(records[0]) is not tuple:
+            return None
+        arity = len(kinds)
+        try:
+            if sum(map(len, records)) != arity * len(records):
+                return None
+        except TypeError:
+            return None
+        raw_columns = list(zip(*records))
+        if len(raw_columns) != arity:
+            return None
+    try:
+        columns = [
+            _encode_column(kind, values)
+            for kind, values in zip(kinds, raw_columns)
+        ]
+    except (OverflowError, ValueError, TypeError):
+        return None
+    return ColumnarPartition(kinds, scalar, columns, len(records))
 
 
 def as_records(part):

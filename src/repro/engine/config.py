@@ -62,6 +62,11 @@ def _default_compile_pipelines():
     return raw.strip().lower() not in ("0", "false", "no", "off", "")
 
 
+def _default_schema_inference():
+    raw = os.environ.get("REPRO_SCHEMA", "0")
+    return raw.strip().lower() not in ("0", "false", "no", "off", "")
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Static description of the simulated cluster.
@@ -211,6 +216,23 @@ class ClusterConfig:
     #: environment variable.
     compile_pipelines: bool = field(
         default_factory=_default_compile_pipelines
+    )
+    #: Run whole-plan record schema inference
+    #: (:mod:`repro.analysis.schema`) before executing fused chains,
+    #: and act on *proven* verdicts: a proven int/float fixed-arity
+    #: output schema commits to columnar storage without the
+    #: per-partition encode probe, a refuted schema skips encoding
+    #: entirely, and a proven columnar *input* schema lets the
+    #: generated loop read :class:`~repro.engine.columnar
+    #: .ColumnarPartition` buffers directly.  Unknown verdicts fall
+    #: back to the probe-and-interpret behavior of plain
+    #: ``compile_pipelines``.  Results, trace signatures, and simulated
+    #: seconds are identical either way (see ``--compare schema`` in
+    #: :mod:`repro.analysis.equivalence`).  Only meaningful together
+    #: with ``compile_pipelines``.  Off by default; defaults to the
+    #: ``REPRO_SCHEMA`` environment variable.
+    schema_inference: bool = field(
+        default_factory=_default_schema_inference
     )
 
     def __post_init__(self):

@@ -60,7 +60,7 @@ from ..observe.events import (
 from . import codegen
 from . import dag
 from . import plan as p
-from .columnar import as_records, maybe_columnar
+from .columnar import as_records, encode_committed, maybe_columnar
 from .optimize import (
     plan_auto_caches,
     plan_shuffle_elisions,
@@ -416,6 +416,16 @@ class Executor:
         counts -- and with them the simulated seconds -- are identical;
         the per-chain compile-or-fallback choice is recorded as a
         ``compiled-pipeline`` optimizer decision.
+
+        ``config.schema_inference`` additionally pre-commits the
+        storage format from the chain's inferred output schema
+        (:mod:`repro.analysis.schema`), recorded as a
+        ``columnar-commit`` decision: a *proven* int/float fixed-arity
+        schema encodes without the per-partition probe, a *refuted*
+        schema skips encoding entirely, and only an unknown verdict
+        probes as before.  A proven *input* schema generates the
+        columnar-direct loop; an unproven one falls back to the
+        interpreter with the verdict recorded as the reason.
         """
         steps = []
         for op in chain:
@@ -429,11 +439,16 @@ class Executor:
         stage = child.stage
         compiled = self.config.compile_pipelines
         task = None
+        schema = None
         if compiled:
+            if self.config.schema_inference:
+                schema = codegen.plan_chain_schema(chain)
             task, reason = codegen.plan_compiled_task(
-                steps, tracer=self.tracer
+                steps, tracer=self.tracer, schema=schema
             )
             self._record_compile_decision(steps, task, reason)
+            if schema is not None:
+                self._record_columnar_decision(steps, schema)
         if task is None:
             task = FusedPipelineTask(steps)
         results = self.scheduler.run_stage(
@@ -444,7 +459,7 @@ class Executor:
         )
         out = []
         for index, (records, counts, works) in enumerate(results):
-            out.append(maybe_columnar(records) if compiled else records)
+            out.append(self._store_fused(records, compiled, schema))
             for i in range(len(steps)):
                 stage.add_task_records(index, counts[i])
                 if works[i]:
@@ -453,6 +468,57 @@ class Executor:
                     # bulk rate.
                     stage.add_task_records(index, int(works[i] * factor))
         return _Result(out, stage)
+
+    @staticmethod
+    def _store_fused(records, compiled, schema):
+        """Pick the storage format for one fused output partition.
+
+        Only the storage changes here, never the values: columnar
+        partitions decode to the exact records that went in, so counts,
+        trace signatures, and simulated seconds are identical across
+        all four paths (plain, probe, commit, skip).
+        """
+        if not compiled:
+            return records
+        if schema is None or schema.output_verdict is None:
+            return maybe_columnar(records)
+        if schema.output_verdict is False:
+            # Refuted: skip the encode attempt entirely.
+            return records
+        kinds, scalar = schema.output_spec
+        part = encode_committed(kinds, scalar, records)
+        # A proven schema can still fail to encode on value range
+        # (>64-bit ints); the untouched record list is the fallback.
+        return records if part is None else part
+
+    def _record_columnar_decision(self, steps, schema):
+        """Log one ``columnar-commit`` decision for a fused chain."""
+        from ..core.optimizer import Decision
+
+        operator = "+".join(step[2] for step in steps)
+        if schema.output_verdict is True:
+            choice, detail = "commit", (
+                "%s output schema %r proven columnar; encode probe "
+                "skipped" % (operator, schema.output_schema)
+            )
+        elif schema.output_verdict is False:
+            choice, detail = "skip", (
+                "%s output schema %r refutes columnar encoding; "
+                "keeping plain records" % (operator, schema.output_schema)
+            )
+        else:
+            choice, detail = "probe", (
+                "%s output schema %r unknown; probing per partition"
+                % (operator, schema.output_schema)
+            )
+        decision = Decision(
+            kind="columnar-commit",
+            choice=choice,
+            num_tags=len(steps),
+            detail=detail,
+        )
+        with self._state_lock:
+            self.decisions.append(decision)
 
     def _record_compile_decision(self, steps, task, reason):
         """Log one ``compiled-pipeline`` decision for a fused chain."""

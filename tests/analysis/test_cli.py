@@ -130,6 +130,97 @@ def test_import_failure_degrades_to_npl002(dirty_file, capsys):
     assert "NPL002" in out
 
 
+SCHEMA_BROKEN = """\
+'''Module-level bags with provable schema mistakes.'''
+from repro.engine import EngineContext, laptop_config
+
+_ctx = EngineContext(laptop_config())
+
+_left = _ctx.bag_of([(1, "a"), (2, "b")])
+_right = _ctx.bag_of([("x", 3.0), ("y", 4.0)])
+joined = _left.cogroup(_right)
+
+_pairs = _ctx.bag_of([(1, 2), (3, 4)])
+_flat = _ctx.bag_of([5, 6])
+merged = _pairs.union(_flat)
+
+
+def _list_key(x):
+    return ([x], x)
+
+
+keyed = _ctx.bag_of([1, 2, 3]).map(_list_key).group_by_key()
+"""
+
+
+@pytest.fixture
+def schema_broken_file(tmp_path):
+    path = tmp_path / "schema_broken.py"
+    path.write_text(SCHEMA_BROKEN)
+    return str(path)
+
+
+def test_plan_pass_reports_npl6xx(schema_broken_file, capsys):
+    code, out = run([schema_broken_file], capsys)
+    assert code == 1  # NPL603 is an error
+    assert "NPL601" in out
+    assert "NPL602" in out
+    assert "NPL603" in out
+    # Plan findings carry the defining file for CI annotations.
+    assert "schema_broken.py" in out
+
+
+def test_npl6_prefix_selects_schema_family(schema_broken_file, capsys):
+    code, out = run(
+        [schema_broken_file, "--select", "NPL6", "--fail-on", "warning"],
+        capsys,
+    )
+    assert code == 1
+    assert "NPL601" in out
+    assert "NPL602" in out
+    # Non-schema families are filtered out.
+    assert "NPL2" not in out and "NPL3" not in out
+
+
+def test_npl6_prefix_ignores_schema_family(schema_broken_file, capsys):
+    code, out = run(
+        [schema_broken_file, "--ignore", "NPL6"], capsys
+    )
+    assert code == 0
+    assert "NPL60" not in out
+
+
+def test_npl6_fail_on_warning_threshold(schema_broken_file, capsys):
+    # NPL601/602 are warnings: the default error threshold tolerates
+    # them once the NPL603 error is ignored...
+    code, _ = run(
+        [schema_broken_file, "--select", "NPL601,NPL602"], capsys
+    )
+    assert code == 0
+    # ...while --fail-on warning trips on them.
+    code, _ = run(
+        [
+            schema_broken_file,
+            "--select", "NPL601,NPL602",
+            "--fail-on", "warning",
+        ],
+        capsys,
+    )
+    assert code == 1
+
+
+def test_github_format_annotates_schema_findings(
+    schema_broken_file, capsys
+):
+    code, out = run(
+        [schema_broken_file, "--format", "github", "--select", "NPL6"],
+        capsys,
+    )
+    assert code == 1
+    assert "::error" in out
+    assert "NPL603" in out
+
+
 def test_import_pass_reports_closure_problems(tmp_path, capsys):
     path = tmp_path / "capturing.py"
     path.write_text(

@@ -1,0 +1,117 @@
+"""The schema-inference mode of the differential verifier."""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    EquivalenceError,
+    main,
+    verify_library_schema,
+    verify_program_schema,
+)
+
+
+def _scale(x):
+    return x * 3 + 1
+
+
+def _keep(x):
+    return x % 7 != 0
+
+
+def _pair(x):
+    return (x % 5, x)
+
+
+def _add(a, b):
+    return a + b
+
+
+def _tag(x):
+    return "v%d" % x
+
+
+def proven_program(ctx):
+    """All-int chains: schemas prove, commits replace probes."""
+    return sorted(
+        ctx.bag_of(range(200), num_partitions=4)
+        .map(_scale)
+        .filter(_keep)
+        .map(_pair)
+        .reduce_by_key(_add)
+        .collect()
+    )
+
+
+def refuted_program(ctx):
+    """A str chain: the schema refutes columnar and the compiled path
+    falls back to the interpreter -- results must be untouched."""
+    return sorted(
+        ctx.bag_of(range(50), num_partitions=2).map(_tag).collect()
+    )
+
+
+def mixed_program(ctx):
+    """Mixed driver data: unknown schemas keep the probe behavior."""
+    return sorted(
+        ctx.bag_of([1, 2.5, 3, 4.5] * 10, num_partitions=2)
+        .map(_scale)
+        .collect(),
+        key=repr,
+    )
+
+
+def test_proven_program_verifies_with_commits():
+    verification = verify_program_schema(proven_program, name="proven")
+    assert verification.name == "proven"
+    # The inferring run replaced at least one probe with a commit.
+    assert verification.elisions >= 1
+    assert verification.seconds_interpreted > 0
+    assert verification.seconds_compiled > 0
+    assert (
+        verification.shuffle_records
+        == verification.shuffle_records_optimized
+    )
+
+
+def test_refuted_program_verifies_without_commits():
+    verification = verify_program_schema(refuted_program, name="refuted")
+    assert verification.elisions == 0
+
+
+def test_unknown_program_verifies():
+    verification = verify_program_schema(mixed_program, name="mixed")
+    assert verification.elisions == 0
+
+
+def test_library_schema_verifies():
+    verifications = verify_library_schema(only=["matrix"])
+    assert verifications
+    for verification in verifications:
+        assert (
+            verification.shuffle_records
+            == verification.shuffle_records_optimized
+        )
+
+
+def test_main_compare_schema_exits_zero(capsys):
+    code = main(["--compare", "schema", "--only", "matrix"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "probing == inferring" in out
+    assert "schema-verified" in out
+
+
+def test_divergence_raises():
+    calls = {"n": 0}
+
+    def flaky(ctx):
+        calls["n"] += 1
+        count = 10 if calls["n"] == 1 else 11
+        return sorted(
+            ctx.bag_of(range(count), num_partitions=2)
+            .map(_scale)
+            .collect()
+        )
+
+    with pytest.raises(EquivalenceError):
+        verify_program_schema(flaky, name="flaky")

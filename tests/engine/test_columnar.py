@@ -66,6 +66,69 @@ class TestEncoding:
         assert ColumnarPartition.from_records(iter([1])) is None
 
 
+class TestMixedPromotion:
+    """``promote_mixed=True``: int/float columns promote losslessly or
+    reject the partition -- never a silent truncation."""
+
+    def test_lossless_promotion(self):
+        part = ColumnarPartition.from_records(
+            [1, 2.5, 3], promote_mixed=True
+        )
+        assert part is not None
+        assert part.kinds == "f"
+        # The promoted column decodes as floats -- exactly the values,
+        # with the documented type change.
+        assert part.to_records() == [1.0, 2.5, 3.0]
+        assert all(type(v) is float for v in part)
+
+    def test_tuple_column_promotion(self):
+        part = ColumnarPartition.from_records(
+            [(1, 2.5), (2.0, 3), (3, 4)], promote_mixed=True
+        )
+        assert part is not None
+        assert part.kinds == "ff"
+        assert part.to_records() == [(1.0, 2.5), (2.0, 3.0), (3.0, 4.0)]
+
+    def test_unrepresentable_int_rejects_partition(self):
+        # 2**53 + 1 does not survive the float round-trip: no encode.
+        assert ColumnarPartition.from_records(
+            [1, 2.5, 2**53 + 1], promote_mixed=True
+        ) is None
+
+    def test_overflowing_int_rejects_partition(self):
+        assert ColumnarPartition.from_records(
+            [1, 2.5, 10**400], promote_mixed=True
+        ) is None
+
+    def test_exact_large_ints_still_promote(self):
+        records = [2.5, 2**53]  # 2**53 is exactly a double
+        part = ColumnarPartition.from_records(
+            records, promote_mixed=True
+        )
+        assert part is not None
+        assert part.to_records() == [2.5, float(2**53)]
+
+    def test_default_still_rejects_mixed(self):
+        # Off by default: promotion changes decoded types, which the
+        # value-fidelity contract forbids unless opted into.
+        assert ColumnarPartition.from_records([1, 2.5]) is None
+
+    def test_pure_columns_do_not_promote(self):
+        # An unmixed int column must keep decoding as ints even when
+        # promotion is enabled.
+        part = ColumnarPartition.from_records(
+            [1, 2, 3], promote_mixed=True
+        )
+        assert part is not None
+        assert part.kinds == "i"
+        assert all(type(v) is int for v in part)
+
+    def test_non_numeric_mixed_still_rejects(self):
+        assert ColumnarPartition.from_records(
+            [1, 2.5, "x"], promote_mixed=True
+        ) is None
+
+
 class TestAccess:
     def test_len_and_getitem(self):
         part = ColumnarPartition.from_records([10, 20, 30])

@@ -1,0 +1,261 @@
+"""Schema-driven columnar commitment and columnar-direct codegen.
+
+The executor consumes :mod:`repro.analysis.schema` chain verdicts three
+ways under ``compile_pipelines=True`` + ``schema_inference=True``:
+
+* proven output schema -> probe-free ``encode_committed`` (a
+  ``columnar-commit`` decision with ``choice="commit"``);
+* refuted output schema -> no encode attempt (``choice="skip"``);
+* unknown -> the per-partition probe exactly as before
+  (``choice="probe"``);
+
+and a proven *input* schema makes the generated loop read
+``ColumnarPartition`` buffers directly, while a refuted or unknown
+input schema falls back to the interpreted ``FusedPipelineTask`` with
+the verdict recorded on the ``compiled-pipeline`` decision.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import EngineContext, laptop_config
+from repro.engine import codegen
+from repro.engine.columnar import ColumnarPartition, encode_committed
+from repro.engine.runtime.task import STEP_FILTER, STEP_MAP
+
+
+@pytest.fixture
+def schema_ctx():
+    config = replace(
+        laptop_config(),
+        compile_pipelines=True,
+        schema_inference=True,
+    )
+    return EngineContext(config)
+
+
+def _decisions(ctx, kind):
+    return [d for d in ctx.optimizer_decisions if d.kind == kind]
+
+
+def _double(x):
+    return x * 2
+
+
+def _half(x):
+    return x / 2
+
+
+def _to_pair(x):
+    return (x, x / 2)
+
+
+def _to_str(x):
+    return "n=%d" % x
+
+
+def _shift(x):
+    return x - 3
+
+
+def _keep(x):
+    return x % 3 != 0
+
+
+def _grow(x):
+    return x * 1099511627776  # 2**40 as a literal: provably int
+
+
+def _shout(s):
+    return s + "!"
+
+
+class TestCommitDecisions:
+    def test_proven_chain_commits_without_probe(self, schema_ctx):
+        result = (
+            schema_ctx.bag_of(range(100), num_partitions=4)
+            .map(_double)
+            .filter(_keep)
+            .collect()
+        )
+        assert sorted(result) == sorted(
+            x * 2 for x in range(100) if (x * 2) % 3 != 0
+        )
+        commits = _decisions(schema_ctx, "columnar-commit")
+        assert commits and all(d.choice == "commit" for d in commits)
+        assert "proven columnar" in commits[0].detail
+        compiled = _decisions(schema_ctx, "compiled-pipeline")
+        assert compiled and compiled[0].choice == "compile"
+
+    def test_refuted_chain_skips_encoding(self, schema_ctx):
+        result = (
+            schema_ctx.bag_of(range(10), num_partitions=2)
+            .map(_to_str)
+            .collect()
+        )
+        assert sorted(result) == sorted("n=%d" % x for x in range(10))
+        commits = _decisions(schema_ctx, "columnar-commit")
+        assert commits and all(d.choice == "skip" for d in commits)
+        assert "refutes columnar" in commits[0].detail
+
+    def test_unknown_chain_probes(self, schema_ctx):
+        # Mixed int/float driver data defeats the scan, so the output
+        # schema is unknown and the per-partition probe stays.
+        result = (
+            schema_ctx.bag_of([1, 2.5, 3, 4.5], num_partitions=2)
+            .map(_double)
+            .collect()
+        )
+        assert sorted(result) == sorted([2, 5.0, 6, 9.0])
+        commits = _decisions(schema_ctx, "columnar-commit")
+        assert commits and all(d.choice == "probe" for d in commits)
+
+
+class TestInterpreterFallback:
+    def test_refuted_input_schema_runs_interpreted(self, schema_ctx):
+        """A chain whose *input* schema is refuted must fall back to
+        the interpreted path, with the reason on the decision."""
+        result = (
+            schema_ctx.bag_of(["a", "bb", "ccc"], num_partitions=2)
+            .map(_shout)
+            .collect()
+        )
+        assert sorted(result) == ["a!", "bb!", "ccc!"]
+        compiled = _decisions(schema_ctx, "compiled-pipeline")
+        assert compiled
+        assert compiled[0].choice == "interpret"
+        assert "input schema refuted" in compiled[0].detail
+
+    def test_unknown_input_schema_runs_interpreted(self, schema_ctx):
+        result = (
+            schema_ctx.bag_of([1, 2.5, 3], num_partitions=2)
+            .map(_double)
+            .collect()
+        )
+        assert sorted(result) == sorted([2, 5.0, 6])
+        compiled = _decisions(schema_ctx, "compiled-pipeline")
+        assert compiled and compiled[0].choice == "interpret"
+        assert "input schema unknown" in compiled[0].detail
+
+    def test_inference_off_keeps_generic_compiled_path(self):
+        config = replace(laptop_config(), compile_pipelines=True)
+        ctx = EngineContext(config)
+        result = ctx.bag_of(["a", "bb"]).map(_shout).collect()
+        assert sorted(result) == ["a!", "bb!"]
+        # Without schema inference there is no columnar-commit record
+        # and the chain compiles the generic way.
+        assert _decisions(ctx, "columnar-commit") == []
+        compiled = _decisions(ctx, "compiled-pipeline")
+        assert compiled and compiled[0].choice == "compile"
+
+
+class TestCommittedEncodeFallback:
+    def test_overflow_keeps_plain_records(self, schema_ctx):
+        """Proven-int schemas cannot rule out >64-bit values; the
+        committed encode must fall back to the intact record list."""
+        big = 2 ** 50
+        result = (
+            schema_ctx.bag_of([big, big + 1, 2], num_partitions=1)
+            .map(_grow)
+            .collect()
+        )
+        assert sorted(result) == sorted(
+            [big * 2 ** 40, (big + 1) * 2 ** 40, 2 * 2 ** 40]
+        )
+        # The decision still says commit -- the runtime fallback is per
+        # partition, after the attempt.
+        commits = _decisions(schema_ctx, "columnar-commit")
+        assert commits and commits[0].choice == "commit"
+
+    def test_encode_committed_rejects_ragged_records(self):
+        # Mid-partition arity change: min-arity (zip) and mean-arity
+        # (sum of lens) guards both refuse, leaving records untouched.
+        records = [(1, 2), (3, 4, 5)]
+        assert encode_committed("ii", False, records) is None
+        assert records == [(1, 2), (3, 4, 5)]
+        records = [(1, 2), (3,)]
+        assert encode_committed("ii", False, records) is None
+        records = [(1, 2), (3,), (4, 5, 6)]  # mean happens to be 2
+        assert encode_committed("ii", False, records) is None
+
+    def test_encode_committed_happy_paths(self):
+        part = encode_committed("if", False, [(1, 2.0), (3, 4.0)])
+        assert isinstance(part, ColumnarPartition)
+        assert part.to_records() == [(1, 2.0), (3, 4.0)]
+        part = encode_committed("i", True, [1, 2, 3])
+        assert part.to_records() == [1, 2, 3]
+
+    def test_encode_committed_rejects_wrong_values(self):
+        assert encode_committed("i", True, [1, "x"]) is None
+        assert encode_committed("i", True, [1, 2 ** 80]) is None
+        assert encode_committed("ii", False, [1, 2]) is None
+        assert encode_committed("i", True, []) is None
+
+
+class TestColumnarDirectLoop:
+    def test_direct_source_has_runtime_guard(self):
+        source = codegen.generate_source(
+            [STEP_MAP, STEP_FILTER], input_spec=("ii", False)
+        )
+        assert '_cols = getattr(_part, "columns", None)' in source
+        assert "_src = _part" in source  # the non-columnar fallback
+
+    def test_schema_folds_into_cache_key(self):
+        from repro.analysis.schema import chain_schema
+
+        ctx = EngineContext(
+            replace(
+                laptop_config(),
+                compile_pipelines=True,
+                schema_inference=True,
+            )
+        )
+        bag = ctx.bag_of(range(10)).map(_double)
+        chain = [bag.node]
+        steps = [(STEP_MAP, _double, "Map")]
+        plain, _ = codegen.plan_compiled_task(steps)
+        schemed, _ = codegen.plan_compiled_task(
+            steps, schema=chain_schema(chain)
+        )
+        assert plain is not None and schemed is not None
+        assert plain.key != schemed.key
+
+    def test_direct_loop_reads_columnar_input(self, schema_ctx):
+        """A cached columnar partition feeds the next chain's generated
+        loop directly; values must round-trip exactly."""
+        base = (
+            schema_ctx.bag_of(range(200), num_partitions=4)
+            .map(_double)
+            .cache()
+        )
+        assert base.count() == 200
+        # The cached partitions are columnar (proven int schema) and
+        # the second chain's input schema is proven, so its generated
+        # loop takes the buffer-direct branch.
+        result = base.map(_shift).collect()
+        assert sorted(result) == sorted(x * 2 - 3 for x in range(200))
+
+    def test_direct_loop_tuple_records(self, schema_ctx):
+        base = (
+            schema_ctx.bag_of(range(50), num_partitions=2)
+            .map(_to_pair)
+            .cache()
+        )
+        assert base.count() == 50
+        result = base.map(_first_plus_second).collect()
+        assert sorted(result) == sorted(x + x / 2 for x in range(50))
+
+    def test_float_chain_commits_and_round_trips(self, schema_ctx):
+        result = (
+            schema_ctx.bag_of(range(20), num_partitions=2)
+            .map(_half)
+            .collect()
+        )
+        assert sorted(result) == sorted(x / 2 for x in range(20))
+        commits = _decisions(schema_ctx, "columnar-commit")
+        assert commits and commits[0].choice == "commit"
+
+
+def _first_plus_second(pair):
+    return pair[0] + pair[1]
